@@ -1,0 +1,69 @@
+//! Shared pieces for the baseline transports.
+
+use homa_sim::{HostId, SimTime};
+
+/// Maximum application payload per data packet, shared by all transports
+/// so comparisons are apples-to-apples (the paper's simulations use
+/// 1500-byte Ethernet frames; 1400 payload + 60 header + framing
+/// approximates that, and matches the Homa core's default).
+pub const MAX_PAYLOAD: u32 = 1_400;
+/// Wire overhead of a data packet beyond its payload.
+pub const DATA_OVERHEAD: u32 = 60;
+/// Wire size of control packets (tokens, acks, pulls, RTS...).
+pub const CTRL_BYTES: u32 = 40;
+/// Default RTTbytes on the paper's 10 Gbps fabric.
+pub const RTT_BYTES: u64 = 9_700;
+
+/// Identity of a message/flow within a baseline transport: sending host
+/// plus a sender-local sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId {
+    /// Sending host.
+    pub src: HostId,
+    /// Sender-local sequence number.
+    pub seq: u64,
+}
+
+/// Number of data packets for a message of `len` bytes.
+pub fn packets_for(len: u64) -> u64 {
+    len.div_ceil(MAX_PAYLOAD as u64).max(1)
+}
+
+/// Payload size of the packet at `offset` within a message of `len` bytes.
+pub fn payload_at(len: u64, offset: u64) -> u32 {
+    ((len - offset).min(MAX_PAYLOAD as u64)) as u32
+}
+
+/// Serialization time of one full-size data packet on a host link, in
+/// nanoseconds — the natural pacing quantum for token/pull schedulers.
+pub fn full_packet_time_ns(link_bps: u64) -> u64 {
+    ((MAX_PAYLOAD + DATA_OVERHEAD) as u128 * 8 * 1_000_000_000)
+        .div_ceil(link_bps as u128) as u64
+}
+
+/// Convert a [`SimTime`] to integer nanoseconds (the protocol cores use
+/// raw nanoseconds).
+pub fn ns(t: SimTime) -> u64 {
+    t.as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_math() {
+        assert_eq!(packets_for(1), 1);
+        assert_eq!(packets_for(1_400), 1);
+        assert_eq!(packets_for(1_401), 2);
+        assert_eq!(payload_at(1_401, 0), 1_400);
+        assert_eq!(payload_at(1_401, 1_400), 1);
+        assert_eq!(payload_at(100, 0), 100);
+    }
+
+    #[test]
+    fn full_packet_time() {
+        // 1460 bytes at 10 Gbps = 1168 ns.
+        assert_eq!(full_packet_time_ns(10_000_000_000), 1_168);
+    }
+}

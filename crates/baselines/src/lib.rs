@@ -1,0 +1,52 @@
+//! # homa-baselines — transports on the simulated fabric
+//!
+//! This crate binds protocol state machines to the `homa-sim` fabric:
+//!
+//! * [`homa_sim`] — the adapter that runs the real [`homa`] protocol core
+//!   ([`homa::HomaEndpoint`]) as a simulator [`Transport`]. The paper's
+//!   `HomaPx` variants (restricted priority counts) and the RAMCloud
+//!   *Basic* transport (receiver-driven grants, no priorities, unlimited
+//!   overcommitment) are configuration presets of the same adapter.
+//! * [`stream`] — a TCP-like single-FIFO-per-destination byte stream, the
+//!   head-of-line-blocking comparison of Figure 8.
+//! * [`phost`] — pHost (Gao et al., CoNEXT 2015): receiver token
+//!   scheduling, free tokens for the first RTTbytes, two static
+//!   priorities, sender downgrade timeouts, no overcommitment.
+//! * [`pias`] — PIAS (Bai et al., NSDI 2015): sender-side multi-level
+//!   feedback queue priorities with workload-tuned demotion thresholds
+//!   over a DCTCP-style ECN windowed transport.
+//! * [`pfabric`] — pFabric (Alizadeh et al., SIGCOMM 2013):
+//!   remaining-size packet priorities with drop-largest/dequeue-smallest
+//!   switches, line-rate senders with BDP windows and timeout
+//!   retransmission.
+//! * [`ndp`] — NDP (Handley et al., SIGCOMM 2017): packet trimming,
+//!   receiver-paced pull queue with fair-share (round-robin) scheduling,
+//!   no overcommitment.
+//!
+//! Every transport implements the simulator's [`Transport`] trait over
+//! its own packet metadata and reports deliveries through
+//! [`AppEvent`](homa_sim_crate::AppEvent)s, so the experiment harness can
+//! drive any of them interchangeably.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+// Renamed import so the module named `homa_sim` below doesn't collide
+// with the `homa-sim` crate (the leading `::` forces the extern crate).
+use ::homa_sim as homa_sim_crate;
+pub use homa_sim_crate::transport::Transport;
+
+pub mod common;
+pub mod homa_sim;
+pub mod ndp;
+pub mod pfabric;
+pub mod phost;
+pub mod pias;
+pub mod stream;
+
+pub use homa_sim::{HomaMeta, HomaSimTransport};
+pub use ndp::{NdpConfig, NdpMeta, NdpTransport};
+pub use pfabric::{PfabricConfig, PfabricMeta, PfabricTransport};
+pub use phost::{PhostConfig, PhostMeta, PhostTransport};
+pub use pias::{PiasConfig, PiasMeta, PiasTransport};
+pub use stream::{StreamConfig, StreamMeta, StreamTransport};

@@ -1,0 +1,369 @@
+//! A TCP-like byte-stream transport: one FIFO stream per destination.
+//!
+//! This is the comparison transport for the paper's streaming argument
+//! (§3.1, Figure 8's TCP/InfRC curves): applications typically use a
+//! single stream per destination, so a short message queued behind a long
+//! one suffers head-of-line blocking — the paper measures a ~100x tail
+//! latency penalty. The model here:
+//!
+//! * messages to the same destination are serialized FIFO into one stream;
+//! * a fixed window (one bandwidth-delay product by default) of unacked
+//!   bytes, cumulative acks, go-back-N on timeout;
+//! * no network priorities (everything at level 0);
+//! * fair round-robin between streams at the sender.
+
+use crate::common::{ns, CTRL_BYTES, DATA_OVERHEAD, MAX_PAYLOAD, RTT_BYTES};
+use homa_sim::{
+    AppEvent, HostId, Packet, PacketMeta, SimDuration, SimTime, TimerToken, Transport,
+    TransportActions,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Stream transport configuration.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Maximum unacked bytes per stream (default: one BDP).
+    pub window: u64,
+    /// Retransmission timeout (go-back-N restart) in nanoseconds.
+    pub rto_ns: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { window: RTT_BYTES, rto_ns: 1_000_000 }
+    }
+}
+
+/// Packet metadata for the stream transport.
+#[derive(Debug, Clone)]
+pub enum StreamMeta {
+    /// A data segment within the per-destination stream.
+    Data {
+        /// Offset of this segment within the byte stream.
+        offset: u64,
+        /// Payload bytes carried.
+        payload: u32,
+        /// Tag of the message the first byte of this segment belongs to
+        /// (receiver-side delivery bookkeeping travels via `msgs`).
+        msgs: Vec<(u64, u64, u64)>,
+    },
+    /// Cumulative acknowledgment of stream bytes below `offset`.
+    Ack {
+        /// All bytes below this stream offset have been received.
+        offset: u64,
+    },
+}
+
+impl PacketMeta for StreamMeta {
+    fn wire_bytes(&self) -> u32 {
+        match self {
+            StreamMeta::Data { payload, .. } => payload + DATA_OVERHEAD,
+            StreamMeta::Ack { .. } => CTRL_BYTES,
+        }
+    }
+    fn priority(&self) -> u8 {
+        0
+    }
+    fn is_control(&self) -> bool {
+        matches!(self, StreamMeta::Ack { .. })
+    }
+    fn goodput_bytes(&self) -> u32 {
+        match self {
+            StreamMeta::Data { payload, .. } => *payload,
+            _ => 0,
+        }
+    }
+}
+
+/// One direction of a stream (sender side).
+#[derive(Debug, Default)]
+struct TxStream {
+    /// Total bytes ever enqueued.
+    enqueued: u64,
+    /// Next byte to transmit.
+    sent: u64,
+    /// Cumulative ack received.
+    acked: u64,
+    /// Message boundaries: (tag, len, start_offset), FIFO.
+    msgs: VecDeque<(u64, u64, u64)>,
+    /// Last time the ack point advanced (for RTO).
+    last_progress: u64,
+}
+
+/// Receiver side of a stream.
+#[derive(Debug, Default)]
+struct RxStream {
+    /// In-order bytes received.
+    in_order: u64,
+    /// Out-of-order segments (offset, len) awaiting the gap to fill.
+    ooo: Vec<(u64, u64)>,
+    /// Known message boundaries: (tag, len, start_offset).
+    msgs: VecDeque<(u64, u64, u64)>,
+}
+
+const RTO_TOKEN: TimerToken = TimerToken(2);
+const RTO_TICK: SimDuration = SimDuration::from_micros(500);
+
+/// The stream transport instance for one host.
+pub struct StreamTransport {
+    me: HostId,
+    cfg: StreamConfig,
+    tx: HashMap<HostId, TxStream>,
+    rx: HashMap<HostId, RxStream>,
+    /// Pending acks to emit (dst, stream offset).
+    acks: VecDeque<(HostId, u64)>,
+    /// Round-robin cursor over destinations.
+    rr: Vec<HostId>,
+    rr_next: usize,
+    delivered: u64,
+    timer_armed: bool,
+}
+
+impl StreamTransport {
+    /// New stream transport for host `me`.
+    pub fn new(me: HostId, cfg: StreamConfig) -> Self {
+        StreamTransport {
+            me,
+            cfg,
+            tx: HashMap::new(),
+            rx: HashMap::new(),
+            acks: VecDeque::new(),
+            rr: Vec::new(),
+            rr_next: 0,
+            delivered: 0,
+            timer_armed: false,
+        }
+    }
+
+    fn arm(&mut self, now: SimTime, act: &mut TransportActions) {
+        if !self.timer_armed {
+            self.timer_armed = true;
+            act.timer(now + RTO_TICK, RTO_TOKEN);
+        }
+    }
+
+    fn deliver_in_order(&mut self, src: HostId, act: &mut TransportActions) {
+        let rx = self.rx.get_mut(&src).expect("stream exists");
+        // Merge out-of-order segments into the in-order point.
+        loop {
+            let mut advanced = false;
+            let mut i = 0;
+            while i < rx.ooo.len() {
+                let (o, l) = rx.ooo[i];
+                if o <= rx.in_order {
+                    rx.in_order = rx.in_order.max(o + l);
+                    rx.ooo.swap_remove(i);
+                    advanced = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        // Emit every message fully below the in-order point.
+        while let Some(&(tag, len, start)) = rx.msgs.front() {
+            if start + len <= rx.in_order {
+                rx.msgs.pop_front();
+                self.delivered += len;
+                act.event(AppEvent::MessageDelivered { src, tag, len });
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl Transport<StreamMeta> for StreamTransport {
+    fn on_packet(&mut self, now: SimTime, pkt: Packet<StreamMeta>, act: &mut TransportActions) {
+        self.arm(now, act);
+        match pkt.meta {
+            StreamMeta::Data { offset, payload, ref msgs } => {
+                let rx = self.rx.entry(pkt.src).or_default();
+                for &m in msgs {
+                    // Register unseen message boundaries in order.
+                    if rx.msgs.iter().all(|&(_, _, s)| s != m.2) && m.2 + m.1 > rx.in_order {
+                        rx.msgs.push_back(m);
+                    }
+                }
+                if offset + payload as u64 > rx.in_order {
+                    rx.ooo.push((offset, payload as u64));
+                }
+                self.deliver_in_order(pkt.src, act);
+                let in_order = self.rx[&pkt.src].in_order;
+                self.acks.push_back((pkt.src, in_order));
+                act.kick_tx();
+            }
+            StreamMeta::Ack { offset } => {
+                if let Some(tx) = self.tx.get_mut(&pkt.src) {
+                    if offset > tx.acked {
+                        tx.acked = offset;
+                        tx.last_progress = ns(now);
+                        // Completed messages can be forgotten.
+                        while let Some(&(_, len, start)) = tx.msgs.front() {
+                            if start + len <= tx.acked {
+                                tx.msgs.pop_front();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+                act.kick_tx();
+            }
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, _token: TimerToken, act: &mut TransportActions) {
+        // Go-back-N: any stream stalled past the RTO restarts from the ack
+        // point.
+        let mut kick = false;
+        for tx in self.tx.values_mut() {
+            if tx.acked < tx.sent && ns(now).saturating_sub(tx.last_progress) > self.cfg.rto_ns {
+                tx.sent = tx.acked;
+                tx.last_progress = ns(now);
+                kick = true;
+            }
+        }
+        if kick {
+            act.kick_tx();
+        }
+        act.timer(now + RTO_TICK, RTO_TOKEN);
+    }
+
+    fn next_packet(&mut self, _now: SimTime) -> Option<Packet<StreamMeta>> {
+        // Acks first.
+        if let Some((dst, offset)) = self.acks.pop_front() {
+            return Some(Packet::new(self.me, dst, StreamMeta::Ack { offset }));
+        }
+        // Round-robin across streams with window space and data.
+        let n = self.rr.len();
+        for step in 0..n {
+            let dst = self.rr[(self.rr_next + step) % n];
+            let tx = self.tx.get_mut(&dst).expect("stream exists");
+            let window_end = (tx.acked + self.cfg.window).min(tx.enqueued);
+            if tx.sent < window_end {
+                let payload = (window_end - tx.sent).min(MAX_PAYLOAD as u64) as u32;
+                let offset = tx.sent;
+                // Message boundaries that start within this segment.
+                let msgs: Vec<(u64, u64, u64)> = tx
+                    .msgs
+                    .iter()
+                    .filter(|&&(_, _, s)| s >= offset && s < offset + payload as u64)
+                    .copied()
+                    .collect();
+                tx.sent += payload as u64;
+                self.rr_next = (self.rr_next + step + 1) % n;
+                return Some(Packet::new(self.me, dst, StreamMeta::Data { offset, payload, msgs }));
+            }
+        }
+        None
+    }
+
+    fn inject_message(
+        &mut self,
+        now: SimTime,
+        dst: HostId,
+        len: u64,
+        tag: u64,
+        act: &mut TransportActions,
+    ) {
+        self.arm(now, act);
+        if !self.tx.contains_key(&dst) {
+            self.rr.push(dst);
+        }
+        let tx = self.tx.entry(dst).or_default();
+        let start = tx.enqueued;
+        tx.msgs.push_back((tag, len, start));
+        tx.enqueued += len;
+        if tx.last_progress == 0 {
+            tx.last_progress = ns(now);
+        }
+        act.kick_tx();
+    }
+
+    fn delivered_bytes(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homa_sim::{Network, NetworkConfig, Topology};
+
+    fn net(n: u32) -> Network<StreamMeta, StreamTransport> {
+        Network::new(Topology::single_switch(n), NetworkConfig::default(), |h| {
+            StreamTransport::new(h, StreamConfig::default())
+        })
+    }
+
+    #[test]
+    fn single_message_delivery() {
+        let mut net = net(4);
+        net.inject_message(HostId(0), HostId(1), 10_000, 5);
+        net.run_until(SimTime::from_millis(5));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(evs[0].2, AppEvent::MessageDelivered { len: 10_000, tag: 5, .. }));
+    }
+
+    #[test]
+    fn fifo_head_of_line_blocking() {
+        // A short message behind a long one on the same stream must wait:
+        // this is the pathology Homa's message orientation removes.
+        let mut net = net(4);
+        net.inject_message(HostId(0), HostId(1), 2_000_000, 1);
+        net.inject_message(HostId(0), HostId(1), 100, 2);
+        net.run_until(SimTime::from_millis(50));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 2);
+        // Big message delivered first despite the tiny one being "urgent".
+        assert!(matches!(evs[0].2, AppEvent::MessageDelivered { tag: 1, .. }));
+        assert!(matches!(evs[1].2, AppEvent::MessageDelivered { tag: 2, .. }));
+        // The tiny message's delivery time is dominated by the big one:
+        // ~1.7ms of serialization, vs ~2us if it went first.
+        assert!(evs[1].0.as_micros_f64() > 1_000.0);
+    }
+
+    #[test]
+    fn separate_destinations_do_not_block() {
+        let mut net = net(4);
+        net.inject_message(HostId(0), HostId(1), 2_000_000, 1);
+        net.inject_message(HostId(0), HostId(2), 100, 2);
+        net.run_until(SimTime::from_millis(50));
+        let evs = net.take_app_events();
+        // The tiny message to a different host is only slowed by its share
+        // of the sender uplink, far less than full serialization of 2MB.
+        let tiny = evs.iter().find(|(_, _, e)| matches!(e, AppEvent::MessageDelivered { tag: 2, .. })).unwrap();
+        assert!(tiny.0.as_micros_f64() < 1_500.0, "tiny at {}us", tiny.0.as_micros_f64());
+    }
+
+    #[test]
+    fn window_paces_long_transfers() {
+        let mut net = net(4);
+        net.inject_message(HostId(0), HostId(1), 500_000, 9);
+        net.run_until(SimTime::from_millis(20));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 1, "long transfer completes under windowed acks");
+    }
+
+    #[test]
+    fn many_messages_fifo_order() {
+        let mut net = net(4);
+        for i in 0..20 {
+            net.inject_message(HostId(0), HostId(1), 1_000, i);
+        }
+        net.run_until(SimTime::from_millis(20));
+        let evs = net.take_app_events();
+        let tags: Vec<u64> = evs
+            .iter()
+            .filter_map(|(_, _, e)| match e {
+                AppEvent::MessageDelivered { tag, .. } => Some(*tag),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tags, (0..20).collect::<Vec<_>>(), "streams deliver FIFO");
+    }
+}

@@ -1,0 +1,57 @@
+//! End-to-end simulation throughput: how many simulated messages per
+//! wall-clock second the full stack sustains, for Homa and each baseline.
+//! (Criterion companion to the `repro` binary's figure runs.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homa_bench::{run_protocol_oneway, Protocol};
+use homa_harness::driver::OnewayOpts;
+use homa_sim::Topology;
+use homa_workloads::Workload;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let topo = Topology::single_switch(8);
+    let dist = Workload::W2.dist();
+    for p in [Protocol::Homa, Protocol::Basic, Protocol::Pfabric, Protocol::Phost, Protocol::Pias] {
+        g.bench_with_input(BenchmarkId::new("oneway_500msgs_w2", p.name()), &p, |b, &p| {
+            b.iter(|| {
+                let res =
+                    run_protocol_oneway(p, &topo, &dist, 0.6, 500, 1, &OnewayOpts::default(), None);
+                assert!(res.delivered >= 495);
+                res.delivered
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fabric_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let dist = Workload::W1.dist();
+    for (label, topo) in [
+        ("single16", Topology::single_switch(16)),
+        ("fabric24", Topology::scaled_fabric(3, 8, 2)),
+    ] {
+        g.bench_function(format!("homa_w1_1k_{label}"), |b| {
+            b.iter(|| {
+                let res = run_protocol_oneway(
+                    Protocol::Homa,
+                    &topo,
+                    &dist,
+                    0.8,
+                    1_000,
+                    2,
+                    &OnewayOpts::default(),
+                    None,
+                );
+                assert_eq!(res.delivered, 1_000);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_fabric_scale);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks for the Homa protocol state machines: how fast can a
+//! sender/receiver pair push a message through the endpoint logic
+//! (no fabric, zero-latency shuttle)?
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use homa::packets::PeerId;
+use homa::{HomaConfig, HomaEndpoint};
+
+fn shuttle_message(len: u64) -> u64 {
+    let mut a = HomaEndpoint::new(PeerId(0), HomaConfig::default());
+    let mut b = HomaEndpoint::new(PeerId(1), HomaConfig::default());
+    a.send_message(0, PeerId(1), len, 1);
+    let mut packets = 0u64;
+    loop {
+        let mut moved = false;
+        while let Some((_, pkt)) = a.poll_transmit(0) {
+            packets += 1;
+            b.on_packet(0, PeerId(0), pkt);
+            moved = true;
+        }
+        while let Some((_, pkt)) = b.poll_transmit(0) {
+            packets += 1;
+            a.on_packet(0, PeerId(1), pkt);
+            moved = true;
+        }
+        if !moved {
+            break;
+        }
+    }
+    assert_eq!(b.delivered_msgs(), 1);
+    packets
+}
+
+fn bench_endpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("endpoint");
+    for len in [100u64, 10_000, 1_000_000] {
+        g.throughput(Throughput::Bytes(len));
+        g.bench_function(format!("message_{len}B"), |b| {
+            b.iter(|| shuttle_message(std::hint::black_box(len)))
+        });
+    }
+    g.bench_function("rpc_echo_1KB", |b| {
+        b.iter(|| {
+            let mut a = HomaEndpoint::new(PeerId(0), HomaConfig::default());
+            let mut sv = HomaEndpoint::new(PeerId(1), HomaConfig::default());
+            a.begin_rpc(0, PeerId(1), 1_000, 7);
+            for _ in 0..8 {
+                while let Some((_, pkt)) = a.poll_transmit(0) {
+                    sv.on_packet(0, PeerId(0), pkt);
+                }
+                for ev in sv.take_events() {
+                    if let homa::HomaEvent::RequestArrived { client, rpc_seq, len, .. } = ev {
+                        sv.send_response(0, client, rpc_seq, len, 0);
+                    }
+                }
+                while let Some((_, pkt)) = sv.poll_transmit(0) {
+                    a.on_packet(0, PeerId(1), pkt);
+                }
+            }
+            assert!(a
+                .take_events()
+                .iter()
+                .any(|e| matches!(e, homa::HomaEvent::RpcCompleted { .. })));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_endpoint);
+criterion_main!(benches);

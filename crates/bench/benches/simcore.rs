@@ -1,0 +1,71 @@
+//! Micro-benchmarks for the simulation kernel: event queue and priority
+//! queues.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use homa_sim::{EventQueue, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore");
+    g.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..1_000u64 {
+                // Pseudo-random times to exercise heap reordering.
+                let t = (i.wrapping_mul(2654435761)) % 100_000;
+                q.schedule(SimTime::from_nanos(t), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_port_queue(c: &mut Criterion) {
+    use homa_sim::queues::PortQueue;
+    use homa_sim::{Packet, PacketMeta, QueueDiscipline};
+
+    #[derive(Debug, Clone)]
+    struct M(u32, u8);
+    impl PacketMeta for M {
+        fn wire_bytes(&self) -> u32 {
+            self.0
+        }
+        fn priority(&self) -> u8 {
+            self.1
+        }
+        fn is_control(&self) -> bool {
+            false
+        }
+        fn goodput_bytes(&self) -> u32 {
+            self.0
+        }
+    }
+
+    let mut g = c.benchmark_group("simcore");
+    g.bench_function("strict_priority_enqueue_dequeue_256", |b| {
+        b.iter(|| {
+            let mut q: PortQueue<M> = PortQueue::new(QueueDiscipline::strict8(1 << 20));
+            for i in 0..256u32 {
+                let pkt = Packet::new(
+                    homa_sim::HostId(0),
+                    homa_sim::HostId(1),
+                    M(1_460, (i % 8) as u8),
+                );
+                q.enqueue(SimTime::from_nanos(i as u64), pkt, None);
+            }
+            let mut n = 0;
+            while q.dequeue(SimTime::from_nanos(1_000)).is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_port_queue);
+criterion_main!(benches);

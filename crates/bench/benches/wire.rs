@@ -1,0 +1,49 @@
+//! Micro-benchmarks for the binary wire codec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use homa::packets::{DataHeader, Dir, GrantHeader, HomaPacket, MsgKey, PeerId};
+
+fn data_packet(payload: u32) -> (HomaPacket, Vec<u8>) {
+    (
+        HomaPacket::Data(DataHeader {
+            key: MsgKey { origin: PeerId(3), seq: 77, dir: Dir::Request },
+            msg_len: 1_000_000,
+            offset: 42_000,
+            payload,
+            prio: 5,
+            unscheduled: false,
+            retransmit: false,
+            incast_mark: false,
+            tag: 9,
+        }),
+        vec![0xAB; payload as usize],
+    )
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let (pkt, payload) = data_packet(1_400);
+    g.throughput(Throughput::Bytes(1_400 + 46));
+    g.bench_function("encode_data_1400", |b| {
+        b.iter(|| homa_wire::encode(std::hint::black_box(&pkt), std::hint::black_box(&payload)))
+    });
+    let encoded = homa_wire::encode(&pkt, &payload);
+    g.bench_function("decode_data_1400", |b| {
+        b.iter(|| homa_wire::decode(std::hint::black_box(&encoded)).expect("valid"))
+    });
+    let grant = HomaPacket::Grant(GrantHeader {
+        key: MsgKey { origin: PeerId(1), seq: 2, dir: Dir::Oneway },
+        offset: 123,
+        prio: 3,
+        cutoffs: None,
+    });
+    g.bench_function("encode_grant", |b| b.iter(|| homa_wire::encode(std::hint::black_box(&grant), &[])));
+    let eg = homa_wire::encode(&grant, &[]);
+    g.bench_function("decode_grant", |b| {
+        b.iter(|| homa_wire::decode(std::hint::black_box(&eg)).expect("valid"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

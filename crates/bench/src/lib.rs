@@ -1,0 +1,282 @@
+//! # homa-bench — shared experiment dispatch for the `repro` binary and
+//! the criterion benches.
+//!
+//! The paper compares seven transports. [`Protocol`] names them and
+//! [`run_protocol_oneway`] / [`run_protocol_rpc`] dispatch a harness
+//! experiment to the right transport/fabric combination (each protocol
+//! needs its own queue discipline in the switches, per its original
+//! design).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use homa::HomaConfig;
+use homa_baselines::{
+    homa_sim::{basic_config, homa_px_config, static_map_for_workload},
+    ndp, pfabric, pias, HomaSimTransport, NdpConfig, NdpTransport, PfabricConfig,
+    PfabricTransport, PhostConfig, PhostTransport, PiasConfig, PiasTransport, StreamConfig,
+    StreamTransport,
+};
+use homa_harness::driver::{run_oneway, run_rpc_echo, OnewayOpts, OnewayResult, RpcOpts, RpcResult};
+use homa_sim::{NetworkConfig, Topology};
+use homa_workloads::MessageSizeDist;
+
+/// The transports evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Homa with the full 8 priority levels and workload-derived cutoffs.
+    Homa,
+    /// Homa restricted to `n` priority levels (Figures 8/9's HomaPx).
+    HomaP(u8),
+    /// RAMCloud Basic: receiver-driven, no priorities, unlimited
+    /// overcommitment.
+    Basic,
+    /// TCP-like single stream per destination.
+    Stream,
+    /// pFabric.
+    Pfabric,
+    /// pHost.
+    Phost,
+    /// PIAS.
+    Pias,
+    /// NDP.
+    Ndp,
+}
+
+impl Protocol {
+    /// Display name as used in the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            Protocol::Homa => "Homa".into(),
+            Protocol::HomaP(n) => format!("HomaP{n}"),
+            Protocol::Basic => "Basic".into(),
+            Protocol::Stream => "Stream(TCP-like)".into(),
+            Protocol::Pfabric => "pFabric".into(),
+            Protocol::Phost => "pHost".into(),
+            Protocol::Pias => "PIAS".into(),
+            Protocol::Ndp => "NDP".into(),
+        }
+    }
+
+    /// Parse a protocol name (case-insensitive; `homap4` style for
+    /// priority-restricted Homa).
+    pub fn parse(s: &str) -> Option<Protocol> {
+        let l = s.to_ascii_lowercase();
+        match l.as_str() {
+            "homa" => Some(Protocol::Homa),
+            "basic" => Some(Protocol::Basic),
+            "stream" | "tcp" => Some(Protocol::Stream),
+            "pfabric" => Some(Protocol::Pfabric),
+            "phost" => Some(Protocol::Phost),
+            "pias" => Some(Protocol::Pias),
+            "ndp" => Some(Protocol::Ndp),
+            _ => l
+                .strip_prefix("homap")
+                .and_then(|n| n.parse::<u8>().ok())
+                .map(Protocol::HomaP),
+        }
+    }
+}
+
+/// The Homa configuration used for a protocol variant, with cutoffs
+/// derived from `dist` (the paper's §4 precomputed-priorities setup).
+pub fn homa_config_for(p: Protocol) -> HomaConfig {
+    match p {
+        Protocol::Homa => HomaConfig::default(),
+        Protocol::HomaP(n) => homa_px_config(n),
+        Protocol::Basic => basic_config(),
+        _ => HomaConfig::default(),
+    }
+}
+
+/// Run a one-way-message experiment for any protocol. The fabric's queue
+/// discipline is chosen per protocol (pFabric's priority-drop queues,
+/// NDP's trimming queues, ECN for PIAS, strict priorities otherwise).
+#[allow(clippy::too_many_arguments)]
+pub fn run_protocol_oneway(
+    p: Protocol,
+    topo: &Topology,
+    dist: &MessageSizeDist,
+    load: f64,
+    n_msgs: u64,
+    seed: u64,
+    opts: &OnewayOpts,
+    homa_override: Option<HomaConfig>,
+) -> OnewayResult {
+    match p {
+        Protocol::Homa | Protocol::HomaP(_) | Protocol::Basic => {
+            let cfg = homa_override.unwrap_or_else(|| homa_config_for(p));
+            let map = static_map_for_workload(dist, &cfg);
+            let netcfg = NetworkConfig { seed, ..NetworkConfig::default() };
+            run_oneway(
+                topo,
+                netcfg,
+                |h| {
+                    let t = HomaSimTransport::new(h, cfg.clone()).with_static_map(map.clone());
+                    if opts.track_delay {
+                        t.with_delay_tracking()
+                    } else {
+                        t
+                    }
+                },
+                dist,
+                load,
+                n_msgs,
+                seed,
+                opts,
+            )
+        }
+        Protocol::Stream => {
+            let netcfg = NetworkConfig { seed, ..NetworkConfig::default() };
+            run_oneway(
+                topo,
+                netcfg,
+                |h| StreamTransport::new(h, StreamConfig::default()),
+                dist,
+                load,
+                n_msgs,
+                seed,
+                opts,
+            )
+        }
+        Protocol::Pfabric => {
+            let pcfg = PfabricConfig::default();
+            let mut netcfg = NetworkConfig::uniform(seed, pfabric::fabric_queues(&pcfg));
+            netcfg.seed = seed;
+            run_oneway(
+                topo,
+                netcfg,
+                move |h| PfabricTransport::new(h, PfabricConfig::default()),
+                dist,
+                load,
+                n_msgs,
+                seed,
+                opts,
+            )
+        }
+        Protocol::Phost => {
+            let netcfg = NetworkConfig { seed, ..NetworkConfig::default() };
+            let link = topo.host_link_bps;
+            run_oneway(
+                topo,
+                netcfg,
+                move |h| PhostTransport::new(h, PhostConfig { link_bps: link, ..PhostConfig::default() }),
+                dist,
+                load,
+                n_msgs,
+                seed,
+                opts,
+            )
+        }
+        Protocol::Pias => {
+            let thresholds = PiasConfig::thresholds_for(dist, 8);
+            let pcfg = PiasConfig { thresholds, ..PiasConfig::default() };
+            let mut netcfg = NetworkConfig::uniform(seed, pias::fabric_queues(&pcfg));
+            netcfg.seed = seed;
+            run_oneway(
+                topo,
+                netcfg,
+                move |h| PiasTransport::new(h, pcfg.clone()),
+                dist,
+                load,
+                n_msgs,
+                seed,
+                opts,
+            )
+        }
+        Protocol::Ndp => {
+            let ncfg = NdpConfig::default();
+            let mut netcfg = NetworkConfig::uniform(seed, ndp::fabric_queues(&ncfg));
+            netcfg.seed = seed;
+            let link = topo.host_link_bps;
+            run_oneway(
+                topo,
+                netcfg,
+                move |h| NdpTransport::new(h, NdpConfig { link_bps: link, ..NdpConfig::default() }),
+                dist,
+                load,
+                n_msgs,
+                seed,
+                opts,
+            )
+        }
+    }
+}
+
+/// Run the §5.1 echo-RPC experiment (Figures 8/9). Only the
+/// RAMCloud-comparable transports support RPCs.
+pub fn run_protocol_rpc(
+    p: Protocol,
+    topo: &Topology,
+    dist: &MessageSizeDist,
+    load: f64,
+    n_rpcs: u64,
+    seed: u64,
+    opts: &RpcOpts,
+) -> RpcResult {
+    match p {
+        Protocol::Homa | Protocol::HomaP(_) | Protocol::Basic => {
+            let cfg = homa_config_for(p);
+            let map = static_map_for_workload(dist, &cfg);
+            let netcfg = NetworkConfig { seed, ..NetworkConfig::default() };
+            run_rpc_echo(
+                topo,
+                netcfg,
+                |h| HomaSimTransport::new(h, cfg.clone()).with_static_map(map.clone()),
+                dist,
+                load,
+                n_rpcs,
+                seed,
+                opts,
+            )
+        }
+        other => panic!("{} does not support the RPC echo benchmark", other.name()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homa_workloads::Workload;
+
+    #[test]
+    fn protocol_parse_round_trip() {
+        for p in [
+            Protocol::Homa,
+            Protocol::HomaP(4),
+            Protocol::Basic,
+            Protocol::Pfabric,
+            Protocol::Phost,
+            Protocol::Pias,
+            Protocol::Ndp,
+        ] {
+            assert_eq!(Protocol::parse(&p.name()), Some(p), "{}", p.name());
+        }
+        assert_eq!(Protocol::parse("tcp"), Some(Protocol::Stream));
+        assert_eq!(Protocol::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_protocol_completes_a_tiny_run() {
+        let topo = Topology::single_switch(6);
+        let dist = Workload::W2.dist();
+        for p in [
+            Protocol::Homa,
+            Protocol::Basic,
+            Protocol::Stream,
+            Protocol::Pfabric,
+            Protocol::Phost,
+            Protocol::Pias,
+            Protocol::Ndp,
+        ] {
+            let res = run_protocol_oneway(p, &topo, &dist, 0.4, 150, 5, &OnewayOpts::default(), None);
+            assert_eq!(res.injected, 150, "{}", p.name());
+            assert!(
+                res.delivered >= 148,
+                "{} delivered only {}/150",
+                p.name(),
+                res.delivered
+            );
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! Generic experiment drivers.
+//!
+//! Three experiment shapes cover every figure in the paper:
+//!
+//! * [`run_oneway`] — the §5.2 simulation setup: all-to-all one-way
+//!   messages with Poisson arrivals at a target network load
+//!   (Figures 12–21, Table 1).
+//! * [`run_rpc_echo`] — the §5.1 implementation setup: clients issue echo
+//!   RPCs to servers (Figures 8–9).
+//! * [`run_incast`] — Figure 10: one client, many concurrent RPCs with
+//!   10 KB responses.
+
+use crate::slowdown::MsgRecord;
+use homa_sim::{
+    AppEvent, HostId, Network, NetworkConfig, PacketMeta, RunStats, SimDuration, SimTime,
+    Topology, Transport,
+};
+use homa_workloads::{LoadPlan, MessageSizeDist, PoissonArrivals};
+use std::collections::HashMap;
+
+/// Per-packet constants used for unloaded-latency denominators and load
+/// planning; all transports in this repository share them (see
+/// `homa_baselines::common`).
+pub const PAYLOAD: u64 = 1_400;
+/// Wire overhead per data packet.
+pub const OVERHEAD: u64 = 60;
+/// Wire size of control packets.
+pub const CTRL: u64 = 40;
+
+/// Options for [`run_oneway`].
+#[derive(Debug, Clone)]
+pub struct OnewayOpts {
+    /// Sample the Figure 16 wasted-bandwidth probe.
+    pub sample_wasted: bool,
+    /// Probe cadence.
+    pub sample_interval: SimDuration,
+    /// Ask transports for per-message delay attribution (Figure 14).
+    pub track_delay: bool,
+    /// Extra simulated time allowed after the last injection for
+    /// outstanding messages to finish.
+    pub drain: SimDuration,
+    /// Messages at the head of the run excluded from the records
+    /// (warm-up transient).
+    pub warmup_msgs: u64,
+}
+
+impl Default for OnewayOpts {
+    fn default() -> Self {
+        OnewayOpts {
+            sample_wasted: false,
+            sample_interval: SimDuration::from_micros(10),
+            track_delay: false,
+            drain: SimDuration::from_millis(200),
+            warmup_msgs: 0,
+        }
+    }
+}
+
+/// Result of a [`run_oneway`] experiment.
+#[derive(Debug)]
+pub struct OnewayResult {
+    /// Per-message observations (post-warmup, delivered only).
+    pub records: Vec<MsgRecord>,
+    /// Messages injected.
+    pub injected: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages aborted by the transport.
+    pub aborted: u64,
+    /// Fabric statistics at harvest.
+    pub stats: RunStats,
+    /// Mean fraction of receiver time with an idle downlink while grants
+    /// were withheld (Figure 16's y-axis); NaN if not sampled.
+    pub wasted_fraction: f64,
+    /// Wall-clock of the simulated run.
+    pub duration: SimTime,
+    /// Wire bytes per priority level on host uplinks (Figure 21).
+    pub prio_bytes: [u64; 8],
+    /// Offered goodput in bits/sec during the injection phase.
+    pub offered_bps: f64,
+    /// Delivered goodput in bits/sec over the whole run.
+    pub delivered_bps: f64,
+}
+
+/// Run an all-to-all one-way-message experiment at `load` (fraction of
+/// aggregate host-link bandwidth) until `n_msgs` messages have been
+/// injected, then drain.
+pub fn run_oneway<M, T>(
+    topo: &Topology,
+    netcfg: NetworkConfig,
+    make: impl FnMut(HostId) -> T,
+    dist: &MessageSizeDist,
+    load: f64,
+    n_msgs: u64,
+    seed: u64,
+    opts: &OnewayOpts,
+) -> OnewayResult
+where
+    M: PacketMeta,
+    T: Transport<M>,
+{
+    let hosts = topo.num_hosts();
+    let plan = LoadPlan {
+        hosts,
+        host_link_bps: topo.host_link_bps,
+        load,
+        mean_msg_bytes: dist.mean(),
+        mean_overhead_bytes: LoadPlan::estimate_overhead(dist, PAYLOAD, OVERHEAD, CTRL, 9_700),
+    };
+    let mut gen = PoissonArrivals::new(seed ^ 0x9e37_79b9, dist.clone(), hosts, plan.mean_interarrival_secs());
+    let mut net: Network<M, T> = Network::new(topo.clone(), netcfg, make);
+
+    // tag -> (size, injected_ns, cross_rack)
+    let mut pending: HashMap<u64, (u64, u64, bool)> = HashMap::new();
+    let mut unloaded_cache: HashMap<(u64, bool), u64> = HashMap::new();
+    let mut records = Vec::with_capacity(n_msgs as usize);
+    let mut injected = 0u64;
+    let mut delivered = 0u64;
+    let mut aborted = 0u64;
+    let mut injected_bytes = 0u64;
+
+    // Wasted-bandwidth sampling state.
+    let mut next_sample = SimTime::ZERO + opts.sample_interval;
+    let mut samples = 0u64;
+    let mut wasted_hits = 0u64;
+
+    let mut unloaded_of = |net: &Network<M, T>, size: u64, cross: bool| -> u64 {
+        *unloaded_cache.entry((size, cross)).or_insert_with(|| {
+            net.topology().unloaded_one_way_path(size, PAYLOAD, OVERHEAD, cross).as_nanos()
+        })
+    };
+
+    let handle_events = |net: &mut Network<M, T>,
+                             pending: &mut HashMap<u64, (u64, u64, bool)>,
+                             records: &mut Vec<MsgRecord>,
+                             delivered: &mut u64,
+                             aborted: &mut u64,
+                             unloaded_cache: &mut dyn FnMut(&Network<M, T>, u64, bool) -> u64| {
+        for (at, host, ev) in net.take_app_events() {
+            match ev {
+                AppEvent::MessageDelivered { src, tag, len } => {
+                    if let Some((size, injected_ns, cross)) = pending.remove(&tag) {
+                        debug_assert_eq!(size, len);
+                        *delivered += 1;
+                        if tag >= opts.warmup_msgs {
+                            let delay = if opts.track_delay {
+                                net.with_transport(host, |t, _, _| t.take_message_delay(src, tag))
+                            } else {
+                                Default::default()
+                            };
+                            let unloaded_ns = unloaded_cache(net, size, cross);
+                            records.push(MsgRecord {
+                                size,
+                                injected_ns,
+                                completed_ns: at.as_nanos(),
+                                unloaded_ns,
+                                delay,
+                            });
+                        }
+                    }
+                }
+                AppEvent::Aborted { tag, .. } => {
+                    if pending.remove(&tag).is_some() {
+                        *aborted += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    };
+
+    // Injection phase.
+    while injected < n_msgs {
+        let arrival = gen.next_arrival();
+        let at = SimTime::from_nanos(arrival.at_ns);
+        // Process events (and samples) up to the arrival.
+        while opts.sample_wasted && next_sample <= at {
+            net.run_until(next_sample);
+            handle_events(&mut net, &mut pending, &mut records, &mut delivered, &mut aborted, &mut unloaded_of);
+            for h in net.topology().hosts() {
+                samples += 1;
+                if net.downlink_idle(h) && net.withholding(h) {
+                    wasted_hits += 1;
+                }
+            }
+            next_sample = next_sample + opts.sample_interval;
+        }
+        net.run_until(at);
+        handle_events(&mut net, &mut pending, &mut records, &mut delivered, &mut aborted, &mut unloaded_of);
+        let tag = injected;
+        let cross = topo.rack_of(HostId(arrival.src)) != topo.rack_of(HostId(arrival.dst));
+        net.inject_message(HostId(arrival.src), HostId(arrival.dst), arrival.size, tag);
+        pending.insert(tag, (arrival.size, at.as_nanos(), cross));
+        injected += 1;
+        injected_bytes += arrival.size;
+    }
+    let inject_end = net.now();
+
+    // Drain phase.
+    let deadline = inject_end + opts.drain;
+    while !pending.is_empty() && net.now() < deadline {
+        let step = match net.next_event_time() {
+            Some(t) if t <= deadline => t,
+            _ => break,
+        };
+        net.run_until(step);
+        handle_events(&mut net, &mut pending, &mut records, &mut delivered, &mut aborted, &mut unloaded_of);
+    }
+
+    let duration = net.now();
+    let stats = net.harvest_stats();
+    let prio_bytes = net.uplink_bytes_by_prio();
+    let offered_bps = if inject_end.as_nanos() > 0 {
+        injected_bytes as f64 * 8.0 / inject_end.as_secs_f64()
+    } else {
+        0.0
+    };
+    let delivered_goodput: u64 = records.iter().map(|r| r.size).sum();
+    let delivered_bps = if duration.as_nanos() > 0 {
+        delivered_goodput as f64 * 8.0 / duration.as_secs_f64()
+    } else {
+        0.0
+    };
+
+    OnewayResult {
+        records,
+        injected,
+        delivered,
+        aborted,
+        stats,
+        wasted_fraction: if samples > 0 { wasted_hits as f64 / samples as f64 } else { f64::NAN },
+        duration,
+        prio_bytes,
+        offered_bps,
+        delivered_bps,
+    }
+}
+
+/// Options for [`run_rpc_echo`].
+#[derive(Debug, Clone)]
+pub struct RpcOpts {
+    /// Number of client hosts (the first `clients` host ids); the rest
+    /// are servers.
+    pub clients: u32,
+    /// Drain budget after the last injection.
+    pub drain: SimDuration,
+    /// RPCs at the head of the run excluded from the records.
+    pub warmup: u64,
+}
+
+impl Default for RpcOpts {
+    fn default() -> Self {
+        RpcOpts { clients: 8, drain: SimDuration::from_millis(200), warmup: 0 }
+    }
+}
+
+/// Result of [`run_rpc_echo`].
+#[derive(Debug)]
+pub struct RpcResult {
+    /// Per-RPC observations (echo size, issue → response-complete).
+    pub records: Vec<MsgRecord>,
+    /// RPCs issued.
+    pub issued: u64,
+    /// RPCs completed.
+    pub completed: u64,
+    /// RPCs aborted.
+    pub aborted: u64,
+    /// Fabric statistics.
+    pub stats: RunStats,
+    /// Simulated duration.
+    pub duration: SimTime,
+}
+
+/// The §5.1 echo benchmark: each client issues echo RPCs of
+/// workload-sampled sizes to random servers at a target load; servers
+/// return the same payload.
+pub fn run_rpc_echo<M, T>(
+    topo: &Topology,
+    netcfg: NetworkConfig,
+    make: impl FnMut(HostId) -> T,
+    dist: &MessageSizeDist,
+    load: f64,
+    n_rpcs: u64,
+    seed: u64,
+    opts: &RpcOpts,
+) -> RpcResult
+where
+    M: PacketMeta,
+    T: Transport<M>,
+{
+    let hosts = topo.num_hosts();
+    assert!(opts.clients < hosts, "need at least one server");
+    let servers = hosts - opts.clients;
+    let plan = LoadPlan {
+        hosts: opts.clients,
+        host_link_bps: topo.host_link_bps,
+        load,
+        mean_msg_bytes: dist.mean(),
+        mean_overhead_bytes: LoadPlan::estimate_overhead(dist, PAYLOAD, OVERHEAD, CTRL, 9_700),
+    };
+    let mut gen = PoissonArrivals::new(seed ^ 0x51ed_2701, dist.clone(), opts.clients.max(2), plan.mean_interarrival_secs());
+    let mut net: Network<M, T> = Network::new(topo.clone(), netcfg, make);
+    let mut rng_srv = seed.wrapping_mul(0x2545_F491_4F6C_DD1D);
+
+    let mut pending: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut unloaded_cache: HashMap<u64, u64> = HashMap::new();
+    let mut records = Vec::with_capacity(n_rpcs as usize);
+    let (mut issued, mut completed, mut aborted) = (0u64, 0u64, 0u64);
+
+    let mut process = |net: &mut Network<M, T>,
+                       pending: &mut HashMap<u64, (u64, u64)>,
+                       records: &mut Vec<MsgRecord>,
+                       completed: &mut u64,
+                       aborted: &mut u64| {
+        for (at, host, ev) in net.take_app_events() {
+            match ev {
+                AppEvent::RpcRequestArrived { client, rpc, request_len } => {
+                    // Echo: the response is the request payload.
+                    net.inject_response(host, client, rpc, request_len);
+                }
+                AppEvent::RpcCompleted { tag, response_len, .. } => {
+                    if let Some((size, injected_ns)) = pending.remove(&tag) {
+                        debug_assert_eq!(size, response_len);
+                        *completed += 1;
+                        if tag >= opts.warmup {
+                            let unloaded_ns = *unloaded_cache.entry(size).or_insert_with(|| {
+                                // Echo RPC: request one way, response back.
+                                2 * net.topology().unloaded_one_way(size, PAYLOAD, OVERHEAD).as_nanos()
+                            });
+                            records.push(MsgRecord {
+                                size,
+                                injected_ns,
+                                completed_ns: at.as_nanos(),
+                                unloaded_ns,
+                                delay: Default::default(),
+                            });
+                        }
+                    }
+                }
+                AppEvent::Aborted { tag, .. } => {
+                    if pending.remove(&tag).is_some() {
+                        *aborted += 1;
+                    }
+                }
+                AppEvent::MessageDelivered { .. } => {}
+            }
+        }
+    };
+
+    while issued < n_rpcs {
+        let arrival = gen.next_arrival();
+        let at = SimTime::from_nanos(arrival.at_ns);
+        net.run_until(at);
+        process(&mut net, &mut pending, &mut records, &mut completed, &mut aborted);
+        // Random client issues to a random server.
+        rng_srv = rng_srv.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let client = HostId(arrival.src % opts.clients);
+        let server = HostId(opts.clients + ((rng_srv >> 33) as u32 % servers));
+        let tag = issued;
+        net.inject_rpc(client, server, arrival.size, tag);
+        pending.insert(tag, (arrival.size, at.as_nanos()));
+        issued += 1;
+    }
+    let deadline = net.now() + opts.drain;
+    while !pending.is_empty() && net.now() < deadline {
+        let step = match net.next_event_time() {
+            Some(t) if t <= deadline => t,
+            _ => break,
+        };
+        net.run_until(step);
+        process(&mut net, &mut pending, &mut records, &mut completed, &mut aborted);
+    }
+
+    let stats = net.harvest_stats();
+    RpcResult { records, issued, completed, aborted, stats, duration: net.now() }
+}
+
+/// Result of one incast configuration (Figure 10).
+#[derive(Debug, Clone)]
+pub struct IncastResult {
+    /// Number of concurrent RPCs per round.
+    pub concurrent: u64,
+    /// Aggregate response goodput in bits/sec.
+    pub throughput_bps: f64,
+    /// RPCs that had to be aborted.
+    pub aborted: u64,
+    /// Packet drops observed in the fabric.
+    pub drops: u64,
+    /// Full fabric statistics.
+    pub stats: RunStats,
+}
+
+/// Figure 10: a single client issues `concurrent` RPCs in parallel to
+/// `servers` servers (round-robin); each response is `resp_len` bytes.
+/// Repeats for `rounds` rounds and reports aggregate throughput.
+pub fn run_incast<M, T>(
+    topo: &Topology,
+    netcfg: NetworkConfig,
+    make: impl FnMut(HostId) -> T,
+    concurrent: u64,
+    resp_len: u64,
+    rounds: u32,
+    per_round_timeout: SimDuration,
+) -> IncastResult
+where
+    M: PacketMeta,
+    T: Transport<M>,
+{
+    let servers = topo.num_hosts() - 1;
+    let mut net: Network<M, T> = Network::new(topo.clone(), netcfg, make);
+    let client = HostId(0);
+    let mut tag = 0u64;
+    let mut delivered_bytes = 0u64;
+    let mut aborted = 0u64;
+
+    let start = net.now();
+    for _ in 0..rounds {
+        let mut outstanding = std::collections::HashSet::new();
+        for i in 0..concurrent {
+            let server = HostId(1 + (i % servers as u64) as u32);
+            net.inject_rpc(client, server, 100, tag);
+            outstanding.insert(tag);
+            tag += 1;
+        }
+        let deadline = net.now() + per_round_timeout;
+        while !outstanding.is_empty() && net.now() < deadline {
+            let step = match net.next_event_time() {
+                Some(t) if t <= deadline => t,
+                _ => break,
+            };
+            net.run_until(step);
+            for (_, host, ev) in net.take_app_events() {
+                match ev {
+                    AppEvent::RpcRequestArrived { client, rpc, .. } => {
+                        net.inject_response(host, client, rpc, resp_len);
+                    }
+                    AppEvent::RpcCompleted { tag, .. } => {
+                        if outstanding.remove(&tag) {
+                            delivered_bytes += resp_len;
+                        }
+                    }
+                    AppEvent::Aborted { tag, .. } => {
+                        if outstanding.remove(&tag) {
+                            aborted += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        aborted += outstanding.len() as u64;
+    }
+    let elapsed = (net.now() - start).as_secs_f64();
+    let stats = net.harvest_stats();
+    IncastResult {
+        concurrent,
+        throughput_bps: if elapsed > 0.0 { delivered_bytes as f64 * 8.0 / elapsed } else { 0.0 },
+        aborted,
+        drops: stats.total_drops(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homa::HomaConfig;
+    use homa_baselines::HomaSimTransport;
+    use homa_workloads::Workload;
+
+    #[test]
+    fn oneway_small_run_records_everything() {
+        let topo = Topology::single_switch(8);
+        let res = run_oneway(
+            &topo,
+            NetworkConfig::default(),
+            |h| HomaSimTransport::new(h, HomaConfig::default()),
+            &Workload::W1.dist(),
+            0.5,
+            500,
+            7,
+            &OnewayOpts::default(),
+        );
+        assert_eq!(res.injected, 500);
+        assert_eq!(res.delivered, 500, "all messages must complete");
+        assert_eq!(res.aborted, 0);
+        assert_eq!(res.records.len(), 500);
+        // Slowdowns are sane: >= ~1 (small numerical tolerance).
+        for r in &res.records {
+            assert!(r.slowdown() > 0.9, "slowdown {} for size {}", r.slowdown(), r.size);
+        }
+    }
+
+    #[test]
+    fn rpc_echo_small_run() {
+        let topo = Topology::single_switch(16);
+        let res = run_rpc_echo(
+            &topo,
+            NetworkConfig::default(),
+            |h| HomaSimTransport::new(h, HomaConfig::default()),
+            &Workload::W3.dist(),
+            0.4,
+            300,
+            3,
+            &RpcOpts::default(),
+        );
+        assert_eq!(res.issued, 300);
+        assert_eq!(res.completed, 300);
+        for r in &res.records {
+            assert!(r.slowdown() > 0.9);
+        }
+    }
+
+    #[test]
+    fn incast_round_completes() {
+        let topo = Topology::single_switch(16);
+        let res = run_incast(
+            &topo,
+            NetworkConfig::default(),
+            |h| HomaSimTransport::new(h, HomaConfig::default()),
+            64,
+            10_000,
+            2,
+            SimDuration::from_millis(100),
+        );
+        assert_eq!(res.aborted, 0, "64-wide incast survives with control");
+        assert!(res.throughput_bps > 1e9, "throughput {}", res.throughput_bps);
+    }
+}

@@ -1,0 +1,31 @@
+//! # homa-harness — experiment drivers for the paper's evaluation
+//!
+//! Everything needed to regenerate the tables and figures of §5 of the
+//! Homa paper on the `homa-sim` fabric:
+//!
+//! * [`driver`] — generic open-loop experiment loops (one-way messages
+//!   for the §5.2 simulations, echo RPCs for the §5.1 implementation
+//!   measurements, incast rounds for Figure 10), workload injection,
+//!   wasted-bandwidth sampling and delay attribution.
+//! * [`slowdown`] — per-message records and the paper's slowdown metric:
+//!   observed completion time over the best possible time on an unloaded
+//!   network, summarized at p50/p99 over size bins that are linear in
+//!   message count (the x-axis convention of Figures 8/9/12/13).
+//! * [`capacity`] — the highest-sustainable-load search behind Figure 15.
+//! * [`render`] — plain-text table/series renderers used by the `repro`
+//!   binary and recorded in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod capacity;
+pub mod driver;
+pub mod render;
+pub mod slowdown;
+
+pub use capacity::max_sustainable_load;
+pub use driver::{
+    run_incast, run_oneway, run_rpc_echo, IncastResult, OnewayOpts, OnewayResult, RpcOpts,
+    RpcResult,
+};
+pub use slowdown::{MsgRecord, SlowdownBin, SlowdownSummary};

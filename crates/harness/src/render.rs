@@ -1,0 +1,105 @@
+//! Plain-text rendering of experiment outputs.
+//!
+//! The `repro` binary prints figures as aligned text tables (one row per
+//! size bin / sweep point), which is what `EXPERIMENTS.md` records. A CSV
+//! sibling is emitted for plotting.
+
+use crate::slowdown::SlowdownSummary;
+
+/// Render a slowdown summary as the paper's figure rows: one row per
+/// size bin with p50 and p99 slowdown.
+pub fn slowdown_table(label: &str, s: &SlowdownSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{label}\n{:>12} {:>12} {:>8} {:>10} {:>10}\n",
+        "min_size", "max_size", "count", "p50", "p99"
+    ));
+    for b in &s.bins {
+        out.push_str(&format!(
+            "{:>12} {:>12} {:>8} {:>10.2} {:>10.2}\n",
+            b.min_size, b.max_size, b.count, b.p50, b.p99
+        ));
+    }
+    out.push_str(&format!(
+        "overall: p50 {:.2}  p99 {:.2}\n",
+        s.overall_p50, s.overall_p99
+    ));
+    out
+}
+
+/// Render a slowdown summary as CSV (`min_size,max_size,count,p50,p99`).
+pub fn slowdown_csv(s: &SlowdownSummary) -> String {
+    let mut out = String::from("min_size,max_size,count,p50,p99,mean\n");
+    for b in &s.bins {
+        out.push_str(&format!(
+            "{},{},{},{:.4},{:.4},{:.4}\n",
+            b.min_size, b.max_size, b.count, b.p50, b.p99, b.mean
+        ));
+    }
+    out
+}
+
+/// A simple aligned key/value series (sweep outputs).
+pub fn series_table(label: &str, header: (&str, &str), rows: &[(String, String)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{label}\n{:>16} {:>16}\n", header.0, header.1));
+    for (k, v) in rows {
+        out.push_str(&format!("{k:>16} {v:>16}\n"));
+    }
+    out
+}
+
+/// Format bits/sec with engineering units.
+pub fn fmt_bps(bps: f64) -> String {
+    if bps >= 1e9 {
+        format!("{:.2} Gbps", bps / 1e9)
+    } else if bps >= 1e6 {
+        format!("{:.2} Mbps", bps / 1e6)
+    } else {
+        format!("{:.0} bps", bps)
+    }
+}
+
+/// Format a byte count with units.
+pub fn fmt_bytes(b: f64) -> String {
+    if b >= 1e6 {
+        format!("{:.1} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1} KB", b / 1e3)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slowdown::{MsgRecord, SlowdownSummary};
+
+    #[test]
+    fn tables_render_without_panic() {
+        let records: Vec<MsgRecord> = (1..=40)
+            .map(|i| MsgRecord {
+                size: i * 100,
+                injected_ns: 0,
+                completed_ns: 2_000 * i,
+                unloaded_ns: 1_000,
+                delay: Default::default(),
+            })
+            .collect();
+        let s = SlowdownSummary::from_records(&records, 4);
+        let t = slowdown_table("fig-test", &s);
+        assert!(t.contains("fig-test"));
+        assert!(t.contains("overall"));
+        let c = slowdown_csv(&s);
+        assert_eq!(c.lines().count(), 5);
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert_eq!(fmt_bps(9.6e9), "9.60 Gbps");
+        assert_eq!(fmt_bps(42e6), "42.00 Mbps");
+        assert_eq!(fmt_bytes(1_500.0), "1.5 KB");
+        assert_eq!(fmt_bytes(2_500_000.0), "2.5 MB");
+    }
+}

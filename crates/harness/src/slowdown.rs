@@ -1,0 +1,174 @@
+//! The paper's slowdown metric and its size-binned summaries.
+//!
+//! Slowdown is "the ratio of the actual time required to complete a
+//! message/RPC divided by the best possible time for one of that size on
+//! an unloaded network" (§5.1). Figures 8/9/12/13 plot p99 and p50
+//! slowdown over an x-axis that is *linear in the total number of
+//! messages* — each of the ten ticks covers 10% of messages. We summarize
+//! with the same convention: messages sorted by size and cut into
+//! equal-count bins.
+
+use homa_sim::stats::percentile;
+use homa_sim::DelayBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// One delivered message/RPC observation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MsgRecord {
+    /// Message size in bytes (for RPCs, the echoed payload size).
+    pub size: u64,
+    /// Injection time, nanoseconds.
+    pub injected_ns: u64,
+    /// Completion time, nanoseconds.
+    pub completed_ns: u64,
+    /// Best-possible completion time on an unloaded fabric, nanoseconds.
+    pub unloaded_ns: u64,
+    /// Queueing-delay attribution accumulated by the message's packets
+    /// (zero unless the transport tracks it).
+    pub delay: DelayBreakdown,
+}
+
+impl MsgRecord {
+    /// Observed completion time in nanoseconds.
+    pub fn latency_ns(&self) -> u64 {
+        self.completed_ns - self.injected_ns
+    }
+
+    /// The slowdown ratio (≥ 1 in a well-calibrated experiment).
+    pub fn slowdown(&self) -> f64 {
+        self.latency_ns() as f64 / self.unloaded_ns.max(1) as f64
+    }
+}
+
+/// Slowdown statistics for one size bin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlowdownBin {
+    /// Smallest message size in the bin.
+    pub min_size: u64,
+    /// Largest message size in the bin.
+    pub max_size: u64,
+    /// Number of messages.
+    pub count: usize,
+    /// Median slowdown.
+    pub p50: f64,
+    /// 99th-percentile slowdown.
+    pub p99: f64,
+    /// Mean slowdown.
+    pub mean: f64,
+}
+
+/// A full size-binned slowdown summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlowdownSummary {
+    /// Equal-message-count bins in ascending size order.
+    pub bins: Vec<SlowdownBin>,
+    /// Overall p99 slowdown.
+    pub overall_p99: f64,
+    /// Overall median slowdown.
+    pub overall_p50: f64,
+}
+
+impl SlowdownSummary {
+    /// Summarize `records` into `nbins` equal-count size bins.
+    pub fn from_records(records: &[MsgRecord], nbins: usize) -> SlowdownSummary {
+        assert!(nbins >= 1);
+        let mut sorted: Vec<&MsgRecord> = records.iter().collect();
+        sorted.sort_by_key(|r| r.size);
+        let mut all: Vec<f64> = sorted.iter().map(|r| r.slowdown()).collect();
+        let mut bins = Vec::with_capacity(nbins);
+        if !sorted.is_empty() {
+            let per = sorted.len().div_ceil(nbins);
+            for chunk in sorted.chunks(per) {
+                let mut s: Vec<f64> = chunk.iter().map(|r| r.slowdown()).collect();
+                s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN slowdowns"));
+                bins.push(SlowdownBin {
+                    min_size: chunk.first().expect("nonempty").size,
+                    max_size: chunk.last().expect("nonempty").size,
+                    count: chunk.len(),
+                    p50: percentile(&s, 50.0),
+                    p99: percentile(&s, 99.0),
+                    mean: s.iter().sum::<f64>() / s.len() as f64,
+                });
+            }
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).expect("no NaN slowdowns"));
+        SlowdownSummary {
+            bins,
+            overall_p99: percentile(&all, 99.0),
+            overall_p50: percentile(&all, 50.0),
+        }
+    }
+
+    /// p99 slowdown restricted to the smallest `frac` of messages (the
+    /// paper's "shortest 50% of messages" style statements, and the
+    /// Figure 14 short-message selection).
+    pub fn small_message_p99(records: &[MsgRecord], frac: f64) -> f64 {
+        let mut sorted: Vec<&MsgRecord> = records.iter().collect();
+        sorted.sort_by_key(|r| r.size);
+        let take = ((sorted.len() as f64 * frac).ceil() as usize).max(1).min(sorted.len());
+        let mut s: Vec<f64> = sorted[..take].iter().map(|r| r.slowdown()).collect();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        percentile(&s, 99.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(size: u64, lat: u64, unloaded: u64) -> MsgRecord {
+        MsgRecord {
+            size,
+            injected_ns: 1_000,
+            completed_ns: 1_000 + lat,
+            unloaded_ns: unloaded,
+            delay: DelayBreakdown::default(),
+        }
+    }
+
+    #[test]
+    fn slowdown_ratio() {
+        let r = rec(100, 4_000, 2_000);
+        assert!((r.slowdown() - 2.0).abs() < 1e-12);
+        assert_eq!(r.latency_ns(), 4_000);
+    }
+
+    #[test]
+    fn bins_are_equal_count_and_size_ordered() {
+        let records: Vec<MsgRecord> =
+            (1..=100).map(|i| rec(i * 10, 1_000 * i, 1_000)).collect();
+        let s = SlowdownSummary::from_records(&records, 10);
+        assert_eq!(s.bins.len(), 10);
+        for b in &s.bins {
+            assert_eq!(b.count, 10);
+        }
+        // Bins ascend in size and (here) in slowdown.
+        for w in s.bins.windows(2) {
+            assert!(w[0].max_size <= w[1].min_size);
+            assert!(w[0].p50 < w[1].p50);
+        }
+    }
+
+    #[test]
+    fn overall_percentiles() {
+        let records: Vec<MsgRecord> = (1..=1000).map(|i| rec(50, i, 1)).collect();
+        let s = SlowdownSummary::from_records(&records, 4);
+        assert!((s.overall_p50 - 500.5).abs() < 1.0);
+        assert!(s.overall_p99 > 985.0 && s.overall_p99 <= 1000.0);
+    }
+
+    #[test]
+    fn small_message_p99_uses_smallest() {
+        let mut records: Vec<MsgRecord> = (0..50).map(|_| rec(10, 100, 100)).collect();
+        records.extend((0..50).map(|_| rec(1_000_000, 100_000, 100)));
+        let small = SlowdownSummary::small_message_p99(&records, 0.5);
+        assert!((small - 1.0).abs() < 1e-9, "small messages all slowdown 1, got {small}");
+    }
+
+    #[test]
+    fn empty_records_do_not_panic() {
+        let s = SlowdownSummary::from_records(&[], 10);
+        assert!(s.bins.is_empty());
+        assert_eq!(s.overall_p99, 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! # homa-sim — a deterministic packet-level datacenter network simulator
+//!
+//! This crate is the simulation substrate used to reproduce the evaluation of
+//! *Homa: A Receiver-Driven Low-Latency Transport Protocol Using Network
+//! Priorities* (SIGCOMM 2018). It plays the role the authors' OMNeT++
+//! simulator played: a packet-level, discrete-event model of a two-level
+//! leaf–spine datacenter fabric with priority-queue switches.
+//!
+//! ## Model
+//!
+//! * **Store-and-forward** switching (the paper's simulated switches do not
+//!   support cut-through), with a configurable per-switch internal delay
+//!   (250 ns in the paper).
+//! * **Zero propagation delay** (per the paper), configurable.
+//! * **Per-packet spraying**: packets from a TOR to the spine layer pick a
+//!   random uplink, so core congestion is negligible and queueing
+//!   concentrates on TOR→host downlinks.
+//! * **Host model**: unlimited software throughput but a fixed software
+//!   turnaround delay (1.5 µs in the paper) between a packet arriving at a
+//!   host NIC and the transport being able to react to it.
+//! * **Egress queue disciplines** selectable per port class: strict priority
+//!   (8 levels, the commodity-switch model Homa/PIAS/pHost use), pFabric's
+//!   dequeue-smallest-remaining/drop-largest-remaining, NDP's
+//!   trim-to-header, and plain drop-tail. ECN marking is supported for
+//!   DCTCP-style baselines.
+//!
+//! ## Structure
+//!
+//! The simulator is generic over the protocol's packet metadata type
+//! ([`PacketMeta`]), so each transport protocol (Homa and every baseline)
+//! carries its own headers through the same fabric. Protocol state machines
+//! implement [`Transport`] and are pulled for packets NIC-style whenever
+//! their host uplink goes idle, which lets senders reorder traffic (SRPT)
+//! without modelling a deep NIC queue.
+//!
+//! Determinism: all events are ordered by `(time, sequence)` and all
+//! randomness derives from one seeded RNG, so a run is a pure function of
+//! its configuration.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod delay;
+pub mod events;
+pub mod network;
+pub mod packet;
+pub mod queues;
+pub mod stats;
+pub mod time;
+pub mod topology;
+pub mod transport;
+
+pub use delay::DelayBreakdown;
+pub use events::{EventQueue, TimerToken};
+pub use network::{Network, NetworkConfig, StepOutput};
+pub use packet::{Packet, PacketMeta};
+pub use queues::{EcnConfig, QueueDiscipline, QueueKind};
+pub use stats::{PortClass, PortStats, RunStats, StreamingStats};
+pub use time::{SimDuration, SimTime};
+pub use topology::{HostId, NodeId, Topology};
+pub use transport::{AppEvent, Transport, TransportActions};

@@ -1,0 +1,648 @@
+//! The simulation engine: hosts, switches, links, and the event loop.
+//!
+//! [`Network`] owns one transport instance per host plus the fabric state
+//! (ports, queues, in-flight transmissions) and advances everything through
+//! a single deterministic event queue.
+//!
+//! Life of a packet:
+//!
+//! 1. A transport's `next_packet` hands the packet to its host NIC when the
+//!    uplink goes idle (pull model, so sender-side SRPT is exact).
+//! 2. Serialization occupies the link for `wire_bytes * 8 / rate`.
+//! 3. The TOR receives it after the switch's internal delay
+//!    (store-and-forward), routes it — directly to a rack-local host port,
+//!    or sprayed across a random spine uplink — and offers it to the egress
+//!    port's [`PortQueue`].
+//! 4. Ports drain their queues as fast as the link allows; each hop
+//!    accumulates delay attribution into the packet.
+//! 5. When the packet fully arrives at the destination host, the host
+//!    software delay elapses and the receiving transport's `on_packet`
+//!    runs.
+
+use crate::events::{EventQueue, TimerToken};
+use crate::packet::{Packet, PacketMeta};
+use crate::queues::{PortQueue, QueueDiscipline};
+use crate::stats::{PortClass, PortStats, RunStats, StreamingStats};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{self, HostId, NodeId, Topology};
+use crate::transport::{AppEvent, Transport, TransportActions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fabric-wide configuration knobs that are not part of the topology.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Seed for all fabric randomness (packet spraying).
+    pub seed: u64,
+    /// Queue discipline for TOR→host ports (where Homa's queueing lives).
+    pub tor_down: QueueDiscipline,
+    /// Queue discipline for TOR→spine ports.
+    pub tor_up: QueueDiscipline,
+    /// Queue discipline for spine→TOR ports.
+    pub spine_down: QueueDiscipline,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        // 1 MB shared buffer per port, 8 strict priorities: a generous
+        // commodity switch, per the paper's observation that Homa's peak
+        // occupancy (146 KB) is well within typical switch capacity.
+        NetworkConfig {
+            seed: 1,
+            tor_down: QueueDiscipline::strict8(1 << 20),
+            tor_up: QueueDiscipline::strict8(1 << 20),
+            spine_down: QueueDiscipline::strict8(1 << 20),
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Same discipline on every switch port.
+    pub fn uniform(seed: u64, disc: QueueDiscipline) -> Self {
+        NetworkConfig { seed, tor_down: disc, tor_up: disc, spine_down: disc }
+    }
+}
+
+enum Ev<M> {
+    /// A port finished serializing its current packet.
+    TxDone { node: NodeId, port: u32 },
+    /// A packet fully arrived at a switch (post internal delay).
+    SwitchArrive { node: NodeId, pkt: Packet<M> },
+    /// A packet is delivered to a host transport (post software delay).
+    HostDeliver { host: HostId, pkt: Packet<M> },
+    /// A transport timer fired.
+    Timer { host: HostId, token: TimerToken },
+}
+
+struct Port<M> {
+    queue: PortQueue<M>,
+    rate_bps: u64,
+    peer: NodeId,
+    class: PortClass,
+    /// The packet currently being serialized, with its completion time.
+    sending: Option<(Packet<M>, SimTime)>,
+    stats: PortStats,
+}
+
+impl<M: PacketMeta> Port<M> {
+    fn new(disc: QueueDiscipline, rate_bps: u64, peer: NodeId, class: PortClass) -> Self {
+        Port { queue: PortQueue::new(disc), rate_bps, peer, class, sending: None, stats: PortStats::default() }
+    }
+
+    fn busy(&self) -> bool {
+        self.sending.is_some()
+    }
+
+    fn in_flight_view(&self) -> Option<(&M, SimTime)> {
+        self.sending.as_ref().map(|(p, t)| (&p.meta, *t))
+    }
+}
+
+struct HostNode<M, T> {
+    transport: T,
+    port: Port<M>,
+}
+
+struct SwitchNode<M> {
+    ports: Vec<Port<M>>,
+}
+
+/// Summary of one `run_until` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepOutput {
+    /// Number of events processed.
+    pub events: u64,
+}
+
+/// The simulated network: fabric plus one transport per host.
+pub struct Network<M: PacketMeta, T: Transport<M>> {
+    topo: Topology,
+    cfg: NetworkConfig,
+    now: SimTime,
+    queue: EventQueue<Ev<M>>,
+    hosts: Vec<HostNode<M, T>>,
+    tors: Vec<SwitchNode<M>>,
+    spines: Vec<SwitchNode<M>>,
+    rng: StdRng,
+    scratch: TransportActions,
+    app_events: Vec<(SimTime, HostId, AppEvent)>,
+    events_processed: u64,
+}
+
+impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
+    /// Build a network over `topo` with a transport per host produced by
+    /// `make_transport`.
+    pub fn new(topo: Topology, cfg: NetworkConfig, mut make_transport: impl FnMut(HostId) -> T) -> Self {
+        topology::validate(&topo);
+        let hosts: Vec<HostNode<M, T>> = topo
+            .hosts()
+            .map(|h| HostNode {
+                transport: make_transport(h),
+                port: Port::new(
+                    // Host NIC egress: the transport is the queue (pull
+                    // model); discipline here is irrelevant but harmless.
+                    QueueDiscipline::strict8(u64::MAX),
+                    topo.host_link_bps,
+                    NodeId::Tor(topo.rack_of(h)),
+                    PortClass::HostUp,
+                ),
+            })
+            .collect();
+
+        let tors: Vec<SwitchNode<M>> = (0..topo.racks)
+            .map(|r| {
+                let mut ports = Vec::with_capacity(topo.tor_ports() as usize);
+                for i in 0..topo.hosts_per_rack {
+                    let h = HostId(r * topo.hosts_per_rack + i);
+                    ports.push(Port::new(cfg.tor_down, topo.host_link_bps, NodeId::Host(h), PortClass::TorDown));
+                }
+                for s in 0..topo.spines {
+                    ports.push(Port::new(cfg.tor_up, topo.uplink_bps, NodeId::Spine(s), PortClass::TorUp));
+                }
+                SwitchNode { ports }
+            })
+            .collect();
+
+        let spines: Vec<SwitchNode<M>> = (0..topo.spines)
+            .map(|_| SwitchNode {
+                ports: (0..topo.racks)
+                    .map(|r| Port::new(cfg.spine_down, topo.uplink_bps, NodeId::Tor(r), PortClass::SpineDown))
+                    .collect(),
+            })
+            .collect();
+
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Network {
+            topo,
+            cfg,
+            now: topology::T0,
+            queue: EventQueue::new(),
+            hosts,
+            tors,
+            spines,
+            rng,
+            scratch: TransportActions::new(),
+            app_events: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology this network was built over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Read access to a host's transport.
+    pub fn transport(&self, h: HostId) -> &T {
+        &self.hosts[h.0 as usize].transport
+    }
+
+    /// Mutate a host's transport through a closure; any actions it records
+    /// (timers, tx kicks, app events) are applied afterwards.
+    pub fn with_transport<R>(&mut self, h: HostId, f: impl FnOnce(&mut T, SimTime, &mut TransportActions) -> R) -> R {
+        let mut act = TransportActions::new();
+        let now = self.now;
+        let r = f(&mut self.hosts[h.0 as usize].transport, now, &mut act);
+        self.apply_actions(h, act);
+        r
+    }
+
+    /// Begin a one-way message from `src` to `dst` at the current time.
+    pub fn inject_message(&mut self, src: HostId, dst: HostId, len: u64, tag: u64) {
+        assert_ne!(src, dst, "self-messages not modelled");
+        self.with_transport(src, |t, now, act| t.inject_message(now, dst, len, tag, act));
+    }
+
+    /// Begin an RPC from `client` to `server` at the current time.
+    pub fn inject_rpc(&mut self, client: HostId, server: HostId, req_len: u64, tag: u64) {
+        assert_ne!(client, server, "self-RPCs not modelled");
+        self.with_transport(client, |t, now, act| t.inject_rpc(now, server, req_len, tag, act));
+    }
+
+    /// Send an RPC response from `server` back to `client`.
+    pub fn inject_response(&mut self, server: HostId, client: HostId, rpc: u64, resp_len: u64) {
+        self.with_transport(server, |t, now, act| t.inject_response(now, client, rpc, resp_len, act));
+    }
+
+    /// Process all events up to and including time `t`, then advance the
+    /// clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) -> StepOutput {
+        let mut out = StepOutput::default();
+        while let Some(at) = self.queue.peek_time() {
+            if at > t {
+                break;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked");
+            debug_assert!(at >= self.now, "event in the past");
+            self.now = at;
+            self.dispatch(ev);
+            out.events += 1;
+            self.events_processed += 1;
+        }
+        if t > self.now {
+            self.now = t;
+        }
+        out
+    }
+
+    /// Run until the event queue drains completely (use with care on open
+    /// workloads) or `limit` is reached.
+    pub fn run_to_quiescence(&mut self, limit: SimTime) -> StepOutput {
+        let mut out = StepOutput::default();
+        while let Some(at) = self.queue.peek_time() {
+            if at > limit {
+                break;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked");
+            self.now = at;
+            self.dispatch(ev);
+            out.events += 1;
+            self.events_processed += 1;
+        }
+        out
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Total events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Drain application events accumulated since the last call.
+    pub fn take_app_events(&mut self) -> Vec<(SimTime, HostId, AppEvent)> {
+        std::mem::take(&mut self.app_events)
+    }
+
+    /// True when host `h`'s TOR→host downlink is idle (nothing serializing,
+    /// nothing queued). Used by the Figure 16 wasted-bandwidth probe.
+    pub fn downlink_idle(&self, h: HostId) -> bool {
+        let r = self.topo.rack_of(h) as usize;
+        let p = self.topo.index_in_rack(h) as usize;
+        let port = &self.tors[r].ports[p];
+        !port.busy() && port.queue.is_empty()
+    }
+
+    /// True when host `h`'s uplink is currently serializing a packet.
+    pub fn uplink_busy(&self, h: HostId) -> bool {
+        self.hosts[h.0 as usize].port.busy()
+    }
+
+    /// Utilization of host `h`'s TOR→host downlink so far.
+    pub fn downlink_utilization(&self, h: HostId) -> f64 {
+        let r = self.topo.rack_of(h) as usize;
+        let p = self.topo.index_in_rack(h) as usize;
+        self.tors[r].ports[p].stats.utilization(self.now)
+    }
+
+    /// Total wire bytes transmitted on host uplinks per priority level
+    /// (Figure 21's traffic-by-priority accounting).
+    pub fn uplink_bytes_by_prio(&self) -> [u64; 8] {
+        let mut out = [0u64; 8];
+        for h in &self.hosts {
+            for (i, b) in h.port.stats.bytes_by_prio.iter().enumerate() {
+                out[i] += b;
+            }
+        }
+        out
+    }
+
+    fn dispatch(&mut self, ev: Ev<M>) {
+        match ev {
+            Ev::TxDone { node, port } => self.on_tx_done(node, port),
+            Ev::SwitchArrive { node, pkt } => self.on_switch_arrive(node, pkt),
+            Ev::HostDeliver { host, pkt } => {
+                let mut act = std::mem::take(&mut self.scratch);
+                act.reset();
+                let now = self.now;
+                self.hosts[host.0 as usize].transport.on_packet(now, pkt, &mut act);
+                self.apply_actions(host, act);
+            }
+            Ev::Timer { host, token } => {
+                let mut act = std::mem::take(&mut self.scratch);
+                act.reset();
+                let now = self.now;
+                self.hosts[host.0 as usize].transport.on_timer(now, token, &mut act);
+                self.apply_actions(host, act);
+            }
+        }
+    }
+
+    fn apply_actions(&mut self, host: HostId, mut act: TransportActions) {
+        for (at, token) in act.timers.drain(..) {
+            debug_assert!(at >= self.now, "timer scheduled in the past");
+            self.queue.schedule(at.max(self.now), Ev::Timer { host, token });
+        }
+        for ev in act.events.drain(..) {
+            self.app_events.push((self.now, host, ev));
+        }
+        let kick = act.tx_kick;
+        act.reset();
+        self.scratch = act;
+        if kick {
+            self.poll_host_tx(host);
+        }
+    }
+
+    /// If the host uplink is idle, pull the next packet from the transport.
+    fn poll_host_tx(&mut self, host: HostId) {
+        let hn = &mut self.hosts[host.0 as usize];
+        if hn.port.busy() {
+            return;
+        }
+        let now = self.now;
+        if let Some(pkt) = hn.transport.next_packet(now) {
+            debug_assert_eq!(pkt.src, host, "transport emitted packet with wrong source");
+            let done_at = Self::begin_tx(now, &mut hn.port, pkt);
+            self.queue.schedule(done_at, Ev::TxDone { node: NodeId::Host(host), port: 0 });
+        }
+    }
+
+    /// Occupy `port` with `pkt`; returns the completion time, which the
+    /// caller must schedule as a `TxDone` for the port.
+    fn begin_tx(now: SimTime, port: &mut Port<M>, pkt: Packet<M>) -> SimTime {
+        debug_assert!(!port.busy(), "begin_tx on busy port");
+        let dur = SimDuration::serialization(pkt.wire_bytes() as u64, port.rate_bps);
+        let done_at = now + dur;
+        port.stats.busy_ns += dur.as_nanos();
+        port.stats.wire_bytes += pkt.wire_bytes() as u64;
+        port.stats.goodput_bytes += pkt.meta.goodput_bytes() as u64;
+        port.stats.packets += 1;
+        port.stats.bytes_by_prio[(pkt.priority() as usize).min(7)] += pkt.wire_bytes() as u64;
+        // Preemption-lag accounting for everything still waiting.
+        port.queue.on_tx_start(&pkt, dur);
+        port.sending = Some((pkt, done_at));
+        done_at
+    }
+
+    fn on_tx_done(&mut self, node: NodeId, port_idx: u32) {
+        let topo = self.topo.clone();
+        let (pkt, peer) = {
+            let port = self.port_mut(node, port_idx);
+            let (pkt, _) = port.sending.take().expect("TxDone without transmission");
+            (pkt, port.peer)
+        };
+
+        // Deliver to the peer.
+        match peer {
+            NodeId::Host(h) => {
+                let at = self.now + topo.prop_delay + topo.host_sw_delay;
+                self.queue.schedule(at, Ev::HostDeliver { host: h, pkt });
+            }
+            sw @ (NodeId::Tor(_) | NodeId::Spine(_)) => {
+                let at = self.now + topo.prop_delay + topo.switch_delay;
+                self.queue.schedule(at, Ev::SwitchArrive { node: sw, pkt });
+            }
+        }
+
+        // Keep the port busy with the next packet, if any.
+        match node {
+            NodeId::Host(h) => self.poll_host_tx(h),
+            _ => {
+                let now = self.now;
+                let port = self.port_mut(node, port_idx);
+                if let Some(next) = port.queue.dequeue(now) {
+                    let done_at = Self::begin_tx(now, port, next);
+                    self.queue.schedule(done_at, Ev::TxDone { node, port: port_idx });
+                }
+            }
+        }
+    }
+
+    fn on_switch_arrive(&mut self, node: NodeId, pkt: Packet<M>) {
+        let port_idx = self.route(node, pkt.dst);
+        let now = self.now;
+        let port = self.port_mut(node, port_idx);
+        let in_flight = port.in_flight_view().map(|(m, t)| (m.clone(), t));
+        let _outcome = port.queue.enqueue(now, pkt, in_flight.as_ref().map(|(m, t)| (m, *t)));
+        if !port.busy() {
+            if let Some(next) = port.queue.dequeue(now) {
+                let done_at = Self::begin_tx(now, port, next);
+                self.queue.schedule(done_at, Ev::TxDone { node, port: port_idx });
+            }
+        }
+    }
+
+    fn route(&mut self, node: NodeId, dst: HostId) -> u32 {
+        match node {
+            NodeId::Tor(r) => {
+                if self.topo.rack_of(dst) == r {
+                    self.topo.index_in_rack(dst)
+                } else {
+                    // Per-packet spraying across spine uplinks.
+                    self.topo.hosts_per_rack + self.rng.gen_range(0..self.topo.spines)
+                }
+            }
+            NodeId::Spine(_) => self.topo.rack_of(dst),
+            NodeId::Host(_) => unreachable!("hosts do not route"),
+        }
+    }
+
+    fn port_mut(&mut self, node: NodeId, port: u32) -> &mut Port<M> {
+        match node {
+            NodeId::Host(h) => &mut self.hosts[h.0 as usize].port,
+            NodeId::Tor(r) => &mut self.tors[r as usize].ports[port as usize],
+            NodeId::Spine(s) => &mut self.spines[s as usize].ports[port as usize],
+        }
+    }
+
+    /// Whether host `h`'s transport is withholding grants right now
+    /// (Figure 16 probe; see [`Transport::withholding_grants`]).
+    pub fn withholding(&self, h: HostId) -> bool {
+        self.hosts[h.0 as usize].transport.withholding_grants(self.now)
+    }
+
+    /// Collect fabric-level statistics.
+    pub fn harvest_stats(&self) -> RunStats {
+        let mut stats = RunStats::default();
+        let now = self.now;
+        let classes = [PortClass::HostUp, PortClass::TorUp, PortClass::SpineDown, PortClass::TorDown];
+        let mut means: Vec<(PortClass, StreamingStats)> =
+            classes.iter().map(|&c| (c, StreamingStats::default())).collect();
+        let mut maxes: Vec<(PortClass, u64)> = classes.iter().map(|&c| (c, 0)).collect();
+        let mut drops: Vec<(PortClass, u64)> = classes.iter().map(|&c| (c, 0)).collect();
+        let mut trims: Vec<(PortClass, u64)> = classes.iter().map(|&c| (c, 0)).collect();
+
+        let mut visit = |port: &Port<M>| {
+            let idx = classes.iter().position(|&c| c == port.class).expect("known class");
+            means[idx].1.push(port.queue.mean_bytes(now));
+            maxes[idx].1 = maxes[idx].1.max(port.queue.max_bytes_seen());
+            drops[idx].1 += port.queue.drops;
+            trims[idx].1 += port.queue.trims;
+            match port.class {
+                PortClass::HostUp => stats.host_up_wire_bytes += port.stats.wire_bytes,
+                PortClass::TorDown => {
+                    stats.tor_down_wire_bytes += port.stats.wire_bytes;
+                    stats.tor_down_goodput_bytes += port.stats.goodput_bytes;
+                    stats.mean_downlink_utilization += port.stats.utilization(now);
+                }
+                _ => {}
+            }
+        };
+
+        for h in &self.hosts {
+            visit(&h.port);
+        }
+        for sw in self.tors.iter().chain(self.spines.iter()) {
+            for p in &sw.ports {
+                visit(p);
+            }
+        }
+        if !self.hosts.is_empty() {
+            stats.mean_downlink_utilization /= self.hosts.len() as f64;
+        }
+        stats.queue_means = means;
+        stats.queue_maxes = maxes;
+        stats.drops = drops;
+        stats.trims = trims;
+        stats
+    }
+
+    /// Seed used by this network's RNG (for reporting).
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::testutil::TestMeta;
+
+    /// A trivially simple transport used to exercise the fabric: it sends
+    /// each injected message as a single packet and reports delivery.
+    struct Echoless {
+        me: HostId,
+        outbox: std::collections::VecDeque<Packet<TestMeta>>,
+        delivered: u64,
+    }
+
+    impl Transport<TestMeta> for Echoless {
+        fn on_packet(&mut self, _now: SimTime, pkt: Packet<TestMeta>, act: &mut TransportActions) {
+            self.delivered += pkt.meta.goodput_bytes() as u64;
+            act.event(AppEvent::MessageDelivered {
+                src: pkt.src,
+                tag: pkt.meta.bytes as u64,
+                len: pkt.meta.goodput_bytes() as u64,
+            });
+        }
+        fn on_timer(&mut self, _now: SimTime, _token: TimerToken, _act: &mut TransportActions) {}
+        fn next_packet(&mut self, _now: SimTime) -> Option<Packet<TestMeta>> {
+            self.outbox.pop_front()
+        }
+        fn inject_message(&mut self, _now: SimTime, dst: HostId, len: u64, _tag: u64, act: &mut TransportActions) {
+            self.outbox.push_back(Packet::new(self.me, dst, TestMeta::data(len as u32 + 60, 0)));
+            act.kick_tx();
+        }
+        fn delivered_bytes(&self) -> u64 {
+            self.delivered
+        }
+    }
+
+    fn simple_net(topo: Topology) -> Network<TestMeta, Echoless> {
+        Network::new(topo, NetworkConfig::default(), |h| Echoless {
+            me: h,
+            outbox: Default::default(),
+            delivered: 0,
+        })
+    }
+
+    #[test]
+    fn single_packet_crosses_single_switch() {
+        let mut net = simple_net(Topology::single_switch(4));
+        net.inject_message(HostId(0), HostId(1), 100, 7);
+        net.run_until(SimTime::from_millis(1));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 1);
+        let (at, host, ev) = &evs[0];
+        assert_eq!(*host, HostId(1));
+        assert!(matches!(ev, AppEvent::MessageDelivered { src, len: 100, .. } if *src == HostId(0)));
+        // 160B on the wire at 10G = 128ns per host link; two links, one
+        // switch delay (250ns), plus 1.5us software delay.
+        let expect = 128 + 250 + 128 + 1500;
+        assert_eq!(at.as_nanos(), expect);
+    }
+
+    #[test]
+    fn cross_rack_goes_through_spine() {
+        let topo = Topology::scaled_fabric(2, 2, 1);
+        let mut net = simple_net(topo);
+        net.inject_message(HostId(0), HostId(3), 1000, 1);
+        net.run_until(SimTime::from_millis(1));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 1);
+        // Wire 1060B: host link 848ns, uplink (40G) 212ns x2, host link
+        // 848ns, 3 switch delays, 1.5us software.
+        let expect = 848 + 250 + 212 + 250 + 212 + 250 + 848 + 1500;
+        assert_eq!(evs[0].0.as_nanos(), expect);
+    }
+
+    #[test]
+    fn two_senders_share_one_downlink() {
+        let mut net = simple_net(Topology::single_switch(4));
+        net.inject_message(HostId(0), HostId(2), 1000, 1);
+        net.inject_message(HostId(1), HostId(2), 1000, 2);
+        net.run_until(SimTime::from_millis(1));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 2);
+        // Both packets arrive at the TOR simultaneously; the second must
+        // wait for the first to serialize on the downlink (848ns for
+        // 1060B).
+        let gap = evs[1].0.as_nanos() - evs[0].0.as_nanos();
+        assert_eq!(gap, 848);
+    }
+
+    #[test]
+    fn stats_track_utilization_and_queues() {
+        let mut net = simple_net(Topology::single_switch(4));
+        for i in 0..50 {
+            net.inject_message(HostId(0), HostId(2), 1400, i);
+            net.inject_message(HostId(1), HostId(2), 1400, 100 + i);
+        }
+        net.run_until(SimTime::from_millis(1));
+        let stats = net.harvest_stats();
+        assert_eq!(stats.total_drops(), 0);
+        // The shared downlink must have queued somewhere along the way.
+        assert!(stats.max_queue_bytes(PortClass::TorDown).unwrap() > 0);
+        assert!(stats.tor_down_wire_bytes >= 100 * 1460);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let topo = Topology::scaled_fabric(2, 4, 2);
+            let mut net = simple_net(topo);
+            for i in 0..20 {
+                net.inject_message(HostId(i % 8), HostId((i + 3) % 8), 500 + (i as u64) * 7, i as u64);
+                net.run_until(SimTime::from_micros(5 * (i as u64 + 1)));
+            }
+            net.run_until(SimTime::from_millis(2));
+            net.take_app_events()
+                .into_iter()
+                .map(|(t, h, _)| (t.as_nanos(), h.0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn downlink_idle_probe() {
+        let mut net = simple_net(Topology::single_switch(4));
+        assert!(net.downlink_idle(HostId(2)));
+        net.inject_message(HostId(0), HostId(2), 14_000, 1);
+        // Run a tiny amount: packet still serializing on uplink.
+        net.run_until(SimTime::from_nanos(100));
+        assert!(net.downlink_idle(HostId(2)));
+        net.run_until(SimTime::from_millis(1));
+        assert!(net.downlink_idle(HostId(2)));
+        assert!(net.transport(HostId(2)).delivered_bytes() > 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Network topologies.
+//!
+//! The paper evaluates Homa on two fabrics:
+//!
+//! * **Implementation cluster** (Figures 8–10): 16 hosts on one 10 Gbps
+//!   switch — [`Topology::single_switch`].
+//! * **Simulation fabric** (Figure 11, used for Figures 12–21 and Table 1):
+//!   144 hosts in 9 racks of 16, a TOR per rack, 4 spine (aggregation)
+//!   switches, 10 Gbps host links and 40 Gbps TOR↔spine links, 250 ns of
+//!   switch delay, zero propagation delay, and 1.5 µs of host software
+//!   turnaround — [`Topology::paper_fabric`].
+//!
+//! Both are instances of a two-level leaf–spine parameterized here. Packets
+//! travelling between racks are sprayed uniformly across spine uplinks
+//! (per-packet load balancing, §2.2 of the paper).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a host (0-based, dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A node in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeId {
+    /// An end host.
+    Host(HostId),
+    /// Top-of-rack switch for rack `r`.
+    Tor(u32),
+    /// Spine (aggregation) switch `s`.
+    Spine(u32),
+}
+
+/// A leaf–spine fabric description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of racks (each with one TOR switch).
+    pub racks: u32,
+    /// Hosts per rack.
+    pub hosts_per_rack: u32,
+    /// Number of spine switches (0 for a single-rack cluster).
+    pub spines: u32,
+    /// Host↔TOR link speed in bits/second.
+    pub host_link_bps: u64,
+    /// TOR↔spine link speed in bits/second.
+    pub uplink_bps: u64,
+    /// Per-switch internal (processing) delay.
+    pub switch_delay: SimDuration,
+    /// Host software turnaround: delay from a packet fully arriving at a
+    /// host NIC until the transport can react to it.
+    pub host_sw_delay: SimDuration,
+    /// Per-link propagation delay (0 in the paper's simulations).
+    pub prop_delay: SimDuration,
+}
+
+impl Topology {
+    /// The Figure 11 fabric: 9 racks x 16 hosts, 4 spines, 10/40 Gbps,
+    /// 250 ns switch delay, 1.5 µs host software delay, zero propagation.
+    pub fn paper_fabric() -> Self {
+        Topology {
+            racks: 9,
+            hosts_per_rack: 16,
+            spines: 4,
+            host_link_bps: 10_000_000_000,
+            uplink_bps: 40_000_000_000,
+            switch_delay: SimDuration::from_nanos(250),
+            host_sw_delay: SimDuration::from_nanos(1_500),
+            prop_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// A scaled-down leaf–spine fabric with the paper's link speeds and
+    /// delays, for faster experiments. Uplink capacity is kept
+    /// non-oversubscribed like the paper's fabric.
+    pub fn scaled_fabric(racks: u32, hosts_per_rack: u32, spines: u32) -> Self {
+        Topology { racks, hosts_per_rack, spines, ..Topology::paper_fabric() }
+    }
+
+    /// The implementation cluster of §5.1: `n` hosts on a single 10 Gbps
+    /// switch.
+    pub fn single_switch(n: u32) -> Self {
+        Topology {
+            racks: 1,
+            hosts_per_rack: n,
+            spines: 0,
+            host_link_bps: 10_000_000_000,
+            uplink_bps: 40_000_000_000,
+            switch_delay: SimDuration::from_nanos(250),
+            host_sw_delay: SimDuration::from_nanos(1_500),
+            prop_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// Total number of hosts.
+    pub fn num_hosts(&self) -> u32 {
+        self.racks * self.hosts_per_rack
+    }
+
+    /// Rack index of a host.
+    pub fn rack_of(&self, h: HostId) -> u32 {
+        h.0 / self.hosts_per_rack
+    }
+
+    /// Index of `h` within its rack (the TOR's downlink port number).
+    pub fn index_in_rack(&self, h: HostId) -> u32 {
+        h.0 % self.hosts_per_rack
+    }
+
+    /// Number of egress ports on a TOR switch (down + up).
+    pub fn tor_ports(&self) -> u32 {
+        self.hosts_per_rack + self.spines
+    }
+
+    /// All hosts in the fabric.
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> {
+        (0..self.num_hosts()).map(HostId)
+    }
+
+    /// The minimum one-way network latency for a message of `len`
+    /// application bytes between hosts in *different* racks on an idle
+    /// network, per the store-and-forward model: full wire serialization on
+    /// the sender's host link plus per-hop forwarding of the final packet,
+    /// plus the receiver's software delay. `per_packet_payload` and
+    /// `per_packet_overhead` describe the transport's segmentation.
+    ///
+    /// Used as the slowdown denominator (slowdown = observed / this).
+    pub fn unloaded_one_way(
+        &self,
+        len: u64,
+        per_packet_payload: u64,
+        per_packet_overhead: u64,
+    ) -> SimDuration {
+        self.unloaded_one_way_path(len, per_packet_payload, per_packet_overhead, self.spines > 0)
+    }
+
+    /// [`unloaded_one_way`](Self::unloaded_one_way) with explicit path
+    /// selection: `cross_rack = false` computes the two-hop, single-switch
+    /// path for hosts in the same rack.
+    pub fn unloaded_one_way_path(
+        &self,
+        len: u64,
+        per_packet_payload: u64,
+        per_packet_overhead: u64,
+        cross_rack: bool,
+    ) -> SimDuration {
+        let full_pkts = len / per_packet_payload;
+        let tail = len % per_packet_payload;
+        let npkts = full_pkts + (tail > 0) as u64;
+        let npkts = npkts.max(1);
+        let last_pkt_bytes =
+            if tail > 0 { tail + per_packet_overhead } else { per_packet_payload + per_packet_overhead };
+        let wire_total = len + npkts * per_packet_overhead;
+
+        // All bytes serialize onto the host uplink back-to-back; the *last*
+        // packet then store-and-forwards across the remaining hops.
+        let first_link = SimDuration::serialization(wire_total, self.host_link_bps);
+        let mut rest = SimDuration::ZERO;
+        if cross_rack {
+            // TOR -> spine -> TOR -> host: two uplink-speed hops + one
+            // host-speed hop + three switch delays.
+            rest += self.switch_delay * 3;
+            rest += SimDuration::serialization(last_pkt_bytes, self.uplink_bps) * 2;
+            rest += SimDuration::serialization(last_pkt_bytes, self.host_link_bps);
+        } else {
+            // Single switch: one more host-speed hop + one switch delay.
+            rest += self.switch_delay;
+            rest += SimDuration::serialization(last_pkt_bytes, self.host_link_bps);
+        }
+        let prop_hops = if cross_rack { 4 } else { 2 };
+        first_link + rest + self.prop_delay * prop_hops + self.host_sw_delay
+    }
+
+    /// Round-trip time for a minimal control packet exchange: a small
+    /// packet (e.g. a grant of `ctrl_bytes`) travelling one way, the peer's
+    /// software turnaround, and a full-size data packet (`data_bytes` on the
+    /// wire) travelling back. This is the quantity the paper uses to define
+    /// `RTTbytes` (§2.2: "about 9.7 Kbytes" on the simulated fabric).
+    pub fn control_data_rtt(&self, ctrl_bytes: u64, data_bytes: u64) -> SimDuration {
+        let one_way = |bytes: u64| -> SimDuration {
+            let mut d = SimDuration::ZERO;
+            if self.spines > 0 {
+                d += SimDuration::serialization(bytes, self.host_link_bps) * 2;
+                d += SimDuration::serialization(bytes, self.uplink_bps) * 2;
+                d += self.switch_delay * 3;
+                d += self.prop_delay * 4;
+            } else {
+                d += SimDuration::serialization(bytes, self.host_link_bps) * 2;
+                d += self.switch_delay;
+                d += self.prop_delay * 2;
+            }
+            d
+        };
+        one_way(ctrl_bytes) + self.host_sw_delay + one_way(data_bytes) + self.host_sw_delay
+    }
+
+    /// The bandwidth-delay product of the fabric in bytes, rounded up to
+    /// whole bytes: `RTTbytes` in the paper's terminology.
+    pub fn rtt_bytes(&self, ctrl_bytes: u64, data_bytes: u64) -> u64 {
+        let rtt = self.control_data_rtt(ctrl_bytes, data_bytes);
+        let bits = rtt.as_nanos() as u128 * self.host_link_bps as u128 / 1_000_000_000;
+        (bits / 8) as u64
+    }
+}
+
+/// Sanity checks used by `Network` at construction.
+pub(crate) fn validate(t: &Topology) {
+    assert!(t.racks >= 1, "need at least one rack");
+    assert!(t.hosts_per_rack >= 2, "need at least two hosts");
+    assert!(t.racks == 1 || t.spines >= 1, "multi-rack fabrics need spines");
+    assert!(t.host_link_bps > 0 && t.uplink_bps > 0);
+}
+
+/// Convenience conversion so tests can write `HostId::from(3)`.
+impl From<u32> for HostId {
+    fn from(v: u32) -> Self {
+        HostId(v)
+    }
+}
+
+/// A timestamp helper: `SimTime::ZERO` re-export used around the crate.
+pub(crate) const T0: SimTime = SimTime::ZERO;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fabric_shape() {
+        let t = Topology::paper_fabric();
+        assert_eq!(t.num_hosts(), 144);
+        assert_eq!(t.tor_ports(), 20);
+        assert_eq!(t.rack_of(HostId(0)), 0);
+        assert_eq!(t.rack_of(HostId(15)), 0);
+        assert_eq!(t.rack_of(HostId(16)), 1);
+        assert_eq!(t.index_in_rack(HostId(17)), 1);
+        assert_eq!(t.rack_of(HostId(143)), 8);
+    }
+
+    #[test]
+    fn rtt_bytes_close_to_paper() {
+        // The paper reports ~7.8us control->data RTT and ~9.7 KB RTTbytes
+        // on the Figure 11 fabric with full-size (1538B wire) data packets.
+        let t = Topology::paper_fabric();
+        let rtt = t.control_data_rtt(64, 1538);
+        let us = rtt.as_micros_f64();
+        assert!((6.0..9.5).contains(&us), "rtt {us}us out of expected band");
+        let rb = t.rtt_bytes(64, 1538);
+        assert!((7_500..12_000).contains(&rb), "rtt_bytes {rb} out of expected band");
+    }
+
+    #[test]
+    fn unloaded_single_packet_latency_close_to_paper() {
+        // Paper: minimum one-way time for a small message is 2.3us on the
+        // simulated fabric.
+        let t = Topology::paper_fabric();
+        let d = t.unloaded_one_way(100, 1400, 60);
+        let us = d.as_micros_f64();
+        assert!((1.9..2.9).contains(&us), "unloaded {us}us out of expected band");
+    }
+
+    #[test]
+    fn unloaded_latency_monotone_in_size() {
+        let t = Topology::paper_fabric();
+        let mut prev = SimDuration::ZERO;
+        for len in [1u64, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            let d = t.unloaded_one_way(len, 1400, 60);
+            assert!(d >= prev, "latency not monotone at {len}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn unloaded_large_message_dominated_by_line_rate() {
+        let t = Topology::paper_fabric();
+        let len = 10_000_000u64;
+        let d = t.unloaded_one_way(len, 1400, 60);
+        // 10 MB at 10 Gbps is 8ms of pure serialization; overheads add a
+        // few percent but the total must be within 10%.
+        let pure = 8.0e-3;
+        assert!((d.as_secs_f64() - pure).abs() / pure < 0.10);
+    }
+
+    #[test]
+    fn single_switch_unloaded_is_shorter() {
+        let big = Topology::paper_fabric();
+        let small = Topology::single_switch(16);
+        assert!(small.unloaded_one_way(100, 1400, 60) < big.unloaded_one_way(100, 1400, 60));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the simulation kernel.
+
+use homa_sim::queues::PortQueue;
+use homa_sim::{EventQueue, Packet, PacketMeta, QueueDiscipline, QueueKind, SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct M {
+    bytes: u32,
+    prio: u8,
+    remaining: u64,
+    ctrl: bool,
+}
+
+impl PacketMeta for M {
+    fn wire_bytes(&self) -> u32 {
+        self.bytes
+    }
+    fn priority(&self) -> u8 {
+        self.prio
+    }
+    fn fine_priority(&self) -> Option<u64> {
+        if self.ctrl {
+            None
+        } else {
+            Some(self.remaining)
+        }
+    }
+    fn is_control(&self) -> bool {
+        self.ctrl
+    }
+    fn goodput_bytes(&self) -> u32 {
+        self.bytes
+    }
+    fn trimmed(&self) -> Option<Self> {
+        if self.ctrl {
+            None
+        } else {
+            Some(M { bytes: 60, ..self.clone() })
+        }
+    }
+}
+
+fn arb_meta() -> impl Strategy<Value = M> {
+    (60u32..2_000, 0u8..8, 0u64..1_000_000, any::<bool>())
+        .prop_map(|(bytes, prio, remaining, ctrl)| M { bytes, prio, remaining, ctrl })
+}
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut prev = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    #[test]
+    fn strict_priority_conserves_packets_and_bytes(metas in proptest::collection::vec(arb_meta(), 1..100)) {
+        let mut q: PortQueue<M> = PortQueue::new(QueueDiscipline::strict8(1 << 30));
+        let mut total_bytes = 0u64;
+        for (i, m) in metas.iter().enumerate() {
+            let pkt = Packet::new(homa_sim::HostId(0), homa_sim::HostId(1), m.clone());
+            total_bytes += m.bytes as u64;
+            q.enqueue(SimTime::from_nanos(i as u64), pkt, None);
+        }
+        prop_assert_eq!(q.bytes(), total_bytes);
+        prop_assert_eq!(q.len(), metas.len());
+        // Dequeue: priorities never increase.
+        let mut prev = u8::MAX;
+        let mut out = 0;
+        while let Some(p) = q.dequeue(SimTime::from_micros(1)) {
+            prop_assert!(p.priority() <= prev);
+            prev = p.priority();
+            out += 1;
+        }
+        prop_assert_eq!(out, metas.len());
+        prop_assert_eq!(q.bytes(), 0);
+    }
+
+    #[test]
+    fn pfabric_dequeues_in_remaining_order_among_data(metas in proptest::collection::vec(arb_meta(), 1..80)) {
+        let mut q: PortQueue<M> = PortQueue::new(QueueDiscipline {
+            kind: QueueKind::Pfabric,
+            cap_bytes: 1 << 30,
+            ecn: None,
+        });
+        for (i, m) in metas.iter().enumerate() {
+            let pkt = Packet::new(homa_sim::HostId(0), homa_sim::HostId(1), m.clone());
+            q.enqueue(SimTime::from_nanos(i as u64), pkt, None);
+        }
+        // Control packets drain first, then data in ascending remaining.
+        let mut seen_data = false;
+        let mut prev_rem = 0u64;
+        while let Some(p) = q.dequeue(SimTime::from_micros(1)) {
+            match p.meta.fine_priority() {
+                None => prop_assert!(!seen_data, "control after data"),
+                Some(r) => {
+                    if seen_data {
+                        prop_assert!(r >= prev_rem, "remaining order violated");
+                    }
+                    seen_data = true;
+                    prev_rem = r;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ndp_never_drops_data_it_can_trim(metas in proptest::collection::vec(arb_meta(), 1..100)) {
+        let mut q: PortQueue<M> = PortQueue::new(QueueDiscipline {
+            kind: QueueKind::NdpTrim { data_cap_packets: 4 },
+            cap_bytes: 1 << 30,
+            ecn: None,
+        });
+        let n = metas.len();
+        for (i, m) in metas.iter().enumerate() {
+            let pkt = Packet::new(homa_sim::HostId(0), homa_sim::HostId(1), m.clone());
+            q.enqueue(SimTime::from_nanos(i as u64), pkt, None);
+        }
+        prop_assert_eq!(q.drops, 0, "trimmable data is never dropped");
+        // Every packet (possibly trimmed) comes back out.
+        let mut out = 0;
+        while q.dequeue(SimTime::from_micros(1)).is_some() {
+            out += 1;
+        }
+        prop_assert_eq!(out, n);
+    }
+
+    #[test]
+    fn delay_attribution_never_exceeds_wait(
+        waits in proptest::collection::vec((0u64..10_000, 0u64..10_000), 1..50),
+    ) {
+        use homa_sim::DelayBreakdown;
+        let mut d = DelayBreakdown::default();
+        let mut total = 0u64;
+        for (w, l) in waits {
+            let lag = l.min(w);
+            d.record_wait(SimDuration::from_nanos(w), SimDuration::from_nanos(lag));
+            total += w;
+        }
+        prop_assert_eq!(d.total().as_nanos(), total);
+        prop_assert!(d.preemption_lag.as_nanos() <= total);
+    }
+}

@@ -1,0 +1,41 @@
+//! # homa-udp — Homa over real UDP sockets
+//!
+//! A threaded driver that runs the [`homa`] protocol core over
+//! `std::net::UdpSocket`, carrying real payload bytes with the
+//! [`homa_wire`] binary encoding. This is the repository's analogue of
+//! the paper's RAMCloud/DPDK implementation (§4): where the paper
+//! bypasses the kernel and programs NIC priority queues, we use ordinary
+//! sockets and map Homa's packet priorities to DSCP code points (see
+//! [`node::priority_to_dscp`]) — commodity switches can be configured to
+//! honour them. The protocol logic (grants, priorities,
+//! overcommitment, RESEND/BUSY recovery, at-least-once RPCs) is the
+//! *same code* that runs packet-accurately in the simulator.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use homa::packets::PeerId;
+//! use homa_udp::{HomaUdpNode, UdpConfig, UdpEvent};
+//!
+//! let server = HomaUdpNode::bind(PeerId(1), "127.0.0.1:7001", UdpConfig::default()).unwrap();
+//! let client = HomaUdpNode::bind(PeerId(0), "127.0.0.1:7000", UdpConfig::default()).unwrap();
+//! client.add_peer(PeerId(1), "127.0.0.1:7001".parse().unwrap());
+//! server.add_peer(PeerId(0), "127.0.0.1:7000".parse().unwrap());
+//!
+//! client.call(PeerId(1), b"ping".to_vec(), 1).unwrap();
+//! match server.events().recv().unwrap() {
+//!     UdpEvent::Request { from, rpc, data } => server.respond(from, rpc, data).unwrap(),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! match client.events().recv().unwrap() {
+//!     UdpEvent::Response { data, .. } => assert_eq!(data, b"ping"),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod node;
+
+pub use node::{HomaUdpNode, UdpConfig, UdpEvent};

@@ -1,0 +1,46 @@
+//! Wire decoding errors.
+
+use std::fmt;
+
+/// Why a buffer failed to parse as a Homa packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer shorter than the fixed header.
+    Truncated {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Unknown packet-type tag.
+    BadType(u8),
+    /// Unknown direction code.
+    BadDir(u8),
+    /// A length field is inconsistent with the buffer.
+    BadLength {
+        /// Declared length.
+        declared: usize,
+        /// Actual available bytes.
+        available: usize,
+    },
+    /// Cutoff list longer than the protocol allows.
+    TooManyCutoffs(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated packet: need {needed} bytes, got {got}")
+            }
+            WireError::BadType(t) => write!(f, "unknown packet type {t:#x}"),
+            WireError::BadDir(d) => write!(f, "unknown direction code {d:#x}"),
+            WireError::BadLength { declared, available } => {
+                write!(f, "bad length: declared {declared}, available {available}")
+            }
+            WireError::TooManyCutoffs(n) => write!(f, "too many cutoffs: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

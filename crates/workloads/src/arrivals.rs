@@ -1,0 +1,215 @@
+//! Open-loop Poisson arrivals and load arithmetic.
+//!
+//! The paper's simulations create messages at senders "according to a
+//! Poisson process", with the rate selected to produce a target *network
+//! load*: the fraction of available network bandwidth consumed by goodput
+//! packets, including protocol headers and the minimum control overhead
+//! (§5.2). [`LoadPlan`] performs that conversion; [`PoissonArrivals`]
+//! yields `(time, size, src, dst)` tuples for the drivers.
+
+use crate::dist::MessageSizeDist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Converts a target network load into a per-sender message arrival rate.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Number of hosts generating traffic.
+    pub hosts: u32,
+    /// Capacity of one host link in bits per second.
+    pub host_link_bps: u64,
+    /// Target load as a fraction of aggregate host-link bandwidth (0..1).
+    pub load: f64,
+    /// Mean message size in application bytes.
+    pub mean_msg_bytes: f64,
+    /// Per-message protocol overhead in wire bytes (headers for all its
+    /// packets plus amortized control packets).
+    pub mean_overhead_bytes: f64,
+}
+
+impl LoadPlan {
+    /// Mean wire bytes consumed per message.
+    pub fn mean_wire_bytes(&self) -> f64 {
+        self.mean_msg_bytes + self.mean_overhead_bytes
+    }
+
+    /// Aggregate message arrival rate (messages per second) across all
+    /// hosts that produces the target load.
+    pub fn aggregate_rate(&self) -> f64 {
+        let capacity_bytes_per_sec = self.hosts as f64 * self.host_link_bps as f64 / 8.0;
+        self.load * capacity_bytes_per_sec / self.mean_wire_bytes()
+    }
+
+    /// Mean interarrival time between messages fabric-wide, in seconds.
+    pub fn mean_interarrival_secs(&self) -> f64 {
+        1.0 / self.aggregate_rate()
+    }
+
+    /// Estimate per-message protocol overhead for a transport that segments
+    /// into `payload`-byte packets with `header` bytes of framing each, and
+    /// sends roughly one `ctrl`-byte control packet per data packet beyond
+    /// the blind `unsched` prefix.
+    pub fn estimate_overhead(dist: &MessageSizeDist, payload: u64, header: u64, ctrl: u64, unsched: u64) -> f64 {
+        // Numerical expectation over the quantile grid.
+        let n = 10_000;
+        let mut total = 0.0;
+        for i in 0..n {
+            let p = (i as f64 + 0.5) / n as f64;
+            let s = dist.quantile(p);
+            let pkts = s.div_ceil(payload).max(1);
+            let sched_bytes = s.saturating_sub(unsched);
+            let grants = sched_bytes.div_ceil(payload);
+            total += (pkts * header + grants * ctrl) as f64;
+        }
+        total / n as f64
+    }
+}
+
+/// An open-loop Poisson arrival generator over a fixed host population.
+///
+/// Senders and receivers are drawn uniformly at random (receiver != sender),
+/// matching the paper's all-to-all communication pattern.
+#[derive(Debug)]
+pub struct PoissonArrivals {
+    rng: StdRng,
+    dist: MessageSizeDist,
+    hosts: u32,
+    /// Mean interarrival in nanoseconds (fabric-wide).
+    mean_gap_ns: f64,
+    next_ns: u64,
+}
+
+/// One generated message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival time in nanoseconds.
+    pub at_ns: u64,
+    /// Sending host index.
+    pub src: u32,
+    /// Receiving host index (never equal to `src`).
+    pub dst: u32,
+    /// Message size in bytes.
+    pub size: u64,
+}
+
+impl PoissonArrivals {
+    /// New generator: fabric-wide mean interarrival `mean_gap_secs`,
+    /// message sizes from `dist`, uniform src/dst over `hosts`.
+    pub fn new(seed: u64, dist: MessageSizeDist, hosts: u32, mean_gap_secs: f64) -> Self {
+        assert!(hosts >= 2);
+        assert!(mean_gap_secs > 0.0);
+        let mut gen = PoissonArrivals {
+            rng: StdRng::seed_from_u64(seed),
+            dist,
+            hosts,
+            mean_gap_ns: mean_gap_secs * 1e9,
+            next_ns: 0,
+        };
+        gen.next_ns = gen.sample_gap();
+        gen
+    }
+
+    fn sample_gap(&mut self) -> u64 {
+        // Exponential via inverse transform; bounded away from 0 to keep
+        // u64 math safe.
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        (-u.ln() * self.mean_gap_ns).round().max(1.0) as u64
+    }
+
+    /// Peek the time of the next arrival without consuming it.
+    pub fn peek_ns(&self) -> u64 {
+        self.next_ns
+    }
+
+    /// Generate the next arrival.
+    pub fn next_arrival(&mut self) -> Arrival {
+        let at_ns = self.next_ns;
+        self.next_ns += self.sample_gap();
+        let src = self.rng.gen_range(0..self.hosts);
+        let mut dst = self.rng.gen_range(0..self.hosts - 1);
+        if dst >= src {
+            dst += 1;
+        }
+        let size = self.dist.sample(&mut self.rng);
+        Arrival { at_ns, src, dst, size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    #[test]
+    fn load_plan_rate_math() {
+        let plan = LoadPlan {
+            hosts: 10,
+            host_link_bps: 10_000_000_000,
+            load: 0.8,
+            mean_msg_bytes: 10_000.0,
+            mean_overhead_bytes: 0.0,
+        };
+        // 10 hosts x 1.25 GB/s x 0.8 / 10 KB = 1M messages/sec.
+        let rate = plan.aggregate_rate();
+        assert!((rate - 1_000_000.0).abs() / 1_000_000.0 < 1e-9);
+        assert!((plan.mean_interarrival_secs() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrivals_have_expected_rate() {
+        let dist = MessageSizeDist::fixed(1000);
+        let mut gen = PoissonArrivals::new(42, dist, 4, 1e-6);
+        let mut count = 0u64;
+        loop {
+            let a = gen.next_arrival();
+            if a.at_ns > 1_000_000_000 {
+                break;
+            }
+            count += 1;
+        }
+        // ~1M arrivals in a simulated second, within 1%.
+        assert!((count as f64 - 1e6).abs() / 1e6 < 0.01, "count={count}");
+    }
+
+    #[test]
+    fn arrivals_never_self_addressed() {
+        let dist = Workload::W1.dist();
+        let mut gen = PoissonArrivals::new(7, dist, 3, 1e-6);
+        for _ in 0..10_000 {
+            let a = gen.next_arrival();
+            assert_ne!(a.src, a.dst);
+            assert!(a.src < 3 && a.dst < 3);
+            assert!(a.size >= 1);
+        }
+    }
+
+    #[test]
+    fn arrivals_deterministic_per_seed() {
+        let run = |seed| {
+            let mut g = PoissonArrivals::new(seed, Workload::W2.dist(), 8, 1e-6);
+            (0..100).map(|_| g.next_arrival()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn arrival_times_strictly_increase() {
+        let mut g = PoissonArrivals::new(9, Workload::W3.dist(), 8, 1e-7);
+        let mut prev = 0;
+        for _ in 0..10_000 {
+            let a = g.next_arrival();
+            assert!(a.at_ns > prev);
+            prev = a.at_ns;
+        }
+    }
+
+    #[test]
+    fn overhead_estimate_reasonable() {
+        let d = Workload::W4.dist();
+        let oh = LoadPlan::estimate_overhead(&d, 1400, 60, 40, 9700);
+        // W4 mean is ~ tens of KB; overhead should be a few percent of it.
+        let mean = d.mean();
+        assert!(oh > 0.0 && oh < mean * 0.2, "oh={oh} mean={mean}");
+    }
+}

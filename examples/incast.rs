@@ -1,0 +1,50 @@
+//! Incast: the paper's Figure 10 scenario as a runnable demo.
+//!
+//! A single client issues hundreds of concurrent RPCs to 15 servers, all
+//! of which respond with 10 KB at the same moment. With Homa's incast
+//! control (§3.6), requests beyond a threshold are marked and servers
+//! clamp the blind prefix of their responses, so the client's TOR
+//! downlink never overflows. Without it, the blind responses overrun the
+//! switch buffer and loss recovery craters throughput.
+//!
+//! ```sh
+//! cargo run --release --example incast
+//! ```
+
+use homa::HomaConfig;
+use homa_baselines::HomaSimTransport;
+use homa_harness::driver::run_incast;
+use homa_harness::render::fmt_bps;
+use homa_sim::{NetworkConfig, SimDuration, Topology};
+
+fn main() {
+    let topo = Topology::single_switch(16);
+    println!("one client, 15 servers, 10 KB responses, 3 rounds each\n");
+    println!("{:>12} {:>16} {:>10} {:>16} {:>10}", "concurrent", "control ON", "drops", "control OFF", "drops");
+    for concurrent in [32u64, 128, 512] {
+        let mut cells = Vec::new();
+        for enabled in [true, false] {
+            let cfg = HomaConfig {
+                incast_threshold: if enabled { 32 } else { u32::MAX },
+                ..HomaConfig::default()
+            };
+            let res = run_incast(
+                &topo,
+                NetworkConfig::default(),
+                |h| HomaSimTransport::new(h, cfg.clone()),
+                concurrent,
+                10_000,
+                3,
+                SimDuration::from_millis(500),
+            );
+            cells.push((fmt_bps(res.throughput_bps), res.drops));
+        }
+        println!(
+            "{concurrent:>12} {:>16} {:>10} {:>16} {:>10}",
+            cells[0].0, cells[0].1, cells[1].0, cells[1].1
+        );
+    }
+    println!("\nWith control ON the client sustains near line rate regardless of");
+    println!("fan-in; with it OFF, buffer overflows past ~100 concurrent RPCs");
+    println!("trigger drops and multi-millisecond recovery timeouts.");
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the Homa reproduction workspace.
+//!
+//! This crate exists to host the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`. All functionality lives in the
+//! member crates, re-exported here for convenience:
+//!
+//! * [`homa`] — the Homa protocol core (the paper's contribution).
+//! * [`homa_sim`] — the packet-level discrete-event network simulator.
+//! * [`homa_wire`] — binary wire formats for real-network use.
+//! * [`homa_workloads`] — W1–W5 workload generators.
+//! * [`homa_baselines`] — pFabric/pHost/PIAS/NDP/Basic/Stream baselines.
+//! * [`homa_harness`] — experiment drivers for every paper figure/table.
+//! * [`homa_udp`] — a real-host UDP transport built on the protocol core.
+
+pub use homa;
+pub use homa_baselines;
+pub use homa_harness;
+pub use homa_sim;
+pub use homa_udp;
+pub use homa_wire;
+pub use homa_workloads;

@@ -1,0 +1,159 @@
+//! Integration tests for the paper's mechanism ablations: each of Homa's
+//! design choices must have a measurable effect in the direction the
+//! paper reports.
+
+use homa::HomaConfig;
+use homa_bench::{run_protocol_oneway, Protocol};
+use homa_harness::driver::OnewayOpts;
+use homa_harness::slowdown::SlowdownSummary;
+use homa_sim::Topology;
+use homa_workloads::Workload;
+
+#[test]
+fn delay_attribution_shows_preemption_lag_dominates() {
+    // Figure 14's machinery: with delay tracking on, short messages near
+    // the tail must show nonzero preemption lag, and (on priority-enabled
+    // Homa) lag should dominate same-priority queueing.
+    let topo = Topology::scaled_fabric(3, 8, 2);
+    let res = run_protocol_oneway(
+        Protocol::Homa,
+        &topo,
+        &Workload::W2.dist(),
+        0.8,
+        6_000,
+        21,
+        &OnewayOpts { track_delay: true, ..OnewayOpts::default() },
+        None,
+    );
+    let mut recs = res.records.clone();
+    recs.sort_by_key(|r| r.size);
+    let short = &recs[..recs.len() / 5];
+    let lag: f64 = short.iter().map(|r| r.delay.preemption_lag.as_micros_f64()).sum();
+    let queue: f64 = short.iter().map(|r| r.delay.queueing.as_micros_f64()).sum();
+    assert!(lag > 0.0, "some preemption lag must be observed at 80% load");
+    assert!(
+        lag > queue,
+        "priorities should convert queueing into (smaller) preemption lag: lag={lag:.1}us queue={queue:.1}us"
+    );
+}
+
+#[test]
+fn overcommitment_reduces_wasted_bandwidth() {
+    // Figure 16's headline: more scheduled priorities (higher
+    // overcommitment) means less wasted receiver bandwidth on W4.
+    let topo = Topology::scaled_fabric(3, 8, 2);
+    let dist = Workload::W4.dist();
+    let run = |sched: u8| {
+        let cfg = HomaConfig {
+            num_priorities: sched + 1,
+            unsched_levels_override: Some(1),
+            ..HomaConfig::default()
+        };
+        let res = run_protocol_oneway(
+            Protocol::Homa,
+            &topo,
+            &dist,
+            0.75,
+            1_200,
+            13,
+            &OnewayOpts { sample_wasted: true, ..OnewayOpts::default() },
+            Some(cfg),
+        );
+        res.wasted_fraction
+    };
+    let w1 = run(1);
+    let w7 = run(7);
+    assert!(
+        w1 > w7 + 0.02,
+        "overcommitment must reduce waste: 1 sched -> {:.1}%, 7 sched -> {:.1}%",
+        w1 * 100.0,
+        w7 * 100.0
+    );
+}
+
+#[test]
+fn more_unscheduled_levels_improve_w1_tails() {
+    // Figure 17: W1 needs multiple unscheduled levels.
+    let topo = Topology::scaled_fabric(3, 8, 2);
+    let dist = Workload::W1.dist();
+    let run = |unsched: u8| {
+        let cfg = HomaConfig {
+            num_priorities: unsched + 1,
+            unsched_levels_override: Some(unsched),
+            ..HomaConfig::default()
+        };
+        let res = run_protocol_oneway(
+            Protocol::Homa,
+            &topo,
+            &dist,
+            0.8,
+            8_000,
+            31,
+            &OnewayOpts::default(),
+            Some(cfg),
+        );
+        SlowdownSummary::small_message_p99(&res.records, 0.5)
+    };
+    let one = run(1);
+    let seven = run(7);
+    assert!(
+        one > seven * 1.5,
+        "one unscheduled level must be >=1.5x worse: 1 -> {one:.2}, 7 -> {seven:.2}"
+    );
+}
+
+#[test]
+fn blind_transmission_matters_for_small_messages() {
+    // Figure 20: a tiny unscheduled limit forces a scheduling round trip
+    // onto every message and inflates small-message latency.
+    let topo = Topology::scaled_fabric(3, 8, 2);
+    let dist = Workload::W4.dist();
+    let run = |limit: u64| {
+        let cfg = HomaConfig { unsched_limit: limit, ..HomaConfig::default() };
+        let res = run_protocol_oneway(
+            Protocol::Homa,
+            &topo,
+            &dist,
+            0.7,
+            1_200,
+            41,
+            &OnewayOpts::default(),
+            Some(cfg),
+        );
+        SlowdownSummary::small_message_p99(&res.records, 0.4)
+    };
+    let tiny = run(1);
+    let rtt = run(9_700);
+    assert!(
+        tiny > rtt * 1.5,
+        "suppressing blind transmission must hurt: limit=1B -> {tiny:.2}, RTTbytes -> {rtt:.2}"
+    );
+}
+
+#[test]
+fn pias_single_packet_messages_ride_top_priority_on_w3() {
+    // §5.2: "PIAS is nearly identical to Homa for small messages in
+    // workload W3" — its always-top-priority first packet happens to
+    // match Homa's W3 allocation. (On W1, with many blind priority
+    // levels, PIAS is considerably worse — Figure 12.)
+    let topo = Topology::scaled_fabric(3, 8, 2);
+    let dist = Workload::W3.dist();
+    let homa = run_protocol_oneway(Protocol::Homa, &topo, &dist, 0.7, 4_000, 51, &OnewayOpts::default(), None);
+    let pias = run_protocol_oneway(Protocol::Pias, &topo, &dist, 0.7, 4_000, 51, &OnewayOpts::default(), None);
+    let h = SlowdownSummary::small_message_p99(&homa.records, 0.3);
+    let p = SlowdownSummary::small_message_p99(&pias.records, 0.3);
+    // Near-parity for sub-packet W3 messages, not catastrophically worse
+    // like a streaming transport.
+    assert!(p < h * 2.5, "PIAS single-packet handling broken: homa={h:.2} pias={p:.2}");
+
+    // And the W1 contrast from Figure 12: PIAS measurably worse there.
+    let w1 = Workload::W1.dist();
+    let homa1 = run_protocol_oneway(Protocol::Homa, &topo, &w1, 0.7, 6_000, 51, &OnewayOpts::default(), None);
+    let pias1 = run_protocol_oneway(Protocol::Pias, &topo, &w1, 0.7, 6_000, 51, &OnewayOpts::default(), None);
+    let h1 = SlowdownSummary::small_message_p99(&homa1.records, 0.3);
+    let p1 = SlowdownSummary::small_message_p99(&pias1.records, 0.3);
+    assert!(
+        p1 > h1 * 1.5,
+        "PIAS should trail Homa on W1 small messages: homa={h1:.2} pias={p1:.2}"
+    );
+}

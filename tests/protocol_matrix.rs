@@ -1,0 +1,59 @@
+//! Every transport in the comparison matrix completes a moderate-load run
+//! on the leaf-spine fabric — the invariant behind all the figure runs.
+
+use homa_bench::{run_protocol_oneway, Protocol};
+use homa_harness::driver::OnewayOpts;
+use homa_sim::Topology;
+use homa_workloads::Workload;
+
+fn check(p: Protocol, w: Workload, load: f64, n: u64) {
+    let topo = Topology::scaled_fabric(2, 6, 2);
+    let res = run_protocol_oneway(p, &topo, &w.dist(), load, n, 17, &OnewayOpts::default(), None);
+    assert_eq!(res.injected, n);
+    let frac = res.delivered as f64 / n as f64;
+    assert!(
+        frac >= 0.99,
+        "{} on {w}: delivered only {}/{n}",
+        p.name(),
+        res.delivered
+    );
+}
+
+#[test]
+fn homa_all_workloads() {
+    for w in [Workload::W1, Workload::W2, Workload::W3] {
+        check(Protocol::Homa, w, 0.7, 1_500);
+    }
+    check(Protocol::Homa, Workload::W4, 0.7, 500);
+    check(Protocol::Homa, Workload::W5, 0.7, 80);
+}
+
+#[test]
+fn pfabric_matrix() {
+    check(Protocol::Pfabric, Workload::W2, 0.7, 1_500);
+    check(Protocol::Pfabric, Workload::W4, 0.6, 400);
+}
+
+#[test]
+fn phost_matrix() {
+    check(Protocol::Phost, Workload::W2, 0.6, 1_500);
+    check(Protocol::Phost, Workload::W4, 0.5, 400);
+}
+
+#[test]
+fn pias_matrix() {
+    check(Protocol::Pias, Workload::W2, 0.6, 1_500);
+    check(Protocol::Pias, Workload::W4, 0.5, 400);
+}
+
+#[test]
+fn ndp_on_w5() {
+    // The paper evaluates NDP on W5 only (full-size packets).
+    check(Protocol::Ndp, Workload::W5, 0.5, 60);
+}
+
+#[test]
+fn basic_and_stream() {
+    check(Protocol::Basic, Workload::W3, 0.6, 1_000);
+    check(Protocol::Stream, Workload::W3, 0.6, 1_000);
+}

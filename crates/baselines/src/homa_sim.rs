@@ -255,11 +255,7 @@ pub fn homa_px_config(levels: u8) -> HomaConfig {
 /// does not use priorities and it has no limit on overcommitment:
 /// receivers grant independently to all incoming messages" (§5.1).
 pub fn basic_config() -> HomaConfig {
-    HomaConfig {
-        num_priorities: 1,
-        overcommit_override: Some(u8::MAX),
-        ..HomaConfig::default()
-    }
+    HomaConfig { num_priorities: 1, overcommit_override: Some(u8::MAX), ..HomaConfig::default() }
 }
 
 /// Build the workload-derived static priority map the paper's
@@ -315,10 +311,7 @@ mod tests {
         // Pure serialization of 10MB + headers at 10 Gbps is ~8.34ms;
         // grants should keep the pipe full, so within 12%.
         let pure = len as f64 * 8.0 / 10e9 * (1460.0 / 1400.0);
-        assert!(
-            (at - pure).abs() / pure < 0.12,
-            "completion {at}s vs line-rate {pure}s"
-        );
+        assert!((at - pure).abs() / pure < 0.12, "completion {at}s vs line-rate {pure}s");
     }
 
     #[test]
@@ -397,11 +390,13 @@ mod tests {
     fn loss_recovery_inside_fabric() {
         // Force drops by shrinking the TOR downlink buffer drastically.
         use homa_sim::{QueueDiscipline, QueueKind};
-        let mut cfg = NetworkConfig::default();
-        cfg.tor_down = QueueDiscipline {
-            kind: QueueKind::StrictPriority { levels: 8 },
-            cap_bytes: 4_500, // 3 packets
-            ecn: None,
+        let cfg = NetworkConfig {
+            tor_down: QueueDiscipline {
+                kind: QueueKind::StrictPriority { levels: 8 },
+                cap_bytes: 4_500, // 3 packets
+                ecn: None,
+            },
+            ..NetworkConfig::default()
         };
         let topo = Topology::single_switch(6);
         let mut net: Network<HomaMeta, HomaSimTransport> =

@@ -15,14 +15,14 @@
 //! The fabric should be configured with [`fabric_queues`]
 //! (trim-capable short queues).
 
-use crate::common::{full_packet_time_ns, ns, FlowId, CTRL_BYTES, DATA_OVERHEAD, MAX_PAYLOAD, RTT_BYTES};
-use homa::messages::InboundMessage;
-use homa::packets::{Dir, MsgKey, PeerId};
-use homa_sim::{
-    AppEvent, HostId, Packet, PacketMeta, SimDuration, SimTime, TimerToken, Transport,
-    TransportActions,
+use crate::common::{
+    full_packet_time_ns, ns, CtrlQueue, FlowId, FlowTable, ReassemblyTable, TickTimer, TxBody,
+    CTRL_BYTES, DATA_OVERHEAD, MAX_PAYLOAD, RTT_BYTES,
 };
-use std::collections::{HashMap, VecDeque};
+use homa_sim::{
+    HostId, Packet, PacketMeta, SimDuration, SimTime, TimerToken, Transport, TransportActions,
+};
+use std::collections::VecDeque;
 
 /// NDP configuration.
 #[derive(Debug, Clone)]
@@ -37,11 +37,7 @@ pub struct NdpConfig {
 
 impl Default for NdpConfig {
     fn default() -> Self {
-        NdpConfig {
-            initial_window: RTT_BYTES,
-            link_bps: 10_000_000_000,
-            data_queue_packets: 8,
-        }
+        NdpConfig { initial_window: RTT_BYTES, link_bps: 10_000_000_000, data_queue_packets: 8 }
     }
 }
 
@@ -116,23 +112,12 @@ impl PacketMeta for NdpMeta {
     }
 }
 
+/// Sender-side flow state: pull credit on top of the shared body.
 #[derive(Debug)]
 struct TxMsg {
-    dst: HostId,
-    len: u64,
-    tag: u64,
-    /// Next fresh byte.
-    sent: u64,
+    body: TxBody,
     /// Bytes authorized: initial window plus one packet per pull.
     granted: u64,
-    /// Offsets to retransmit (trimmed in fabric).
-    retx: VecDeque<u64>,
-}
-
-#[derive(Debug)]
-struct RxFlow {
-    msg: InboundMessage,
-    tag: u64,
 }
 
 const PACER_TOKEN: TimerToken = TimerToken(5);
@@ -142,36 +127,27 @@ pub struct NdpTransport {
     me: HostId,
     cfg: NdpConfig,
     next_seq: u64,
-    tx: HashMap<FlowId, TxMsg>,
-    rx: HashMap<FlowId, RxFlow>,
+    tx: FlowTable<FlowId, TxMsg>,
+    rx: ReassemblyTable,
     /// Fair-share pull queue: FIFO of pending pulls (flow, retx offset).
     pulls: VecDeque<(HostId, FlowId, Option<u64>)>,
-    ctrl: VecDeque<(HostId, NdpMeta)>,
-    pacer_armed: bool,
-    delivered: u64,
+    ctrl: CtrlQueue<NdpMeta>,
+    pacer: TickTimer,
 }
 
 impl NdpTransport {
     /// New NDP transport for host `me`.
     pub fn new(me: HostId, cfg: NdpConfig) -> Self {
+        let gap = SimDuration::from_nanos(full_packet_time_ns(cfg.link_bps));
         NdpTransport {
             me,
             cfg,
             next_seq: 1,
-            tx: HashMap::new(),
-            rx: HashMap::new(),
+            tx: FlowTable::new(),
+            rx: ReassemblyTable::new(),
             pulls: VecDeque::new(),
-            ctrl: VecDeque::new(),
-            pacer_armed: false,
-            delivered: 0,
-        }
-    }
-
-    fn arm_pacer(&mut self, now: SimTime, act: &mut TransportActions) {
-        if !self.pacer_armed {
-            self.pacer_armed = true;
-            let gap = SimDuration::from_nanos(full_packet_time_ns(self.cfg.link_bps));
-            act.timer(now + gap, PACER_TOKEN);
+            ctrl: CtrlQueue::new(),
+            pacer: TickTimer::new(PACER_TOKEN, gap),
         }
     }
 }
@@ -180,114 +156,94 @@ impl Transport<NdpMeta> for NdpTransport {
     fn on_packet(&mut self, now: SimTime, pkt: Packet<NdpMeta>, act: &mut TransportActions) {
         match pkt.meta {
             NdpMeta::Data { flow, msg_len, offset, payload, tag, .. } => {
-                let trimmed = pkt.was_trimmed || payload == 0;
-                let key = MsgKey { origin: PeerId(flow.src.0), seq: flow.seq, dir: Dir::Oneway };
-                let f = self.rx.entry(flow).or_insert_with(|| RxFlow {
-                    msg: InboundMessage::new(key, PeerId(pkt.src.0), msg_len, ns(now)),
-                    tag,
-                });
-                if offset == 0 && !trimmed {
-                    f.tag = tag;
+                if self.rx.is_delivered(&flow) {
+                    // Late duplicate of a delivered message: repeat the
+                    // completion notice so the sender frees its state,
+                    // without rebuilding receive state or pacing pulls.
+                    self.ctrl.push(flow.src, NdpMeta::Done { flow });
+                    act.kick_tx();
+                    return;
                 }
+                // A zero-payload packet is a fabric-trimmed header —
+                // unless the message itself is empty, in which case it
+                // is the message's one legitimate packet.
+                let trimmed = pkt.was_trimmed || (payload == 0 && msg_len > 0);
+                let _ = self.rx.upsert(flow, msg_len, tag, ns(now));
                 if trimmed {
                     // Header-only arrival: the payload was cut in the
                     // fabric; schedule a retransmission pull.
                     self.pulls.push_back((flow.src, flow, Some(offset)));
                 } else {
-                    f.msg.record(offset, payload as u64);
-                    if f.msg.complete() {
-                        let f = self.rx.remove(&flow).expect("present");
-                        self.delivered += msg_len;
-                        act.event(AppEvent::MessageDelivered {
-                            src: flow.src,
-                            tag: f.tag,
-                            len: msg_len,
-                        });
-                        self.ctrl.push_back((flow.src, NdpMeta::Done { flow }));
+                    self.rx.record(flow, offset, payload, tag);
+                    if self.rx.deliver_if_complete(flow, act) {
+                        self.ctrl.push(flow.src, NdpMeta::Done { flow });
                         act.kick_tx();
-                        self.arm_pacer(now, act);
+                        self.pacer.ensure(now, act);
                         return;
                     }
                     // Fair share: each arrival earns the flow one more
                     // pull if it still has unpulled fresh bytes.
                     self.pulls.push_back((flow.src, flow, None));
                 }
-                self.arm_pacer(now, act);
+                self.pacer.ensure(now, act);
             }
             NdpMeta::Pull { flow, retx_offset } => {
-                if let Some(m) = self.tx.get_mut(&flow) {
+                if let Some(m) = self.tx.get_mut(flow) {
                     match retx_offset {
-                        Some(o) => {
-                            if !m.retx.contains(&o) {
-                                m.retx.push_back(o);
-                            }
-                        }
+                        Some(o) => m.body.queue_retx(o),
                         None => {
-                            m.granted = (m.granted + MAX_PAYLOAD as u64).min(m.len);
+                            m.granted = (m.granted + MAX_PAYLOAD as u64).min(m.body.len);
                         }
                     }
                     act.kick_tx();
                 }
             }
             NdpMeta::Done { flow } => {
-                self.tx.remove(&flow);
+                self.tx.remove(flow);
             }
         }
     }
 
     fn on_timer(&mut self, now: SimTime, token: TimerToken, act: &mut TransportActions) {
-        debug_assert_eq!(token, PACER_TOKEN);
+        debug_assert!(self.pacer.matches(token));
         // Emit one pull per packet-time (receiver-paced downlink).
         while let Some((dst, flow, retx)) = self.pulls.pop_front() {
             // Skip pulls for flows that completed meanwhile.
             let alive = self.rx.get(&flow).map(|f| !f.msg.complete()).unwrap_or(false);
             if alive {
-                self.ctrl.push_back((dst, NdpMeta::Pull { flow, retx_offset: retx }));
+                self.ctrl.push(dst, NdpMeta::Pull { flow, retx_offset: retx });
                 act.kick_tx();
                 break;
             }
         }
-        if !self.pulls.is_empty() || self.rx.values().any(|f| !f.msg.complete()) {
-            let gap = SimDuration::from_nanos(full_packet_time_ns(self.cfg.link_bps));
-            act.timer(now + gap, PACER_TOKEN);
+        if !self.pulls.is_empty() || self.rx.any_incomplete() {
+            self.pacer.rearm(now, act);
         } else {
-            self.pacer_armed = false;
+            self.pacer.disarm();
         }
     }
 
     fn next_packet(&mut self, _now: SimTime) -> Option<Packet<NdpMeta>> {
-        if let Some((dst, meta)) = self.ctrl.pop_front() {
-            return Some(Packet::new(self.me, dst, meta));
+        if let Some(pkt) = self.ctrl.pop_packet(self.me) {
+            return Some(pkt);
         }
         // NDP senders keep a FIFO transmit queue (no SRPT — the Homa
         // paper calls out the resulting head-of-line blocking). Serve
         // flows in insertion order: retransmissions first within a flow.
-        let flow = self
-            .tx
-            .iter()
-            .filter(|(_, m)| !m.retx.is_empty() || m.sent < m.granted.min(m.len))
-            .min_by_key(|(f, _)| f.seq)
-            .map(|(f, _)| *f)?;
-        let m = self.tx.get_mut(&flow).expect("selected");
-        let (offset, retx) = match m.retx.pop_front() {
-            Some(o) => (o, true),
-            None => {
-                let o = m.sent;
-                m.sent += (m.len - o).min(MAX_PAYLOAD as u64);
-                (o, false)
-            }
-        };
-        let payload = (m.len - offset).min(MAX_PAYLOAD as u64) as u32;
-        let pkt = NdpMeta::Data { flow, msg_len: m.len, offset, payload, tag: m.tag, retx };
+        let flow = self.tx.select_min(|f, m| m.body.has_work(m.granted).then_some(f.seq))?;
+        let m = self.tx.get_mut(flow).expect("selected");
+        let (offset, payload, retx) = m.body.next_chunk_whole(m.granted).expect("has_work");
+        let pkt =
+            NdpMeta::Data { flow, msg_len: m.body.len, offset, payload, tag: m.body.tag, retx };
         // Sender state is retained until the receiver's Done arrives:
         // even the final packet can be trimmed in the fabric and need a
         // pulled retransmission.
-        Some(Packet::new(self.me, m.dst, pkt))
+        Some(Packet::new(self.me, m.body.dst, pkt))
     }
 
     fn inject_message(
         &mut self,
-        now: SimTime,
+        _now: SimTime,
         dst: HostId,
         len: u64,
         tag: u64,
@@ -296,13 +252,12 @@ impl Transport<NdpMeta> for NdpTransport {
         let flow = FlowId { src: self.me, seq: self.next_seq };
         self.next_seq += 1;
         let granted = self.cfg.initial_window.min(len);
-        self.tx.insert(flow, TxMsg { dst, len, tag, sent: 0, granted, retx: VecDeque::new() });
-        let _ = now;
+        self.tx.insert(flow, TxMsg { body: TxBody::new(dst, len, tag), granted });
         act.kick_tx();
     }
 
     fn delivered_bytes(&self) -> u64 {
-        self.delivered
+        self.rx.delivered_bytes()
     }
 }
 
@@ -319,7 +274,7 @@ pub fn fabric_queues(cfg: &NdpConfig) -> homa_sim::QueueDiscipline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use homa_sim::{Network, NetworkConfig, Topology};
+    use homa_sim::{AppEvent, Network, NetworkConfig, Topology};
 
     fn net(n: u32) -> Network<NdpMeta, NdpTransport> {
         let cfg = NdpConfig::default();
@@ -336,6 +291,18 @@ mod tests {
         net.run_until(SimTime::from_millis(2));
         let evs = net.take_app_events();
         assert_eq!(evs.len(), 1);
+    }
+
+    #[test]
+    fn zero_length_message_delivers() {
+        // The empty announcement packet must not be mistaken for a
+        // fabric-trimmed header (both have payload 0).
+        let mut net = net(4);
+        net.inject_message(HostId(0), HostId(1), 0, 14);
+        net.run_until(SimTime::from_millis(1));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 1, "empty message announces itself with one packet");
+        assert!(matches!(evs[0].2, AppEvent::MessageDelivered { len: 0, tag: 14, .. }));
     }
 
     #[test]

@@ -16,14 +16,14 @@
 //! across sizes (Figure 12), but wasted bandwidth from dropped-then-
 //! retransmitted packets limits the sustainable load (Figure 15).
 
-use crate::common::{ns, FlowId, CTRL_BYTES, DATA_OVERHEAD, MAX_PAYLOAD, RTT_BYTES};
-use homa::packets::{Dir, MsgKey, PeerId};
-use homa::messages::InboundMessage;
-use homa_sim::{
-    AppEvent, HostId, Packet, PacketMeta, SimDuration, SimTime, TimerToken, Transport,
-    TransportActions,
+use crate::common::{
+    ns, payload_at, CtrlQueue, FlowId, FlowTable, ReassemblyTable, TickTimer, TxBody, CTRL_BYTES,
+    DATA_OVERHEAD, MAX_PAYLOAD, RTT_BYTES,
 };
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use homa_sim::{
+    HostId, Packet, PacketMeta, SimDuration, SimTime, TimerToken, Transport, TransportActions,
+};
+use std::collections::BTreeSet;
 
 /// pFabric configuration.
 #[derive(Debug, Clone)]
@@ -103,33 +103,27 @@ impl PacketMeta for PfabricMeta {
 
 #[derive(Debug)]
 struct TxMsg {
-    dst: HostId,
-    len: u64,
-    tag: u64,
-    /// Offsets not yet sent the first time.
-    next_fresh: u64,
+    body: TxBody,
     /// Sent but unacked offsets.
     unacked: BTreeSet<u64>,
     /// Acked byte count.
     acked_bytes: u64,
-    /// Offsets queued for retransmission.
-    retx: VecDeque<u64>,
     /// Last ack progress (for RTO).
     last_progress: u64,
 }
 
 impl TxMsg {
     fn remaining(&self) -> u64 {
-        self.len - self.acked_bytes
+        self.body.len - self.acked_bytes
     }
     fn window_used(&self) -> u64 {
         self.unacked.len() as u64 * MAX_PAYLOAD as u64
     }
     fn has_sendable(&self, window: u64) -> bool {
-        (self.next_fresh < self.len || !self.retx.is_empty()) && self.window_used() < window
+        self.body.has_work(self.body.len) && self.window_used() < window
     }
     fn done(&self) -> bool {
-        self.acked_bytes >= self.len
+        self.acked_bytes >= self.body.len
     }
 }
 
@@ -141,11 +135,10 @@ pub struct PfabricTransport {
     me: HostId,
     cfg: PfabricConfig,
     next_seq: u64,
-    tx: HashMap<FlowId, TxMsg>,
-    rx: HashMap<FlowId, (InboundMessage, u64 /*tag*/)>,
-    acks: VecDeque<(HostId, FlowId, u64)>,
-    delivered: u64,
-    timer_armed: bool,
+    tx: FlowTable<FlowId, TxMsg>,
+    rx: ReassemblyTable,
+    ctrl: CtrlQueue<PfabricMeta>,
+    rto: TickTimer,
 }
 
 impl PfabricTransport {
@@ -155,58 +148,41 @@ impl PfabricTransport {
             me,
             cfg,
             next_seq: 1,
-            tx: HashMap::new(),
-            rx: HashMap::new(),
-            acks: VecDeque::new(),
-            delivered: 0,
-            timer_armed: false,
-        }
-    }
-
-    fn arm(&mut self, now: SimTime, act: &mut TransportActions) {
-        if !self.timer_armed {
-            self.timer_armed = true;
-            act.timer(now + RTO_TICK, RTO_TOKEN);
+            tx: FlowTable::new(),
+            rx: ReassemblyTable::new(),
+            ctrl: CtrlQueue::new(),
+            rto: TickTimer::new(RTO_TOKEN, RTO_TICK),
         }
     }
 }
 
 impl Transport<PfabricMeta> for PfabricTransport {
     fn on_packet(&mut self, now: SimTime, pkt: Packet<PfabricMeta>, act: &mut TransportActions) {
-        self.arm(now, act);
+        self.rto.ensure(now, act);
         match pkt.meta {
             PfabricMeta::Data { flow, msg_len, offset, payload, tag, .. } => {
-                let key = MsgKey { origin: PeerId(flow.src.0), seq: flow.seq, dir: Dir::Oneway };
-                let (msg, _) = self
-                    .rx
-                    .entry(flow)
-                    .or_insert_with(|| (InboundMessage::new(key, PeerId(pkt.src.0), msg_len, ns(now)), tag));
-                msg.record(offset, payload as u64);
-                let complete = msg.complete();
-                self.acks.push_back((pkt.src, flow, offset));
-                if complete {
-                    let (_, tag) = self.rx.remove(&flow).expect("present");
-                    self.delivered += msg_len;
-                    act.event(AppEvent::MessageDelivered { src: flow.src, tag, len: msg_len });
+                // Always ack — even late duplicates of a delivered
+                // message, so the sender's RTO loop terminates.
+                self.ctrl.push(pkt.src, PfabricMeta::Ack { flow, offset });
+                if self.rx.upsert(flow, msg_len, tag, ns(now)).is_some() {
+                    self.rx.record(flow, offset, payload, tag);
+                    self.rx.deliver_if_complete(flow, act);
                 }
                 act.kick_tx();
             }
             PfabricMeta::Ack { flow, offset } => {
-                let mut finished: Option<FlowId> = None;
-                if let Some(m) = self.tx.get_mut(&flow) {
+                let mut finished = false;
+                if let Some(m) = self.tx.get_mut(flow) {
                     if m.unacked.remove(&offset) {
-                        let payload = (m.len - offset).min(MAX_PAYLOAD as u64);
-                        m.acked_bytes += payload;
+                        m.acked_bytes += payload_at(m.body.len, offset) as u64;
                         m.last_progress = ns(now);
                     }
                     // An ack also cancels any queued retransmission.
-                    m.retx.retain(|&o| o != offset);
-                    if m.done() {
-                        finished = Some(flow);
-                    }
+                    m.body.cancel_retx(offset);
+                    finished = m.done();
                 }
-                if let Some(f) = finished {
-                    self.tx.remove(&f);
+                if finished {
+                    self.tx.remove(flow);
                 }
                 act.kick_tx();
             }
@@ -220,9 +196,7 @@ impl Transport<PfabricMeta> for PfabricTransport {
                 // Requeue all unacked packets (priority dropping means the
                 // small-remaining ones almost never get here).
                 for &o in m.unacked.iter() {
-                    if !m.retx.contains(&o) {
-                        m.retx.push_back(o);
-                    }
+                    m.body.queue_retx(o);
                 }
                 m.unacked.clear();
                 m.last_progress = ns(now);
@@ -232,44 +206,32 @@ impl Transport<PfabricMeta> for PfabricTransport {
         if kick {
             act.kick_tx();
         }
-        act.timer(now + RTO_TICK, RTO_TOKEN);
+        self.rto.rearm(now, act);
     }
 
     fn next_packet(&mut self, _now: SimTime) -> Option<Packet<PfabricMeta>> {
-        if let Some((dst, flow, offset)) = self.acks.pop_front() {
-            return Some(Packet::new(self.me, dst, PfabricMeta::Ack { flow, offset }));
+        if let Some(pkt) = self.ctrl.pop_packet(self.me) {
+            return Some(pkt);
         }
         // Sender-side SRPT: among messages with window space, fewest
         // remaining bytes first (pFabric hosts transmit their
         // highest-priority flow).
         let window = self.cfg.window;
-        let flow = self
-            .tx
-            .iter()
-            .filter(|(_, m)| m.has_sendable(window))
-            .min_by_key(|(f, m)| (m.remaining(), f.seq))
-            .map(|(f, _)| *f)?;
-        let m = self.tx.get_mut(&flow).expect("selected");
-        let (offset, retx) = match m.retx.pop_front() {
-            Some(o) => (o, true),
-            None => {
-                let o = m.next_fresh;
-                m.next_fresh += (m.len - o).min(MAX_PAYLOAD as u64);
-                (o, false)
-            }
-        };
-        let payload = (m.len - offset).min(MAX_PAYLOAD as u64) as u32;
+        let flow =
+            self.tx.select_min(|f, m| m.has_sendable(window).then(|| (m.remaining(), f.seq)))?;
+        let m = self.tx.get_mut(flow).expect("selected");
+        let (offset, payload, retx) = m.body.next_chunk(m.body.len).expect("has_sendable");
         m.unacked.insert(offset);
         Some(Packet::new(
             self.me,
-            m.dst,
+            m.body.dst,
             PfabricMeta::Data {
                 flow,
-                msg_len: m.len,
+                msg_len: m.body.len,
                 offset,
                 payload,
                 remaining: m.remaining(),
-                tag: m.tag,
+                tag: m.body.tag,
                 retx,
             },
         ))
@@ -283,19 +245,15 @@ impl Transport<PfabricMeta> for PfabricTransport {
         tag: u64,
         act: &mut TransportActions,
     ) {
-        self.arm(now, act);
+        self.rto.ensure(now, act);
         let flow = FlowId { src: self.me, seq: self.next_seq };
         self.next_seq += 1;
         self.tx.insert(
             flow,
             TxMsg {
-                dst,
-                len,
-                tag,
-                next_fresh: 0,
+                body: TxBody::new(dst, len, tag),
                 unacked: BTreeSet::new(),
                 acked_bytes: 0,
-                retx: VecDeque::new(),
                 last_progress: ns(now),
             },
         );
@@ -303,7 +261,7 @@ impl Transport<PfabricMeta> for PfabricTransport {
     }
 
     fn delivered_bytes(&self) -> u64 {
-        self.delivered
+        self.rx.delivered_bytes()
     }
 }
 
@@ -320,7 +278,7 @@ pub fn fabric_queues(cfg: &PfabricConfig) -> homa_sim::QueueDiscipline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use homa_sim::{Network, NetworkConfig, Topology};
+    use homa_sim::{AppEvent, Network, NetworkConfig, Topology};
 
     fn net(n: u32) -> Network<PfabricMeta, PfabricTransport> {
         let cfg = PfabricConfig::default();
@@ -338,6 +296,16 @@ mod tests {
         let evs = net.take_app_events();
         assert_eq!(evs.len(), 1);
         assert!(matches!(evs[0].2, AppEvent::MessageDelivered { len: 50_000, tag: 3, .. }));
+    }
+
+    #[test]
+    fn zero_length_message_delivers() {
+        let mut net = net(4);
+        net.inject_message(HostId(0), HostId(1), 0, 11);
+        net.run_until(SimTime::from_millis(1));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 1, "empty message announces itself with one packet");
+        assert!(matches!(evs[0].2, AppEvent::MessageDelivered { len: 0, tag: 11, .. }));
     }
 
     #[test]
@@ -382,7 +350,9 @@ mod tests {
         net.run_until(SimTime::from_millis(30));
         let evs = net.take_app_events();
         assert_eq!(evs.len(), 2);
-        assert!(matches!(evs[0].2, AppEvent::MessageDelivered { tag: 2, .. }),
-            "short flow completes first under SRPT");
+        assert!(
+            matches!(evs[0].2, AppEvent::MessageDelivered { tag: 2, .. }),
+            "short flow completes first under SRPT"
+        );
     }
 }

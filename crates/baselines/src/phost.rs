@@ -20,14 +20,13 @@
 //! and wasted downlink bandwidth when senders do not respond to tokens
 //! (Figures 12/15) — all emerge from these mechanics.
 
-use crate::common::{full_packet_time_ns, ns, FlowId, CTRL_BYTES, DATA_OVERHEAD, MAX_PAYLOAD, RTT_BYTES};
-use homa::messages::InboundMessage;
-use homa::packets::{Dir, MsgKey, PeerId};
-use homa_sim::{
-    AppEvent, HostId, Packet, PacketMeta, SimDuration, SimTime, TimerToken, Transport,
-    TransportActions,
+use crate::common::{
+    full_packet_time_ns, ns, CtrlQueue, FlowId, FlowTable, ReassemblyTable, TickTimer, TxBody,
+    CTRL_BYTES, DATA_OVERHEAD, MAX_PAYLOAD, RTT_BYTES,
 };
-use std::collections::{HashMap, VecDeque};
+use homa_sim::{
+    HostId, Packet, PacketMeta, SimDuration, SimTime, TimerToken, Transport, TransportActions,
+};
 
 /// pHost configuration.
 #[derive(Debug, Clone)]
@@ -125,21 +124,18 @@ impl PacketMeta for PhostMeta {
     }
 }
 
+/// Sender-side flow state: grant level on top of the shared body.
 #[derive(Debug)]
 struct TxMsg {
-    dst: HostId,
-    len: u64,
-    tag: u64,
-    /// Next fresh byte to send.
-    sent: u64,
+    body: TxBody,
     /// Bytes authorized (free prefix + tokens).
     granted: u64,
 }
 
-#[derive(Debug)]
-struct RxFlow {
-    msg: InboundMessage,
-    tag: u64,
+/// Receiver-side token-scheduler state, hung off the shared reassembly
+/// entry.
+#[derive(Debug, Default)]
+struct RxSched {
     /// Bytes granted via tokens (absolute offset; starts at free prefix).
     granted: u64,
     /// Last data arrival.
@@ -155,33 +151,24 @@ pub struct PhostTransport {
     me: HostId,
     cfg: PhostConfig,
     next_seq: u64,
-    tx: HashMap<FlowId, TxMsg>,
-    rx: HashMap<FlowId, RxFlow>,
-    ctrl: VecDeque<(HostId, PhostMeta)>,
-    pacer_armed: bool,
-    delivered: u64,
+    tx: FlowTable<FlowId, TxMsg>,
+    rx: ReassemblyTable<RxSched>,
+    ctrl: CtrlQueue<PhostMeta>,
+    pacer: TickTimer,
 }
 
 impl PhostTransport {
     /// New pHost transport for host `me`.
     pub fn new(me: HostId, cfg: PhostConfig) -> Self {
+        let gap = SimDuration::from_nanos(full_packet_time_ns(cfg.link_bps));
         PhostTransport {
             me,
             cfg,
             next_seq: 1,
-            tx: HashMap::new(),
-            rx: HashMap::new(),
-            ctrl: VecDeque::new(),
-            pacer_armed: false,
-            delivered: 0,
-        }
-    }
-
-    fn arm_pacer(&mut self, now: SimTime, act: &mut TransportActions) {
-        if !self.pacer_armed {
-            self.pacer_armed = true;
-            let gap = SimDuration::from_nanos(full_packet_time_ns(self.cfg.link_bps));
-            act.timer(now + gap, PACER_TOKEN);
+            tx: FlowTable::new(),
+            rx: ReassemblyTable::new(),
+            ctrl: CtrlQueue::new(),
+            pacer: TickTimer::new(PACER_TOKEN, gap),
         }
     }
 
@@ -195,31 +182,37 @@ impl PhostTransport {
             .iter()
             .filter(|(_, f)| {
                 !f.msg.complete()
-                    && f.granted < f.msg.len
-                    && f.granted.saturating_sub(f.msg.received()) < window
-                    && f.penalized_until <= t
+                    && f.ext.granted < f.msg.len
+                    && f.ext.granted.saturating_sub(f.msg.received()) < window
+                    && f.ext.penalized_until <= t
             })
-            .min_by_key(|(id, f)| (f.msg.remaining(), id.seq))
+            // Full FlowId in the rank: `seq` alone collides across
+            // senders and would leave ties to HashMap iteration order,
+            // breaking seeded-run reproducibility.
+            .min_by_key(|(id, f)| (f.msg.remaining(), **id))
             .map(|(id, _)| *id);
         if let Some(id) = best {
             let f = self.rx.get_mut(&id).expect("chosen flow");
-            let offset = f.granted;
-            f.granted = (f.granted + MAX_PAYLOAD as u64).min(f.msg.len);
-            self.ctrl.push_back((id.src, PhostMeta::Token { flow: id, offset }));
+            let offset = f.ext.granted;
+            f.ext.granted = (f.ext.granted + MAX_PAYLOAD as u64).min(f.msg.len);
+            self.ctrl.push(id.src, PhostMeta::Token { flow: id, offset });
         }
     }
 
     /// Downgrade granted-but-silent senders (pHost's timeout mechanism).
     fn downgrade_silent(&mut self, now: SimTime) {
         let t = ns(now);
+        let free_bytes = self.cfg.free_bytes;
+        let downgrade_ns = self.cfg.downgrade_ns;
+        let penalty_ns = self.cfg.penalty_ns;
         for f in self.rx.values_mut() {
-            if f.granted > f.msg.received()
-                && f.penalized_until <= t
-                && t.saturating_sub(f.last_data) > self.cfg.downgrade_ns
+            if f.ext.granted > f.msg.received()
+                && f.ext.penalized_until <= t
+                && t.saturating_sub(f.ext.last_data) > downgrade_ns
             {
-                f.penalized_until = t + self.cfg.penalty_ns;
+                f.ext.penalized_until = t + penalty_ns;
                 // Rescind unused credit so it can be re-issued to others.
-                f.granted = f.msg.received().max(self.cfg.free_bytes.min(f.msg.len));
+                f.ext.granted = f.msg.received().max(free_bytes.min(f.msg.len));
             }
         }
     }
@@ -229,19 +222,19 @@ impl Transport<PhostMeta> for PhostTransport {
     fn on_packet(&mut self, now: SimTime, pkt: Packet<PhostMeta>, act: &mut TransportActions) {
         match pkt.meta {
             PhostMeta::Rts { flow, msg_len } => {
-                let key = MsgKey { origin: PeerId(flow.src.0), seq: flow.seq, dir: Dir::Oneway };
-                self.rx.entry(flow).or_insert_with(|| RxFlow {
-                    msg: InboundMessage::new(key, PeerId(pkt.src.0), msg_len, ns(now)),
-                    tag: 0,
-                    granted: self.cfg.free_bytes.min(msg_len),
+                let free = self.cfg.free_bytes;
+                // A late RTS for a delivered message is dropped by the
+                // tombstone check inside upsert_with.
+                let _ = self.rx.upsert_with(flow, msg_len, 0, ns(now), || RxSched {
+                    granted: free.min(msg_len),
                     last_data: ns(now),
                     penalized_until: 0,
                 });
-                self.arm_pacer(now, act);
+                self.pacer.ensure(now, act);
             }
             PhostMeta::Token { flow, offset } => {
-                if let Some(m) = self.tx.get_mut(&flow) {
-                    let end = (offset + MAX_PAYLOAD as u64).min(m.len);
+                if let Some(m) = self.tx.get_mut(flow) {
+                    let end = (offset + MAX_PAYLOAD as u64).min(m.body.len);
                     if end > m.granted {
                         m.granted = end;
                     }
@@ -249,73 +242,65 @@ impl Transport<PhostMeta> for PhostTransport {
                 }
             }
             PhostMeta::Data { flow, msg_len, offset, payload, tag, .. } => {
-                let key = MsgKey { origin: PeerId(flow.src.0), seq: flow.seq, dir: Dir::Oneway };
-                let f = self.rx.entry(flow).or_insert_with(|| RxFlow {
-                    msg: InboundMessage::new(key, PeerId(pkt.src.0), msg_len, ns(now)),
-                    tag,
-                    granted: self.cfg.free_bytes.min(msg_len),
-                    last_data: ns(now),
-                    penalized_until: 0,
-                });
-                if offset == 0 {
-                    f.tag = tag;
+                let free = self.cfg.free_bytes;
+                let fresh_entry = self
+                    .rx
+                    .upsert_with(flow, msg_len, tag, ns(now), || RxSched {
+                        granted: free.min(msg_len),
+                        last_data: ns(now),
+                        penalized_until: 0,
+                    })
+                    .is_some();
+                if fresh_entry {
+                    self.rx.record(flow, offset, payload, tag);
+                    let f = self.rx.get_mut(&flow).expect("just upserted");
+                    f.ext.last_data = ns(now);
+                    f.ext.penalized_until = 0;
+                    self.rx.deliver_if_complete(flow, act);
                 }
-                f.msg.record(offset, payload as u64);
-                f.last_data = ns(now);
-                f.penalized_until = 0;
-                if f.msg.complete() {
-                    let f = self.rx.remove(&flow).expect("present");
-                    self.delivered += msg_len;
-                    act.event(AppEvent::MessageDelivered { src: flow.src, tag: f.tag, len: msg_len });
-                }
-                self.arm_pacer(now, act);
+                self.pacer.ensure(now, act);
             }
         }
     }
 
     fn on_timer(&mut self, now: SimTime, token: TimerToken, act: &mut TransportActions) {
-        debug_assert_eq!(token, PACER_TOKEN);
+        debug_assert!(self.pacer.matches(token));
         self.downgrade_silent(now);
         self.issue_token(now);
         if !self.ctrl.is_empty() {
             act.kick_tx();
         }
         // Keep pacing while there is anything to schedule.
-        if self.rx.values().any(|f| !f.msg.complete()) {
-            let gap = SimDuration::from_nanos(full_packet_time_ns(self.cfg.link_bps));
-            act.timer(now + gap, PACER_TOKEN);
+        if self.rx.any_incomplete() {
+            self.pacer.rearm(now, act);
         } else {
-            self.pacer_armed = false;
+            self.pacer.disarm();
         }
     }
 
     fn next_packet(&mut self, _now: SimTime) -> Option<Packet<PhostMeta>> {
-        if let Some((dst, meta)) = self.ctrl.pop_front() {
-            return Some(Packet::new(self.me, dst, meta));
+        if let Some(pkt) = self.ctrl.pop_packet(self.me) {
+            return Some(pkt);
         }
         // SRPT among messages with authorized bytes.
-        let flow = self
-            .tx
-            .iter()
-            .filter(|(_, m)| m.sent < m.granted.min(m.len))
-            .min_by_key(|(f, m)| (m.len - m.sent, f.seq))
-            .map(|(f, _)| *f)?;
-        let m = self.tx.get_mut(&flow).expect("selected");
-        let offset = m.sent;
-        let payload = (m.granted.min(m.len) - offset).min(MAX_PAYLOAD as u64) as u32;
-        m.sent += payload as u64;
+        let flow = self.tx.select_min(|f, m| {
+            m.body.has_work(m.granted).then(|| (m.body.len - m.body.fresh, f.seq))
+        })?;
+        let m = self.tx.get_mut(flow).expect("selected");
+        let (offset, payload, _) = m.body.next_chunk(m.granted).expect("has_work");
         let free = offset < self.cfg.free_bytes;
-        let pkt = PhostMeta::Data { flow, msg_len: m.len, offset, payload, free, tag: m.tag };
-        let dst = m.dst;
-        if m.sent >= m.len {
-            self.tx.remove(&flow);
+        let pkt =
+            PhostMeta::Data { flow, msg_len: m.body.len, offset, payload, free, tag: m.body.tag };
+        let dst = m.body.dst;
+        if m.body.fresh >= m.body.len {
+            self.tx.remove(flow);
         }
         Some(Packet::new(self.me, dst, pkt))
     }
 
     fn inject_message(
         &mut self,
-        now: SimTime,
+        _now: SimTime,
         dst: HostId,
         len: u64,
         tag: u64,
@@ -324,21 +309,20 @@ impl Transport<PhostMeta> for PhostTransport {
         let flow = FlowId { src: self.me, seq: self.next_seq };
         self.next_seq += 1;
         let granted = self.cfg.free_bytes.min(len);
-        self.tx.insert(flow, TxMsg { dst, len, tag, sent: 0, granted });
-        self.ctrl.push_back((dst, PhostMeta::Rts { flow, msg_len: len }));
-        let _ = now;
+        self.tx.insert(flow, TxMsg { body: TxBody::new(dst, len, tag), granted });
+        self.ctrl.push(dst, PhostMeta::Rts { flow, msg_len: len });
         act.kick_tx();
     }
 
     fn delivered_bytes(&self) -> u64 {
-        self.delivered
+        self.rx.delivered_bytes()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use homa_sim::{Network, NetworkConfig, Topology};
+    use homa_sim::{AppEvent, Network, NetworkConfig, Topology};
 
     fn net(n: u32) -> Network<PhostMeta, PhostTransport> {
         Network::new(Topology::single_switch(n), NetworkConfig::default(), |h| {
@@ -355,6 +339,16 @@ mod tests {
         assert_eq!(evs.len(), 1);
         // Under the free window, latency is close to raw serialization.
         assert!(evs[0].0.as_micros_f64() < 10.0);
+    }
+
+    #[test]
+    fn zero_length_message_delivers() {
+        let mut net = net(4);
+        net.inject_message(HostId(0), HostId(1), 0, 12);
+        net.run_until(SimTime::from_millis(1));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 1, "empty message announces itself with one packet");
+        assert!(matches!(evs[0].2, AppEvent::MessageDelivered { len: 0, tag: 12, .. }));
     }
 
     #[test]
@@ -376,8 +370,10 @@ mod tests {
         net.run_until(SimTime::from_millis(30));
         let evs = net.take_app_events();
         assert_eq!(evs.len(), 2);
-        assert!(matches!(evs[0].2, AppEvent::MessageDelivered { tag: 2, .. }),
-            "receiver tokens favour the shorter message");
+        assert!(
+            matches!(evs[0].2, AppEvent::MessageDelivered { tag: 2, .. }),
+            "receiver tokens favour the shorter message"
+        );
     }
 
     #[test]

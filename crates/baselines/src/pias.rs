@@ -14,15 +14,15 @@
 //! The fabric must be configured with ECN marking
 //! ([`fabric_queues`]).
 
-use crate::common::{ns, FlowId, CTRL_BYTES, DATA_OVERHEAD, MAX_PAYLOAD, RTT_BYTES};
-use homa::messages::InboundMessage;
-use homa::packets::{Dir, MsgKey, PeerId};
+use crate::common::{
+    ns, CtrlQueue, FlowId, FlowTable, ReassemblyTable, TickTimer, TxBody, CTRL_BYTES,
+    DATA_OVERHEAD, MAX_PAYLOAD, RTT_BYTES,
+};
 use homa_sim::{
-    AppEvent, EcnConfig, HostId, Packet, PacketMeta, SimDuration, SimTime, TimerToken, Transport,
+    EcnConfig, HostId, Packet, PacketMeta, SimDuration, SimTime, TimerToken, Transport,
     TransportActions,
 };
 use homa_workloads::MessageSizeDist;
-use std::collections::{HashMap, VecDeque};
 
 /// PIAS configuration.
 #[derive(Debug, Clone)]
@@ -165,12 +165,10 @@ impl PacketMeta for PiasMeta {
     }
 }
 
+/// Sender-side flow state: DCTCP window machinery on the shared body.
 #[derive(Debug)]
 struct TxFlow {
-    dst: HostId,
-    len: u64,
-    tag: u64,
-    sent: u64,
+    body: TxBody,
     acked: u64,
     /// DCTCP state.
     cwnd: f64,
@@ -181,12 +179,6 @@ struct TxFlow {
     last_progress: u64,
 }
 
-#[derive(Debug)]
-struct RxFlow {
-    msg: InboundMessage,
-    tag: u64,
-}
-
 const RTO_TOKEN: TimerToken = TimerToken(6);
 const RTO_TICK: SimDuration = SimDuration::from_micros(250);
 
@@ -195,13 +187,10 @@ pub struct PiasTransport {
     me: HostId,
     cfg: PiasConfig,
     next_seq: u64,
-    tx: HashMap<FlowId, TxFlow>,
-    rx: HashMap<FlowId, RxFlow>,
-    acks: VecDeque<(HostId, FlowId, u64, bool)>,
-    rr: Vec<FlowId>,
-    rr_next: usize,
-    delivered: u64,
-    timer_armed: bool,
+    tx: FlowTable<FlowId, TxFlow>,
+    rx: ReassemblyTable,
+    ctrl: CtrlQueue<PiasMeta>,
+    rto: TickTimer,
 }
 
 impl PiasTransport {
@@ -211,51 +200,34 @@ impl PiasTransport {
             me,
             cfg,
             next_seq: 1,
-            tx: HashMap::new(),
-            rx: HashMap::new(),
-            acks: VecDeque::new(),
-            rr: Vec::new(),
-            rr_next: 0,
-            delivered: 0,
-            timer_armed: false,
-        }
-    }
-
-    fn arm(&mut self, now: SimTime, act: &mut TransportActions) {
-        if !self.timer_armed {
-            self.timer_armed = true;
-            act.timer(now + RTO_TICK, RTO_TOKEN);
+            tx: FlowTable::new(),
+            rx: ReassemblyTable::new(),
+            ctrl: CtrlQueue::new(),
+            rto: TickTimer::new(RTO_TOKEN, RTO_TICK),
         }
     }
 }
 
 impl Transport<PiasMeta> for PiasTransport {
     fn on_packet(&mut self, now: SimTime, pkt: Packet<PiasMeta>, act: &mut TransportActions) {
-        self.arm(now, act);
+        self.rto.ensure(now, act);
         match pkt.meta {
             PiasMeta::Data { flow, msg_len, offset, payload, tag, .. } => {
-                let key = MsgKey { origin: PeerId(flow.src.0), seq: flow.seq, dir: Dir::Oneway };
-                let f = self.rx.entry(flow).or_insert_with(|| RxFlow {
-                    msg: InboundMessage::new(key, PeerId(pkt.src.0), msg_len, ns(now)),
-                    tag,
-                });
-                if offset == 0 {
-                    f.tag = tag;
-                }
-                f.msg.record(offset, payload as u64);
-                let cum = f.msg.contiguous();
-                let complete = f.msg.complete();
-                self.acks.push_back((pkt.src, flow, cum, pkt.ecn));
-                if complete {
-                    let f = self.rx.remove(&flow).expect("present");
-                    self.delivered += msg_len;
-                    act.event(AppEvent::MessageDelivered { src: flow.src, tag: f.tag, len: msg_len });
-                }
+                let cum = if self.rx.upsert(flow, msg_len, tag, ns(now)).is_some() {
+                    let progress = self.rx.record(flow, offset, payload, tag);
+                    progress.contiguous
+                } else {
+                    // Late duplicate of a delivered message: re-ack the
+                    // full length so the sender retires the flow.
+                    msg_len
+                };
+                self.ctrl.push(pkt.src, PiasMeta::Ack { flow, cum_offset: cum, ecn_echo: pkt.ecn });
+                self.rx.deliver_if_complete(flow, act);
                 act.kick_tx();
             }
             PiasMeta::Ack { flow, cum_offset, ecn_echo } => {
-                let mut finished = None;
-                if let Some(f) = self.tx.get_mut(&flow) {
+                let mut finished = false;
+                if let Some(f) = self.tx.get_mut(flow) {
                     if cum_offset > f.acked {
                         f.acked = cum_offset;
                         f.last_progress = ns(now);
@@ -280,16 +252,10 @@ impl Transport<PiasMeta> for PiasTransport {
                         f.total = 0;
                         f.window_end = f.acked + f.cwnd as u64;
                     }
-                    if f.acked >= f.len {
-                        finished = Some(flow);
-                    }
+                    finished = f.acked >= f.body.len;
                 }
-                if let Some(fl) = finished {
-                    self.tx.remove(&fl);
-                    self.rr.retain(|&x| x != fl);
-                    if self.rr_next >= self.rr.len() && !self.rr.is_empty() {
-                        self.rr_next = 0;
-                    }
+                if finished {
+                    self.tx.remove(flow);
                 }
                 act.kick_tx();
             }
@@ -299,46 +265,49 @@ impl Transport<PiasMeta> for PiasTransport {
     fn on_timer(&mut self, now: SimTime, _token: TimerToken, act: &mut TransportActions) {
         // Go-back-N on stall.
         let mut kick = false;
+        let rto_ns = self.cfg.rto_ns;
+        let min_cwnd = self.cfg.min_cwnd as f64;
         for f in self.tx.values_mut() {
-            if f.acked < f.sent && ns(now).saturating_sub(f.last_progress) > self.cfg.rto_ns {
-                f.sent = f.acked;
+            if f.acked < f.body.fresh && ns(now).saturating_sub(f.last_progress) > rto_ns {
+                f.body.fresh = f.acked;
                 f.last_progress = ns(now);
-                f.cwnd = (f.cwnd / 2.0).max(self.cfg.min_cwnd as f64);
+                f.cwnd = (f.cwnd / 2.0).max(min_cwnd);
                 kick = true;
             }
         }
         if kick {
             act.kick_tx();
         }
-        act.timer(now + RTO_TICK, RTO_TOKEN);
+        self.rto.rearm(now, act);
     }
 
     fn next_packet(&mut self, _now: SimTime) -> Option<Packet<PiasMeta>> {
-        if let Some((dst, flow, cum_offset, ecn_echo)) = self.acks.pop_front() {
-            return Some(Packet::new(self.me, dst, PiasMeta::Ack { flow, cum_offset, ecn_echo }));
+        if let Some(pkt) = self.ctrl.pop_packet(self.me) {
+            return Some(pkt);
         }
         // Fair round-robin across flows with window space (TCP-like; PIAS
         // does not reorder at the sender).
-        let n = self.rr.len();
-        for step in 0..n {
-            let flow = self.rr[(self.rr_next + step) % n];
-            let f = self.tx.get_mut(&flow).expect("rr flow exists");
-            let limit = (f.acked + f.cwnd as u64).min(f.len);
-            if f.sent < limit {
-                let offset = f.sent;
-                let payload = (limit - offset).min(MAX_PAYLOAD as u64) as u32;
-                let retx = offset < f.sent; // never true here; kept for clarity
-                let prio = self.cfg.prio_for(offset);
-                f.sent += payload as u64;
-                self.rr_next = (self.rr_next + step + 1) % n;
-                return Some(Packet::new(
-                    self.me,
-                    f.dst,
-                    PiasMeta::Data { flow, msg_len: f.len, offset, payload, prio, tag: f.tag, retx },
-                ));
-            }
-        }
-        None
+        let flow = self.tx.select_rr(|_, f| {
+            let limit = (f.acked + f.cwnd as u64).min(f.body.len);
+            f.body.has_work(limit)
+        })?;
+        let f = self.tx.get_mut(flow).expect("selected");
+        let limit = (f.acked + f.cwnd as u64).min(f.body.len);
+        let (offset, payload, retx) = f.body.next_chunk(limit).expect("eligible");
+        let prio = self.cfg.prio_for(offset);
+        Some(Packet::new(
+            self.me,
+            f.body.dst,
+            PiasMeta::Data {
+                flow,
+                msg_len: f.body.len,
+                offset,
+                payload,
+                prio,
+                tag: f.body.tag,
+                retx,
+            },
+        ))
     }
 
     fn inject_message(
@@ -349,16 +318,13 @@ impl Transport<PiasMeta> for PiasTransport {
         tag: u64,
         act: &mut TransportActions,
     ) {
-        self.arm(now, act);
+        self.rto.ensure(now, act);
         let flow = FlowId { src: self.me, seq: self.next_seq };
         self.next_seq += 1;
         self.tx.insert(
             flow,
             TxFlow {
-                dst,
-                len,
-                tag,
-                sent: 0,
+                body: TxBody::new(dst, len, tag),
                 acked: 0,
                 cwnd: self.cfg.init_cwnd as f64,
                 alpha: 0.0,
@@ -368,12 +334,11 @@ impl Transport<PiasMeta> for PiasTransport {
                 last_progress: ns(now),
             },
         );
-        self.rr.push(flow);
         act.kick_tx();
     }
 
     fn delivered_bytes(&self) -> u64 {
-        self.delivered
+        self.rx.delivered_bytes()
     }
 }
 
@@ -390,7 +355,7 @@ pub fn fabric_queues(cfg: &PiasConfig) -> homa_sim::QueueDiscipline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use homa_sim::{Network, NetworkConfig, Topology};
+    use homa_sim::{AppEvent, Network, NetworkConfig, Topology};
     use homa_workloads::Workload;
 
     fn net(n: u32) -> Network<PiasMeta, PiasTransport> {
@@ -432,6 +397,16 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_message_delivers() {
+        let mut net = net(4);
+        net.inject_message(HostId(0), HostId(1), 0, 13);
+        net.run_until(SimTime::from_millis(1));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 1, "empty message announces itself with one packet");
+        assert!(matches!(evs[0].2, AppEvent::MessageDelivered { len: 0, tag: 13, .. }));
+    }
+
+    #[test]
     fn short_messages_beat_long_prefixes_eventually() {
         let mut net = net(4);
         net.inject_message(HostId(0), HostId(3), 3_000_000, 1);
@@ -459,9 +434,6 @@ mod tests {
         let evs = net.take_app_events();
         assert_eq!(evs.len(), 5, "all complete");
         let stats = net.harvest_stats();
-        // ECN marking must have engaged at the shared downlink.
-        let marks: u64 = (0..6).map(|_| 0).sum::<u64>(); // placeholder; marks tracked per queue
-        let _ = marks;
         assert_eq!(stats.total_drops(), 0, "ECN avoids drops");
     }
 }

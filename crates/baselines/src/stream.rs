@@ -11,8 +11,15 @@
 //!   bytes, cumulative acks, go-back-N on timeout;
 //! * no network priorities (everything at level 0);
 //! * fair round-robin between streams at the sender.
+//!
+//! Streams reuse the sender-side scaffolding from
+//! [`crate::common`] ([`FlowTable`]/[`TxBody`], keyed by destination
+//! host rather than flow); reassembly is byte-stream-specific (in-order
+//! delivery with message boundaries), so it stays local.
 
-use crate::common::{ns, CTRL_BYTES, DATA_OVERHEAD, MAX_PAYLOAD, RTT_BYTES};
+use crate::common::{
+    ns, CtrlQueue, FlowTable, TickTimer, TxBody, CTRL_BYTES, DATA_OVERHEAD, RTT_BYTES,
+};
 use homa_sim::{
     AppEvent, HostId, Packet, PacketMeta, SimDuration, SimTime, TimerToken, Transport,
     TransportActions,
@@ -43,8 +50,9 @@ pub enum StreamMeta {
         offset: u64,
         /// Payload bytes carried.
         payload: u32,
-        /// Tag of the message the first byte of this segment belongs to
-        /// (receiver-side delivery bookkeeping travels via `msgs`).
+        /// Message boundaries starting within this segment, as
+        /// `(tag, len, start_offset)` (receiver-side delivery
+        /// bookkeeping).
         msgs: Vec<(u64, u64, u64)>,
     },
     /// Cumulative acknowledgment of stream bytes below `offset`.
@@ -75,13 +83,12 @@ impl PacketMeta for StreamMeta {
     }
 }
 
-/// One direction of a stream (sender side).
-#[derive(Debug, Default)]
+/// One direction of a stream (sender side): the shared fragmentation
+/// body (`len` = bytes enqueued so far, `fresh` = next byte to send)
+/// plus cumulative-ack bookkeeping.
+#[derive(Debug)]
 struct TxStream {
-    /// Total bytes ever enqueued.
-    enqueued: u64,
-    /// Next byte to transmit.
-    sent: u64,
+    body: TxBody,
     /// Cumulative ack received.
     acked: u64,
     /// Message boundaries: (tag, len, start_offset), FIFO.
@@ -108,15 +115,11 @@ const RTO_TICK: SimDuration = SimDuration::from_micros(500);
 pub struct StreamTransport {
     me: HostId,
     cfg: StreamConfig,
-    tx: HashMap<HostId, TxStream>,
+    tx: FlowTable<HostId, TxStream>,
     rx: HashMap<HostId, RxStream>,
-    /// Pending acks to emit (dst, stream offset).
-    acks: VecDeque<(HostId, u64)>,
-    /// Round-robin cursor over destinations.
-    rr: Vec<HostId>,
-    rr_next: usize,
+    acks: CtrlQueue<StreamMeta>,
     delivered: u64,
-    timer_armed: bool,
+    rto: TickTimer,
 }
 
 impl StreamTransport {
@@ -125,20 +128,11 @@ impl StreamTransport {
         StreamTransport {
             me,
             cfg,
-            tx: HashMap::new(),
+            tx: FlowTable::new(),
             rx: HashMap::new(),
-            acks: VecDeque::new(),
-            rr: Vec::new(),
-            rr_next: 0,
+            acks: CtrlQueue::new(),
             delivered: 0,
-            timer_armed: false,
-        }
-    }
-
-    fn arm(&mut self, now: SimTime, act: &mut TransportActions) {
-        if !self.timer_armed {
-            self.timer_armed = true;
-            act.timer(now + RTO_TICK, RTO_TOKEN);
+            rto: TickTimer::new(RTO_TOKEN, RTO_TICK),
         }
     }
 
@@ -177,7 +171,7 @@ impl StreamTransport {
 
 impl Transport<StreamMeta> for StreamTransport {
     fn on_packet(&mut self, now: SimTime, pkt: Packet<StreamMeta>, act: &mut TransportActions) {
-        self.arm(now, act);
+        self.rto.ensure(now, act);
         match pkt.meta {
             StreamMeta::Data { offset, payload, ref msgs } => {
                 let rx = self.rx.entry(pkt.src).or_default();
@@ -192,11 +186,11 @@ impl Transport<StreamMeta> for StreamTransport {
                 }
                 self.deliver_in_order(pkt.src, act);
                 let in_order = self.rx[&pkt.src].in_order;
-                self.acks.push_back((pkt.src, in_order));
+                self.acks.push(pkt.src, StreamMeta::Ack { offset: in_order });
                 act.kick_tx();
             }
             StreamMeta::Ack { offset } => {
-                if let Some(tx) = self.tx.get_mut(&pkt.src) {
+                if let Some(tx) = self.tx.get_mut(pkt.src) {
                     if offset > tx.acked {
                         tx.acked = offset;
                         tx.last_progress = ns(now);
@@ -219,9 +213,10 @@ impl Transport<StreamMeta> for StreamTransport {
         // Go-back-N: any stream stalled past the RTO restarts from the ack
         // point.
         let mut kick = false;
+        let rto_ns = self.cfg.rto_ns;
         for tx in self.tx.values_mut() {
-            if tx.acked < tx.sent && ns(now).saturating_sub(tx.last_progress) > self.cfg.rto_ns {
-                tx.sent = tx.acked;
+            if tx.acked < tx.body.fresh && ns(now).saturating_sub(tx.last_progress) > rto_ns {
+                tx.body.fresh = tx.acked;
                 tx.last_progress = ns(now);
                 kick = true;
             }
@@ -229,36 +224,27 @@ impl Transport<StreamMeta> for StreamTransport {
         if kick {
             act.kick_tx();
         }
-        act.timer(now + RTO_TICK, RTO_TOKEN);
+        self.rto.rearm(now, act);
     }
 
     fn next_packet(&mut self, _now: SimTime) -> Option<Packet<StreamMeta>> {
         // Acks first.
-        if let Some((dst, offset)) = self.acks.pop_front() {
-            return Some(Packet::new(self.me, dst, StreamMeta::Ack { offset }));
+        if let Some(pkt) = self.acks.pop_packet(self.me) {
+            return Some(pkt);
         }
         // Round-robin across streams with window space and data.
-        let n = self.rr.len();
-        for step in 0..n {
-            let dst = self.rr[(self.rr_next + step) % n];
-            let tx = self.tx.get_mut(&dst).expect("stream exists");
-            let window_end = (tx.acked + self.cfg.window).min(tx.enqueued);
-            if tx.sent < window_end {
-                let payload = (window_end - tx.sent).min(MAX_PAYLOAD as u64) as u32;
-                let offset = tx.sent;
-                // Message boundaries that start within this segment.
-                let msgs: Vec<(u64, u64, u64)> = tx
-                    .msgs
-                    .iter()
-                    .filter(|&&(_, _, s)| s >= offset && s < offset + payload as u64)
-                    .copied()
-                    .collect();
-                tx.sent += payload as u64;
-                self.rr_next = (self.rr_next + step + 1) % n;
-                return Some(Packet::new(self.me, dst, StreamMeta::Data { offset, payload, msgs }));
-            }
-        }
-        None
+        let window = self.cfg.window;
+        let dst = self.tx.select_rr(|_, tx| tx.body.has_work(tx.acked + window))?;
+        let tx = self.tx.get_mut(dst).expect("selected");
+        let (offset, payload, _) = tx.body.next_chunk(tx.acked + window).expect("eligible");
+        // Message boundaries that start within this segment.
+        let msgs: Vec<(u64, u64, u64)> = tx
+            .msgs
+            .iter()
+            .filter(|&&(_, _, s)| s >= offset && s < offset + payload as u64)
+            .copied()
+            .collect();
+        Some(Packet::new(self.me, dst, StreamMeta::Data { offset, payload, msgs }))
     }
 
     fn inject_message(
@@ -269,14 +255,22 @@ impl Transport<StreamMeta> for StreamTransport {
         tag: u64,
         act: &mut TransportActions,
     ) {
-        self.arm(now, act);
-        if !self.tx.contains_key(&dst) {
-            self.rr.push(dst);
+        self.rto.ensure(now, act);
+        if !self.tx.contains(dst) {
+            self.tx.insert(
+                dst,
+                TxStream {
+                    body: TxBody::new(dst, 0, 0),
+                    acked: 0,
+                    msgs: VecDeque::new(),
+                    last_progress: 0,
+                },
+            );
         }
-        let tx = self.tx.entry(dst).or_default();
-        let start = tx.enqueued;
+        let tx = self.tx.get_mut(dst).expect("just ensured");
+        let start = tx.body.len;
         tx.msgs.push_back((tag, len, start));
-        tx.enqueued += len;
+        tx.body.len += len;
         if tx.last_progress == 0 {
             tx.last_progress = ns(now);
         }
@@ -336,7 +330,10 @@ mod tests {
         let evs = net.take_app_events();
         // The tiny message to a different host is only slowed by its share
         // of the sender uplink, far less than full serialization of 2MB.
-        let tiny = evs.iter().find(|(_, _, e)| matches!(e, AppEvent::MessageDelivered { tag: 2, .. })).unwrap();
+        let tiny = evs
+            .iter()
+            .find(|(_, _, e)| matches!(e, AppEvent::MessageDelivered { tag: 2, .. }))
+            .unwrap();
         assert!(tiny.0.as_micros_f64() < 1_500.0, "tiny at {}us", tiny.0.as_micros_f64());
     }
 

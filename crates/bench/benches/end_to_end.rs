@@ -30,10 +30,9 @@ fn bench_fabric_scale(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
     let dist = Workload::W1.dist();
-    for (label, topo) in [
-        ("single16", Topology::single_switch(16)),
-        ("fabric24", Topology::scaled_fabric(3, 8, 2)),
-    ] {
+    for (label, topo) in
+        [("single16", Topology::single_switch(16)), ("fabric24", Topology::scaled_fabric(3, 8, 2))]
+    {
         g.bench_function(format!("homa_w1_1k_{label}"), |b| {
             b.iter(|| {
                 let res = run_protocol_oneway(

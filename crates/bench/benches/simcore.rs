@@ -50,11 +50,8 @@ fn bench_port_queue(c: &mut Criterion) {
         b.iter(|| {
             let mut q: PortQueue<M> = PortQueue::new(QueueDiscipline::strict8(1 << 20));
             for i in 0..256u32 {
-                let pkt = Packet::new(
-                    homa_sim::HostId(0),
-                    homa_sim::HostId(1),
-                    M(1_460, (i % 8) as u8),
-                );
+                let pkt =
+                    Packet::new(homa_sim::HostId(0), homa_sim::HostId(1), M(1_460, (i % 8) as u8));
                 q.enqueue(SimTime::from_nanos(i as u64), pkt, None);
             }
             let mut n = 0;

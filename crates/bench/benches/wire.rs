@@ -37,7 +37,9 @@ fn bench_wire(c: &mut Criterion) {
         prio: 3,
         cutoffs: None,
     });
-    g.bench_function("encode_grant", |b| b.iter(|| homa_wire::encode(std::hint::black_box(&grant), &[])));
+    g.bench_function("encode_grant", |b| {
+        b.iter(|| homa_wire::encode(std::hint::black_box(&grant), &[]))
+    });
     let eg = homa_wire::encode(&grant, &[]);
     g.bench_function("decode_grant", |b| {
         b.iter(|| homa_wire::decode(std::hint::black_box(&eg)).expect("valid"))

@@ -12,9 +12,9 @@
 //! ```
 
 use homa::HomaConfig;
-use homa_bench::{run_protocol_oneway, run_protocol_rpc, Protocol};
 use homa_baselines::homa_sim::static_map_for_workload;
 use homa_baselines::HomaSimTransport;
+use homa_bench::{run_protocol_oneway, run_protocol_rpc, Protocol};
 use homa_harness::capacity::max_sustainable_load;
 use homa_harness::driver::{run_incast, OnewayOpts, RpcOpts};
 use homa_harness::render::{fmt_bps, fmt_bytes, slowdown_table};
@@ -105,10 +105,8 @@ fn main() {
             }
             "--loads" => {
                 i += 1;
-                opts.loads = args[i]
-                    .split(',')
-                    .map(|s| s.parse().expect("--loads takes floats"))
-                    .collect();
+                opts.loads =
+                    args[i].split(',').map(|s| s.parse().expect("--loads takes floats")).collect();
             }
             other => panic!("unknown option {other}"),
         }
@@ -341,7 +339,8 @@ fn fig12_13(opts: &Opts, pct: f64) {
             let dist = w.dist();
             let n = opts.msgs_for(w);
             println!("\n--- workload {w}, load {:.0}%, {n} messages ---", load * 100.0);
-            let mut protos = vec![Protocol::Homa, Protocol::Pfabric, Protocol::Phost, Protocol::Pias];
+            let mut protos =
+                vec![Protocol::Homa, Protocol::Pfabric, Protocol::Phost, Protocol::Pias];
             if w == Workload::W5 {
                 protos.push(Protocol::Ndp); // the paper runs NDP on W5 only
             }
@@ -664,13 +663,9 @@ fn fig20(opts: &Opts) {
     let dist = Workload::W4.dist();
     let n = opts.msgs_for(Workload::W4);
     let rtt = HomaConfig::default().rtt_bytes;
-    for (label, limit) in [
-        ("1B", 1u64),
-        ("500B", 500),
-        ("1000B", 1_000),
-        ("RTTbytes", rtt),
-        ("2xRTTbytes", 2 * rtt),
-    ] {
+    for (label, limit) in
+        [("1B", 1u64), ("500B", 500), ("1000B", 1_000), ("RTTbytes", rtt), ("2xRTTbytes", 2 * rtt)]
+    {
         let cfg = HomaConfig { unsched_limit: limit, ..HomaConfig::default() };
         let res = run_protocol_oneway(
             Protocol::Homa,

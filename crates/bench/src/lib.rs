@@ -13,12 +13,13 @@
 use homa::HomaConfig;
 use homa_baselines::{
     homa_sim::{basic_config, homa_px_config, static_map_for_workload},
-    ndp, pfabric, pias, HomaSimTransport, NdpConfig, NdpTransport, PfabricConfig,
-    PfabricTransport, PhostConfig, PhostTransport, PiasConfig, PiasTransport, StreamConfig,
-    StreamTransport,
+    ndp, pfabric, pias, HomaSimTransport, NdpConfig, NdpTransport, PfabricConfig, PfabricTransport,
+    PhostConfig, PhostTransport, PiasConfig, PiasTransport, StreamConfig, StreamTransport,
 };
-use homa_harness::driver::{run_oneway, run_rpc_echo, OnewayOpts, OnewayResult, RpcOpts, RpcResult};
-use homa_sim::{NetworkConfig, Topology};
+use homa_harness::driver::{
+    run_oneway, run_rpc_echo, OnewayOpts, OnewayResult, RpcOpts, RpcResult,
+};
+use homa_sim::{NetworkConfig, QueueDiscipline, Topology};
 use homa_workloads::MessageSizeDist;
 
 /// The transports evaluated in the paper.
@@ -70,10 +71,7 @@ impl Protocol {
             "phost" => Some(Protocol::Phost),
             "pias" => Some(Protocol::Pias),
             "ndp" => Some(Protocol::Ndp),
-            _ => l
-                .strip_prefix("homap")
-                .and_then(|n| n.parse::<u8>().ok())
-                .map(Protocol::HomaP),
+            _ => l.strip_prefix("homap").and_then(|n| n.parse::<u8>().ok()).map(Protocol::HomaP),
         }
     }
 }
@@ -89,9 +87,33 @@ pub fn homa_config_for(p: Protocol) -> HomaConfig {
     }
 }
 
+/// The switch queue discipline a protocol requires, or `None` for the
+/// default strict-priority fabric. pFabric needs priority-drop queues,
+/// NDP trimming queues, PIAS ECN marking; everything else runs on
+/// commodity strict priorities.
+pub fn fabric_queues_for(p: Protocol, dist: &MessageSizeDist) -> Option<QueueDiscipline> {
+    match p {
+        Protocol::Pfabric => Some(pfabric::fabric_queues(&PfabricConfig::default())),
+        Protocol::Pias => {
+            let thresholds = PiasConfig::thresholds_for(dist, 8);
+            Some(pias::fabric_queues(&PiasConfig { thresholds, ..PiasConfig::default() }))
+        }
+        Protocol::Ndp => Some(ndp::fabric_queues(&NdpConfig::default())),
+        _ => None,
+    }
+}
+
+/// Seeded fabric configuration, optionally with a protocol-specific
+/// queue discipline on every port class.
+fn netcfg(seed: u64, queues: Option<QueueDiscipline>) -> NetworkConfig {
+    match queues {
+        Some(q) => NetworkConfig::uniform(seed, q),
+        None => NetworkConfig { seed, ..NetworkConfig::default() },
+    }
+}
+
 /// Run a one-way-message experiment for any protocol. The fabric's queue
-/// discipline is chosen per protocol (pFabric's priority-drop queues,
-/// NDP's trimming queues, ECN for PIAS, strict priorities otherwise).
+/// discipline is chosen per protocol (see [`fabric_queues_for`]).
 #[allow(clippy::too_many_arguments)]
 pub fn run_protocol_oneway(
     p: Protocol,
@@ -103,14 +125,15 @@ pub fn run_protocol_oneway(
     opts: &OnewayOpts,
     homa_override: Option<HomaConfig>,
 ) -> OnewayResult {
+    let net = netcfg(seed, fabric_queues_for(p, dist));
+    let link = topo.host_link_bps;
     match p {
         Protocol::Homa | Protocol::HomaP(_) | Protocol::Basic => {
             let cfg = homa_override.unwrap_or_else(|| homa_config_for(p));
             let map = static_map_for_workload(dist, &cfg);
-            let netcfg = NetworkConfig { seed, ..NetworkConfig::default() };
             run_oneway(
                 topo,
-                netcfg,
+                net,
                 |h| {
                     let t = HomaSimTransport::new(h, cfg.clone()).with_static_map(map.clone());
                     if opts.track_delay {
@@ -126,56 +149,44 @@ pub fn run_protocol_oneway(
                 opts,
             )
         }
-        Protocol::Stream => {
-            let netcfg = NetworkConfig { seed, ..NetworkConfig::default() };
-            run_oneway(
-                topo,
-                netcfg,
-                |h| StreamTransport::new(h, StreamConfig::default()),
-                dist,
-                load,
-                n_msgs,
-                seed,
-                opts,
-            )
-        }
-        Protocol::Pfabric => {
-            let pcfg = PfabricConfig::default();
-            let mut netcfg = NetworkConfig::uniform(seed, pfabric::fabric_queues(&pcfg));
-            netcfg.seed = seed;
-            run_oneway(
-                topo,
-                netcfg,
-                move |h| PfabricTransport::new(h, PfabricConfig::default()),
-                dist,
-                load,
-                n_msgs,
-                seed,
-                opts,
-            )
-        }
-        Protocol::Phost => {
-            let netcfg = NetworkConfig { seed, ..NetworkConfig::default() };
-            let link = topo.host_link_bps;
-            run_oneway(
-                topo,
-                netcfg,
-                move |h| PhostTransport::new(h, PhostConfig { link_bps: link, ..PhostConfig::default() }),
-                dist,
-                load,
-                n_msgs,
-                seed,
-                opts,
-            )
-        }
+        Protocol::Stream => run_oneway(
+            topo,
+            net,
+            |h| StreamTransport::new(h, StreamConfig::default()),
+            dist,
+            load,
+            n_msgs,
+            seed,
+            opts,
+        ),
+        Protocol::Pfabric => run_oneway(
+            topo,
+            net,
+            |h| PfabricTransport::new(h, PfabricConfig::default()),
+            dist,
+            load,
+            n_msgs,
+            seed,
+            opts,
+        ),
+        Protocol::Phost => run_oneway(
+            topo,
+            net,
+            move |h| {
+                PhostTransport::new(h, PhostConfig { link_bps: link, ..PhostConfig::default() })
+            },
+            dist,
+            load,
+            n_msgs,
+            seed,
+            opts,
+        ),
         Protocol::Pias => {
             let thresholds = PiasConfig::thresholds_for(dist, 8);
             let pcfg = PiasConfig { thresholds, ..PiasConfig::default() };
-            let mut netcfg = NetworkConfig::uniform(seed, pias::fabric_queues(&pcfg));
-            netcfg.seed = seed;
             run_oneway(
                 topo,
-                netcfg,
+                net,
                 move |h| PiasTransport::new(h, pcfg.clone()),
                 dist,
                 load,
@@ -184,22 +195,16 @@ pub fn run_protocol_oneway(
                 opts,
             )
         }
-        Protocol::Ndp => {
-            let ncfg = NdpConfig::default();
-            let mut netcfg = NetworkConfig::uniform(seed, ndp::fabric_queues(&ncfg));
-            netcfg.seed = seed;
-            let link = topo.host_link_bps;
-            run_oneway(
-                topo,
-                netcfg,
-                move |h| NdpTransport::new(h, NdpConfig { link_bps: link, ..NdpConfig::default() }),
-                dist,
-                load,
-                n_msgs,
-                seed,
-                opts,
-            )
-        }
+        Protocol::Ndp => run_oneway(
+            topo,
+            net,
+            move |h| NdpTransport::new(h, NdpConfig { link_bps: link, ..NdpConfig::default() }),
+            dist,
+            load,
+            n_msgs,
+            seed,
+            opts,
+        ),
     }
 }
 
@@ -218,10 +223,9 @@ pub fn run_protocol_rpc(
         Protocol::Homa | Protocol::HomaP(_) | Protocol::Basic => {
             let cfg = homa_config_for(p);
             let map = static_map_for_workload(dist, &cfg);
-            let netcfg = NetworkConfig { seed, ..NetworkConfig::default() };
             run_rpc_echo(
                 topo,
-                netcfg,
+                netcfg(seed, None),
                 |h| HomaSimTransport::new(h, cfg.clone()).with_static_map(map.clone()),
                 dist,
                 load,
@@ -269,14 +273,10 @@ mod tests {
             Protocol::Pias,
             Protocol::Ndp,
         ] {
-            let res = run_protocol_oneway(p, &topo, &dist, 0.4, 150, 5, &OnewayOpts::default(), None);
+            let res =
+                run_protocol_oneway(p, &topo, &dist, 0.4, 150, 5, &OnewayOpts::default(), None);
             assert_eq!(res.injected, 150, "{}", p.name());
-            assert!(
-                res.delivered >= 148,
-                "{} delivered only {}/150",
-                p.name(),
-                res.delivered
-            );
+            assert!(res.delivered >= 148, "{} delivered only {}/150", p.name(), res.delivered);
         }
     }
 }

@@ -127,13 +127,12 @@ impl HomaConfig {
     pub fn validate(&self) {
         assert!(self.rtt_bytes > 0, "rtt_bytes must be positive");
         assert!(self.max_payload > 0, "max_payload must be positive");
-        assert!(
-            (1..=8).contains(&self.num_priorities),
-            "num_priorities must be in 1..=8"
-        );
+        assert!((1..=8).contains(&self.num_priorities), "num_priorities must be in 1..=8");
         if let Some(u) = self.unsched_levels_override {
-            assert!(u >= 1 && u < self.num_priorities || self.num_priorities == 1 && u == 1,
-                "unsched levels must leave at least one scheduled level (or num_priorities == 1)");
+            assert!(
+                u >= 1 && u < self.num_priorities || self.num_priorities == 1 && u == 1,
+                "unsched levels must leave at least one scheduled level (or num_priorities == 1)"
+            );
         }
         if let Some(c) = &self.cutoff_override {
             assert!(c.windows(2).all(|w| w[0] < w[1]), "cutoffs must be ascending");
@@ -176,10 +175,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "ascending")]
     fn rejects_unsorted_cutoffs() {
-        let c = HomaConfig {
-            cutoff_override: Some(vec![100, 100]),
-            ..HomaConfig::default()
-        };
+        let c = HomaConfig { cutoff_override: Some(vec![100, 100]), ..HomaConfig::default() };
         c.validate();
     }
 

@@ -209,7 +209,14 @@ impl HomaEndpoint {
 
     /// Send the response for a previously-delivered request (identified by
     /// the client peer and RPC sequence from [`HomaEvent::RequestArrived`]).
-    pub fn send_response(&mut self, now: Nanos, client: PeerId, rpc_seq: u64, resp_len: u64, tag: u64) {
+    pub fn send_response(
+        &mut self,
+        now: Nanos,
+        client: PeerId,
+        rpc_seq: u64,
+        resp_len: u64,
+        tag: u64,
+    ) {
         let req_key = MsgKey { origin: client, seq: rpc_seq, dir: Dir::Request };
         let incast_mark = self
             .server_rpcs
@@ -256,10 +263,7 @@ impl HomaEndpoint {
     }
 
     fn apply_cutoffs(&mut self, from: PeerId, c: &CutoffsUpdate) {
-        let entry = self
-            .peer_maps
-            .entry(from)
-            .or_insert_with(|| self.default_peer_map.clone());
+        let entry = self.peer_maps.entry(from).or_insert_with(|| self.default_peer_map.clone());
         entry.apply_update(c);
     }
 
@@ -289,7 +293,8 @@ impl HomaEndpoint {
         }
 
         let mut grants: Vec<(PeerId, GrantHeader)> = Vec::new();
-        let delivered = self.receiver.on_data(now, from, &hdr, &self.local_map.clone(), &mut grants);
+        let delivered =
+            self.receiver.on_data(now, from, &hdr, &self.local_map.clone(), &mut grants);
         for (dst, mut g) in grants {
             // Piggyback our cutoff allocation on grants to peers that have
             // not seen the current version (§3.4 dissemination).
@@ -370,7 +375,9 @@ impl HomaEndpoint {
                                     key: req_key,
                                     offset: 0,
                                     length: self.cfg.rtt_bytes,
-                                    prio: self.local_map.sched_prio(self.local_map.max_sched_prio()),
+                                    prio: self
+                                        .local_map
+                                        .sched_prio(self.local_map.max_sched_prio()),
                                 }),
                             ));
                         }
@@ -392,7 +399,13 @@ impl HomaEndpoint {
         let mut resends: Vec<(PeerId, ResendHeader)> = Vec::new();
         let mut aborts: Vec<InboundAbort> = Vec::new();
         let mut grants: Vec<(PeerId, GrantHeader)> = Vec::new();
-        self.receiver.timer_tick(now, &self.local_map.clone(), &mut resends, &mut aborts, &mut grants);
+        self.receiver.timer_tick(
+            now,
+            &self.local_map.clone(),
+            &mut resends,
+            &mut aborts,
+            &mut grants,
+        );
         for (dst, r) in resends {
             self.ctrl.push_back((dst, HomaPacket::Resend(r)));
         }
@@ -456,7 +469,8 @@ impl HomaEndpoint {
         // Dynamic cutoff refresh (§3.4): recompute from observed traffic
         // and push the new allocation to peers we are receiving from.
         if self.cfg.dynamic_cutoffs
-            && self.tracker.messages_seen() >= self.tracker_last_recompute + self.cfg.cutoff_refresh_msgs
+            && self.tracker.messages_seen()
+                >= self.tracker_last_recompute + self.cfg.cutoff_refresh_msgs
         {
             self.tracker_last_recompute = self.tracker.messages_seen();
             let new_map = self.tracker.recompute(&self.cfg, self.local_map.version + 1);
@@ -591,7 +605,9 @@ mod tests {
         shuttle(&mut a, &mut b, 0, |_| false);
         let evs = b.take_events();
         let (client, rpc_seq) = match &evs[..] {
-            [HomaEvent::RequestArrived { client, rpc_seq, len: 300, tag: 7 }] => (*client, *rpc_seq),
+            [HomaEvent::RequestArrived { client, rpc_seq, len: 300, tag: 7 }] => {
+                (*client, *rpc_seq)
+            }
             other => panic!("unexpected events {other:?}"),
         };
         assert_eq!(client, PeerId(0));
@@ -601,7 +617,12 @@ mod tests {
         let evs = a.take_events();
         assert_eq!(
             evs,
-            vec![HomaEvent::RpcCompleted { server: PeerId(1), rpc_seq: 1, tag: 7, resp_len: 12_345 }]
+            vec![HomaEvent::RpcCompleted {
+                server: PeerId(1),
+                rpc_seq: 1,
+                tag: 7,
+                resp_len: 12_345
+            }]
         );
         assert_eq!(a.outstanding_rpcs(), 0);
         // No state leaks: both sides clean.
@@ -649,7 +670,12 @@ mod tests {
         };
         // Server responds but the whole response is lost.
         b.send_response(0, client, rpc_seq, 500, 9);
-        shuttle(&mut a, &mut b, 0, |p| matches!(p, HomaPacket::Data(h) if h.key.dir == Dir::Response));
+        shuttle(
+            &mut a,
+            &mut b,
+            0,
+            |p| matches!(p, HomaPacket::Data(h) if h.key.dir == Dir::Response),
+        );
         assert!(a.take_events().is_empty());
         // Client times out and chases the response; the server re-requests
         // the request; client retransmits it; server re-executes
@@ -658,7 +684,9 @@ mod tests {
         shuttle(&mut a, &mut b, 3_000_000, |_| false);
         let evs = b.take_events();
         assert!(
-            evs.iter().any(|e| matches!(e, HomaEvent::RequestArrived { rpc_seq: s, .. } if *s == rpc_seq)),
+            evs.iter().any(
+                |e| matches!(e, HomaEvent::RequestArrived { rpc_seq: s, .. } if *s == rpc_seq)
+            ),
             "request re-executed, got {evs:?}"
         );
         // Second execution's response completes the RPC.
@@ -732,7 +760,8 @@ mod tests {
 
     #[test]
     fn cutoffs_disseminate_via_grants() {
-        let cfg = HomaConfig { dynamic_cutoffs: true, cutoff_refresh_msgs: 10, ..HomaConfig::default() };
+        let cfg =
+            HomaConfig { dynamic_cutoffs: true, cutoff_refresh_msgs: 10, ..HomaConfig::default() };
         let mut a = HomaEndpoint::new(PeerId(0), cfg.clone());
         let mut b = HomaEndpoint::new(PeerId(1), cfg);
         // Send enough small messages to trigger a recompute at b...

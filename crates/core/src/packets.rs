@@ -210,7 +210,11 @@ mod tests {
         assert_eq!(d.key(), Some(key()));
         let g = HomaPacket::Grant(GrantHeader { key: key(), offset: 10, prio: 0, cutoffs: None });
         assert!(g.is_control());
-        let c = HomaPacket::Cutoffs(CutoffsUpdate { version: 1, unsched_levels: 4, cutoffs: vec![100, 200, 300] });
+        let c = HomaPacket::Cutoffs(CutoffsUpdate {
+            version: 1,
+            unsched_levels: 4,
+            cutoffs: vec![100, 200, 300],
+        });
         assert!(c.is_control());
         assert_eq!(c.key(), None);
     }

@@ -128,7 +128,12 @@ impl ReceiverState {
                 // will wait forever.
                 grants.push((
                     m.src,
-                    GrantHeader { key: m.key, offset: m.granted, prio: m.sched_prio, cutoffs: None },
+                    GrantHeader {
+                        key: m.key,
+                        offset: m.granted,
+                        prio: m.sched_prio,
+                        cutoffs: None,
+                    },
                 ));
             }
         }
@@ -177,12 +182,8 @@ impl ReceiverState {
         // message, data packets for that message may result in grants to
         // other messages"). Without this, grants cascade to every inbound
         // message and the TOR buffer grows unboundedly under incast.
-        let mut cands: Vec<(u64, MsgKey)> = self
-            .msgs
-            .values()
-            .filter(|m| !m.complete())
-            .map(|m| (m.remaining(), m.key))
-            .collect();
+        let mut cands: Vec<(u64, MsgKey)> =
+            self.msgs.values().filter(|m| !m.complete()).map(|m| (m.remaining(), m.key)).collect();
         cands.sort_unstable();
         self.withholding = cands.len() > k
             && cands[k..].iter().any(|&(_, key)| {
@@ -236,7 +237,8 @@ impl ReceiverState {
         for m in self.msgs.values_mut() {
             // Only chase messages from which we expect bytes: either
             // granted-but-undelivered data, or a gap in what has arrived.
-            let expecting = m.granted > m.received() || m.first_gap().is_some_and(|(o, _)| o < m.granted);
+            let expecting =
+                m.granted > m.received() || m.first_gap().is_some_and(|(o, _)| o < m.granted);
             if !expecting {
                 continue;
             }
@@ -382,9 +384,16 @@ mod tests {
         let mut grants = Vec::new();
         // Three big inbound messages; only two should be granted.
         for seq in 1..=3 {
-            r.on_data(0, PeerId(5), &data(seq, 1_000_000 + seq, 0, 1_400, true), &map(), &mut grants);
+            r.on_data(
+                0,
+                PeerId(5),
+                &data(seq, 1_000_000 + seq, 0, 1_400, true),
+                &map(),
+                &mut grants,
+            );
         }
-        let granted_keys: std::collections::HashSet<_> = grants.iter().map(|(_, g)| g.key).collect();
+        let granted_keys: std::collections::HashSet<_> =
+            grants.iter().map(|(_, g)| g.key).collect();
         assert_eq!(granted_keys.len(), 2);
         assert!(r.withholding(), "third message is withheld");
         // The two smallest-remaining are the active ones.

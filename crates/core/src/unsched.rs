@@ -126,9 +126,7 @@ fn default_cutoffs(unsched_levels: u8, limit: u64) -> Vec<u64> {
     }
     let lo = 64f64.ln();
     let hi = (limit.max(128) as f64).ln();
-    (1..=n)
-        .map(|i| (lo + (hi - lo) * i as f64 / (n + 1) as f64).exp().round() as u64)
-        .collect()
+    (1..=n).map(|i| (lo + (hi - lo) * i as f64 / (n + 1) as f64).exp().round() as u64).collect()
 }
 
 /// Receiver-side traffic measurement that derives a [`PriorityMap`].
@@ -232,8 +230,7 @@ impl TrafficTracker {
         let mut next_target = 1;
         for (i, &b) in self.unsched_bytes.iter().enumerate() {
             acc += b;
-            while next_target <= n
-                && acc >= self.total_unsched * next_target as f64 / levels as f64
+            while next_target <= n && acc >= self.total_unsched * next_target as f64 / levels as f64
             {
                 cutoffs.push(bucket_upper(i));
                 next_target += 1;
@@ -350,10 +347,7 @@ mod tests {
         let m = t.recompute(&cfg, 1);
         assert_eq!(m.cutoffs.len(), 1);
         let c = m.cutoffs[0];
-        assert!(
-            (100..10_000).contains(&c),
-            "cutoff {c} should separate the two size classes"
-        );
+        assert!((100..10_000).contains(&c), "cutoff {c} should separate the two size classes");
         // Small messages land on the top priority.
         assert_eq!(m.unsched_prio(100), 7);
         assert_eq!(m.unsched_prio(10_000), 6);

@@ -135,7 +135,7 @@ proptest! {
         for &s in &sizes {
             let p = map.unsched_prio(s);
             prop_assert!(p >= map.num_priorities - map.unsched_levels);
-            prop_assert!(p <= map.num_priorities - 1);
+            prop_assert!(p < map.num_priorities);
         }
         // Smaller size never gets lower priority.
         let mut prev = map.unsched_prio(1);

@@ -27,6 +27,7 @@ pub struct CapacityProbe {
 /// `make` must build a fresh transport per host per probe run.
 /// Returns the highest sustainable load found (within `tol`) and the
 /// probe history.
+#[allow(clippy::too_many_arguments)]
 pub fn max_sustainable_load<M, T>(
     topo: &Topology,
     netcfg: &NetworkConfig,

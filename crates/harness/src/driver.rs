@@ -12,8 +12,8 @@
 
 use crate::slowdown::MsgRecord;
 use homa_sim::{
-    AppEvent, HostId, Network, NetworkConfig, PacketMeta, RunStats, SimDuration, SimTime,
-    Topology, Transport,
+    AppEvent, HostId, Network, NetworkConfig, PacketMeta, RunStats, SimDuration, SimTime, Topology,
+    Transport,
 };
 use homa_workloads::{LoadPlan, MessageSizeDist, PoissonArrivals};
 use std::collections::HashMap;
@@ -82,9 +82,13 @@ pub struct OnewayResult {
     pub delivered_bps: f64,
 }
 
+/// Memoized unloaded-latency lookup passed through the event handler.
+type UnloadedCache<'a, M, T> = dyn FnMut(&Network<M, T>, u64, bool) -> u64 + 'a;
+
 /// Run an all-to-all one-way-message experiment at `load` (fraction of
 /// aggregate host-link bandwidth) until `n_msgs` messages have been
 /// injected, then drain.
+#[allow(clippy::too_many_arguments)]
 pub fn run_oneway<M, T>(
     topo: &Topology,
     netcfg: NetworkConfig,
@@ -107,7 +111,12 @@ where
         mean_msg_bytes: dist.mean(),
         mean_overhead_bytes: LoadPlan::estimate_overhead(dist, PAYLOAD, OVERHEAD, CTRL, 9_700),
     };
-    let mut gen = PoissonArrivals::new(seed ^ 0x9e37_79b9, dist.clone(), hosts, plan.mean_interarrival_secs());
+    let mut gen = PoissonArrivals::new(
+        seed ^ 0x9e37_79b9,
+        dist.clone(),
+        hosts,
+        plan.mean_interarrival_secs(),
+    );
     let mut net: Network<M, T> = Network::new(topo.clone(), netcfg, make);
 
     // tag -> (size, injected_ns, cross_rack)
@@ -131,11 +140,11 @@ where
     };
 
     let handle_events = |net: &mut Network<M, T>,
-                             pending: &mut HashMap<u64, (u64, u64, bool)>,
-                             records: &mut Vec<MsgRecord>,
-                             delivered: &mut u64,
-                             aborted: &mut u64,
-                             unloaded_cache: &mut dyn FnMut(&Network<M, T>, u64, bool) -> u64| {
+                         pending: &mut HashMap<u64, (u64, u64, bool)>,
+                         records: &mut Vec<MsgRecord>,
+                         delivered: &mut u64,
+                         aborted: &mut u64,
+                         unloaded_cache: &mut UnloadedCache<'_, M, T>| {
         for (at, host, ev) in net.take_app_events() {
             match ev {
                 AppEvent::MessageDelivered { src, tag, len } => {
@@ -159,10 +168,8 @@ where
                         }
                     }
                 }
-                AppEvent::Aborted { tag, .. } => {
-                    if pending.remove(&tag).is_some() {
-                        *aborted += 1;
-                    }
+                AppEvent::Aborted { tag, .. } if pending.remove(&tag).is_some() => {
+                    *aborted += 1;
                 }
                 _ => {}
             }
@@ -176,17 +183,31 @@ where
         // Process events (and samples) up to the arrival.
         while opts.sample_wasted && next_sample <= at {
             net.run_until(next_sample);
-            handle_events(&mut net, &mut pending, &mut records, &mut delivered, &mut aborted, &mut unloaded_of);
+            handle_events(
+                &mut net,
+                &mut pending,
+                &mut records,
+                &mut delivered,
+                &mut aborted,
+                &mut unloaded_of,
+            );
             for h in net.topology().hosts() {
                 samples += 1;
                 if net.downlink_idle(h) && net.withholding(h) {
                     wasted_hits += 1;
                 }
             }
-            next_sample = next_sample + opts.sample_interval;
+            next_sample += opts.sample_interval;
         }
         net.run_until(at);
-        handle_events(&mut net, &mut pending, &mut records, &mut delivered, &mut aborted, &mut unloaded_of);
+        handle_events(
+            &mut net,
+            &mut pending,
+            &mut records,
+            &mut delivered,
+            &mut aborted,
+            &mut unloaded_of,
+        );
         let tag = injected;
         let cross = topo.rack_of(HostId(arrival.src)) != topo.rack_of(HostId(arrival.dst));
         net.inject_message(HostId(arrival.src), HostId(arrival.dst), arrival.size, tag);
@@ -204,7 +225,14 @@ where
             _ => break,
         };
         net.run_until(step);
-        handle_events(&mut net, &mut pending, &mut records, &mut delivered, &mut aborted, &mut unloaded_of);
+        handle_events(
+            &mut net,
+            &mut pending,
+            &mut records,
+            &mut delivered,
+            &mut aborted,
+            &mut unloaded_of,
+        );
     }
 
     let duration = net.now();
@@ -274,6 +302,7 @@ pub struct RpcResult {
 /// The §5.1 echo benchmark: each client issues echo RPCs of
 /// workload-sampled sizes to random servers at a target load; servers
 /// return the same payload.
+#[allow(clippy::too_many_arguments)]
 pub fn run_rpc_echo<M, T>(
     topo: &Topology,
     netcfg: NetworkConfig,
@@ -298,7 +327,12 @@ where
         mean_msg_bytes: dist.mean(),
         mean_overhead_bytes: LoadPlan::estimate_overhead(dist, PAYLOAD, OVERHEAD, CTRL, 9_700),
     };
-    let mut gen = PoissonArrivals::new(seed ^ 0x51ed_2701, dist.clone(), opts.clients.max(2), plan.mean_interarrival_secs());
+    let mut gen = PoissonArrivals::new(
+        seed ^ 0x51ed_2701,
+        dist.clone(),
+        opts.clients.max(2),
+        plan.mean_interarrival_secs(),
+    );
     let mut net: Network<M, T> = Network::new(topo.clone(), netcfg, make);
     let mut rng_srv = seed.wrapping_mul(0x2545_F491_4F6C_DD1D);
 
@@ -325,7 +359,10 @@ where
                         if tag >= opts.warmup {
                             let unloaded_ns = *unloaded_cache.entry(size).or_insert_with(|| {
                                 // Echo RPC: request one way, response back.
-                                2 * net.topology().unloaded_one_way(size, PAYLOAD, OVERHEAD).as_nanos()
+                                2 * net
+                                    .topology()
+                                    .unloaded_one_way(size, PAYLOAD, OVERHEAD)
+                                    .as_nanos()
                             });
                             records.push(MsgRecord {
                                 size,
@@ -434,15 +471,11 @@ where
                     AppEvent::RpcRequestArrived { client, rpc, .. } => {
                         net.inject_response(host, client, rpc, resp_len);
                     }
-                    AppEvent::RpcCompleted { tag, .. } => {
-                        if outstanding.remove(&tag) {
-                            delivered_bytes += resp_len;
-                        }
+                    AppEvent::RpcCompleted { tag, .. } if outstanding.remove(&tag) => {
+                        delivered_bytes += resp_len;
                     }
-                    AppEvent::Aborted { tag, .. } => {
-                        if outstanding.remove(&tag) {
-                            aborted += 1;
-                        }
+                    AppEvent::Aborted { tag, .. } if outstanding.remove(&tag) => {
+                        aborted += 1;
                     }
                     _ => {}
                 }

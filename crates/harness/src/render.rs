@@ -20,10 +20,7 @@ pub fn slowdown_table(label: &str, s: &SlowdownSummary) -> String {
             b.min_size, b.max_size, b.count, b.p50, b.p99
         ));
     }
-    out.push_str(&format!(
-        "overall: p50 {:.2}  p99 {:.2}\n",
-        s.overall_p50, s.overall_p99
-    ));
+    out.push_str(&format!("overall: p50 {:.2}  p99 {:.2}\n", s.overall_p50, s.overall_p99));
     out
 }
 

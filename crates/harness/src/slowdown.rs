@@ -135,8 +135,7 @@ mod tests {
 
     #[test]
     fn bins_are_equal_count_and_size_ordered() {
-        let records: Vec<MsgRecord> =
-            (1..=100).map(|i| rec(i * 10, 1_000 * i, 1_000)).collect();
+        let records: Vec<MsgRecord> = (1..=100).map(|i| rec(i * 10, 1_000 * i, 1_000)).collect();
         let s = SlowdownSummary::from_records(&records, 10);
         assert_eq!(s.bins.len(), 10);
         for b in &s.bins {

@@ -86,7 +86,14 @@ struct Port<M> {
 
 impl<M: PacketMeta> Port<M> {
     fn new(disc: QueueDiscipline, rate_bps: u64, peer: NodeId, class: PortClass) -> Self {
-        Port { queue: PortQueue::new(disc), rate_bps, peer, class, sending: None, stats: PortStats::default() }
+        Port {
+            queue: PortQueue::new(disc),
+            rate_bps,
+            peer,
+            class,
+            sending: None,
+            stats: PortStats::default(),
+        }
     }
 
     fn busy(&self) -> bool {
@@ -132,7 +139,11 @@ pub struct Network<M: PacketMeta, T: Transport<M>> {
 impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
     /// Build a network over `topo` with a transport per host produced by
     /// `make_transport`.
-    pub fn new(topo: Topology, cfg: NetworkConfig, mut make_transport: impl FnMut(HostId) -> T) -> Self {
+    pub fn new(
+        topo: Topology,
+        cfg: NetworkConfig,
+        mut make_transport: impl FnMut(HostId) -> T,
+    ) -> Self {
         topology::validate(&topo);
         let hosts: Vec<HostNode<M, T>> = topo
             .hosts()
@@ -154,10 +165,20 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                 let mut ports = Vec::with_capacity(topo.tor_ports() as usize);
                 for i in 0..topo.hosts_per_rack {
                     let h = HostId(r * topo.hosts_per_rack + i);
-                    ports.push(Port::new(cfg.tor_down, topo.host_link_bps, NodeId::Host(h), PortClass::TorDown));
+                    ports.push(Port::new(
+                        cfg.tor_down,
+                        topo.host_link_bps,
+                        NodeId::Host(h),
+                        PortClass::TorDown,
+                    ));
                 }
                 for s in 0..topo.spines {
-                    ports.push(Port::new(cfg.tor_up, topo.uplink_bps, NodeId::Spine(s), PortClass::TorUp));
+                    ports.push(Port::new(
+                        cfg.tor_up,
+                        topo.uplink_bps,
+                        NodeId::Spine(s),
+                        PortClass::TorUp,
+                    ));
                 }
                 SwitchNode { ports }
             })
@@ -166,7 +187,14 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
         let spines: Vec<SwitchNode<M>> = (0..topo.spines)
             .map(|_| SwitchNode {
                 ports: (0..topo.racks)
-                    .map(|r| Port::new(cfg.spine_down, topo.uplink_bps, NodeId::Tor(r), PortClass::SpineDown))
+                    .map(|r| {
+                        Port::new(
+                            cfg.spine_down,
+                            topo.uplink_bps,
+                            NodeId::Tor(r),
+                            PortClass::SpineDown,
+                        )
+                    })
                     .collect(),
             })
             .collect();
@@ -204,7 +232,11 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
 
     /// Mutate a host's transport through a closure; any actions it records
     /// (timers, tx kicks, app events) are applied afterwards.
-    pub fn with_transport<R>(&mut self, h: HostId, f: impl FnOnce(&mut T, SimTime, &mut TransportActions) -> R) -> R {
+    pub fn with_transport<R>(
+        &mut self,
+        h: HostId,
+        f: impl FnOnce(&mut T, SimTime, &mut TransportActions) -> R,
+    ) -> R {
         let mut act = TransportActions::new();
         let now = self.now;
         let r = f(&mut self.hosts[h.0 as usize].transport, now, &mut act);
@@ -226,7 +258,9 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
 
     /// Send an RPC response from `server` back to `client`.
     pub fn inject_response(&mut self, server: HostId, client: HostId, rpc: u64, resp_len: u64) {
-        self.with_transport(server, |t, now, act| t.inject_response(now, client, rpc, resp_len, act));
+        self.with_transport(server, |t, now, act| {
+            t.inject_response(now, client, rpc, resp_len, act)
+        });
     }
 
     /// Process all events up to and including time `t`, then advance the
@@ -337,14 +371,14 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
     }
 
     fn apply_actions(&mut self, host: HostId, mut act: TransportActions) {
-        for (at, token) in act.timers.drain(..) {
+        for (at, token) in act.drain_timers() {
             debug_assert!(at >= self.now, "timer scheduled in the past");
             self.queue.schedule(at.max(self.now), Ev::Timer { host, token });
         }
-        for ev in act.events.drain(..) {
+        for ev in act.drain_events() {
             self.app_events.push((self.now, host, ev));
         }
-        let kick = act.tx_kick;
+        let kick = act.take_tx_kick();
         act.reset();
         self.scratch = act;
         if kick {
@@ -464,7 +498,8 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
     pub fn harvest_stats(&self) -> RunStats {
         let mut stats = RunStats::default();
         let now = self.now;
-        let classes = [PortClass::HostUp, PortClass::TorUp, PortClass::SpineDown, PortClass::TorDown];
+        let classes =
+            [PortClass::HostUp, PortClass::TorUp, PortClass::SpineDown, PortClass::TorDown];
         let mut means: Vec<(PortClass, StreamingStats)> =
             classes.iter().map(|&c| (c, StreamingStats::default())).collect();
         let mut maxes: Vec<(PortClass, u64)> = classes.iter().map(|&c| (c, 0)).collect();
@@ -538,7 +573,14 @@ mod tests {
         fn next_packet(&mut self, _now: SimTime) -> Option<Packet<TestMeta>> {
             self.outbox.pop_front()
         }
-        fn inject_message(&mut self, _now: SimTime, dst: HostId, len: u64, _tag: u64, act: &mut TransportActions) {
+        fn inject_message(
+            &mut self,
+            _now: SimTime,
+            dst: HostId,
+            len: u64,
+            _tag: u64,
+            act: &mut TransportActions,
+        ) {
             self.outbox.push_back(Packet::new(self.me, dst, TestMeta::data(len as u32 + 60, 0)));
             act.kick_tx();
         }
@@ -564,7 +606,9 @@ mod tests {
         assert_eq!(evs.len(), 1);
         let (at, host, ev) = &evs[0];
         assert_eq!(*host, HostId(1));
-        assert!(matches!(ev, AppEvent::MessageDelivered { src, len: 100, .. } if *src == HostId(0)));
+        assert!(
+            matches!(ev, AppEvent::MessageDelivered { src, len: 100, .. } if *src == HostId(0))
+        );
         // 160B on the wire at 10G = 128ns per host link; two links, one
         // switch delay (250ns), plus 1.5us software delay.
         let expect = 128 + 250 + 128 + 1500;
@@ -621,7 +665,12 @@ mod tests {
             let topo = Topology::scaled_fabric(2, 4, 2);
             let mut net = simple_net(topo);
             for i in 0..20 {
-                net.inject_message(HostId(i % 8), HostId((i + 3) % 8), 500 + (i as u64) * 7, i as u64);
+                net.inject_message(
+                    HostId(i % 8),
+                    HostId((i + 3) % 8),
+                    500 + (i as u64) * 7,
+                    i as u64,
+                );
                 net.run_until(SimTime::from_micros(5 * (i as u64 + 1)));
             }
             net.run_until(SimTime::from_millis(2));

@@ -131,7 +131,12 @@ pub(crate) mod testutil {
             if self.control {
                 None
             } else {
-                Some(TestMeta { bytes: 60, prio: 7, control: self.control, remaining: self.remaining })
+                Some(TestMeta {
+                    bytes: 60,
+                    prio: 7,
+                    control: self.control,
+                    remaining: self.remaining,
+                })
             }
         }
     }

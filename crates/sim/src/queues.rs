@@ -472,8 +472,14 @@ mod tests {
     #[test]
     fn strict_priority_drops_over_capacity() {
         let mut q = strict(250);
-        assert_eq!(q.enqueue(t(0), pkt(0, 1, TestMeta::data(200, 0)), None), EnqueueOutcome::Accepted);
-        assert_eq!(q.enqueue(t(0), pkt(0, 1, TestMeta::data(100, 7)), None), EnqueueOutcome::Dropped);
+        assert_eq!(
+            q.enqueue(t(0), pkt(0, 1, TestMeta::data(200, 0)), None),
+            EnqueueOutcome::Accepted
+        );
+        assert_eq!(
+            q.enqueue(t(0), pkt(0, 1, TestMeta::data(100, 7)), None),
+            EnqueueOutcome::Dropped
+        );
         assert_eq!(q.drops, 1);
         assert_eq!(q.bytes(), 200);
     }
@@ -556,9 +562,8 @@ mod tests {
         med.remaining = Some(10_000);
         assert_eq!(q.enqueue(t(0), pkt(0, 1, med), None), EnqueueOutcome::Accepted);
         assert_eq!(q.drops, 1);
-        let remainings: Vec<_> = std::iter::from_fn(|| q.dequeue(t(1)))
-            .map(|p| p.meta.remaining.unwrap())
-            .collect();
+        let remainings: Vec<_> =
+            std::iter::from_fn(|| q.dequeue(t(1))).map(|p| p.meta.remaining.unwrap()).collect();
         assert_eq!(remainings, vec![500, 10_000]);
     }
 
@@ -588,7 +593,10 @@ mod tests {
         });
         q.enqueue(t(0), pkt(0, 1, TestMeta::data(1500, 0)), None);
         q.enqueue(t(0), pkt(0, 1, TestMeta::data(1500, 0)), None);
-        assert_eq!(q.enqueue(t(0), pkt(0, 1, TestMeta::data(1500, 0)), None), EnqueueOutcome::Trimmed);
+        assert_eq!(
+            q.enqueue(t(0), pkt(0, 1, TestMeta::data(1500, 0)), None),
+            EnqueueOutcome::Trimmed
+        );
         assert_eq!(q.trims, 1);
         // Trimmed header dequeues before the full data packets.
         let first = q.dequeue(t(1)).unwrap();
@@ -616,7 +624,10 @@ mod tests {
             ecn: None,
         });
         q.enqueue(t(0), pkt(0, 1, TestMeta::data(1500, 5)), None);
-        assert_eq!(q.enqueue(t(0), pkt(0, 1, TestMeta::data(1500, 7)), None), EnqueueOutcome::Dropped);
+        assert_eq!(
+            q.enqueue(t(0), pkt(0, 1, TestMeta::data(1500, 7)), None),
+            EnqueueOutcome::Dropped
+        );
         q.enqueue(t(0), pkt(0, 1, TestMeta::data(400, 0)), None);
         assert_eq!(q.dequeue(t(1)).unwrap().wire_bytes(), 1500);
         assert_eq!(q.dequeue(t(1)).unwrap().wire_bytes(), 400);

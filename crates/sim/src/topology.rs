@@ -154,8 +154,11 @@ impl Topology {
         let tail = len % per_packet_payload;
         let npkts = full_pkts + (tail > 0) as u64;
         let npkts = npkts.max(1);
-        let last_pkt_bytes =
-            if tail > 0 { tail + per_packet_overhead } else { per_packet_payload + per_packet_overhead };
+        let last_pkt_bytes = if tail > 0 {
+            tail + per_packet_overhead
+        } else {
+            per_packet_payload + per_packet_overhead
+        };
         let wire_total = len + npkts * per_packet_overhead;
 
         // All bytes serialize onto the host uplink back-to-back; the *last*

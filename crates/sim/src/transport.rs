@@ -9,7 +9,7 @@
 
 use crate::events::TimerToken;
 use crate::packet::{Packet, PacketMeta};
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::topology::HostId;
 
 /// Events a transport reports up to the application / experiment driver.
@@ -53,22 +53,27 @@ pub enum AppEvent {
 }
 
 /// Side effects produced by a transport callback.
-#[derive(Debug)]
+///
+/// The fields are private by contract: transports *request* effects
+/// through the methods below, and only the fabric (this crate) consumes
+/// them. This keeps the interface one-directional — a transport cannot
+/// observe or retract another callback's pending actions.
+#[derive(Debug, Default)]
 pub struct TransportActions {
     /// Timers to schedule (absolute times). Timers are not cancellable;
     /// transports are expected to ignore stale fires (lazy cancellation).
-    pub timers: Vec<(SimTime, TimerToken)>,
+    timers: Vec<(SimTime, TimerToken)>,
     /// Set when the transport may now have packets to transmit; the network
     /// will poll `next_packet` if the uplink is idle.
-    pub tx_kick: bool,
+    tx_kick: bool,
     /// Application-visible events.
-    pub events: Vec<AppEvent>,
+    events: Vec<AppEvent>,
 }
 
 impl TransportActions {
     /// Empty action set.
     pub fn new() -> Self {
-        TransportActions { timers: Vec::new(), tx_kick: false, events: Vec::new() }
+        TransportActions::default()
     }
 
     /// Clear in place (the network reuses one instance per host).
@@ -78,9 +83,15 @@ impl TransportActions {
         self.events.clear();
     }
 
-    /// Schedule a timer at `at` with `token`.
+    /// Schedule a timer at the absolute time `at` with `token`. Timers
+    /// cannot be cancelled; schedule sparingly and ignore stale fires.
     pub fn timer(&mut self, at: SimTime, token: TimerToken) {
         self.timers.push((at, token));
+    }
+
+    /// Schedule a timer `after` from `now` — the common relative form.
+    pub fn timer_after(&mut self, now: SimTime, after: SimDuration, token: TimerToken) {
+        self.timers.push((now + after, token));
     }
 
     /// Request a transmit poll.
@@ -92,11 +103,31 @@ impl TransportActions {
     pub fn event(&mut self, ev: AppEvent) {
         self.events.push(ev);
     }
-}
 
-impl Default for TransportActions {
-    fn default() -> Self {
-        Self::new()
+    /// Application events emitted so far this callback (read-only; used
+    /// by drivers and tests that inspect a transport's output directly).
+    pub fn events(&self) -> &[AppEvent] {
+        &self.events
+    }
+
+    /// Whether a transmit poll has been requested.
+    pub fn wants_tx(&self) -> bool {
+        self.tx_kick
+    }
+
+    /// Fabric side: drain scheduled timers.
+    pub(crate) fn drain_timers(&mut self) -> std::vec::Drain<'_, (SimTime, TimerToken)> {
+        self.timers.drain(..)
+    }
+
+    /// Fabric side: drain emitted events.
+    pub(crate) fn drain_events(&mut self) -> std::vec::Drain<'_, AppEvent> {
+        self.events.drain(..)
+    }
+
+    /// Fabric side: consume the transmit-poll request.
+    pub(crate) fn take_tx_kick(&mut self) -> bool {
+        std::mem::take(&mut self.tx_kick)
     }
 }
 
@@ -112,6 +143,12 @@ pub trait Transport<M: PacketMeta> {
     /// The uplink is idle: return the next packet to transmit, or `None`.
     /// Called again immediately after each transmission completes, so the
     /// transport can implement SRPT/pacing exactly.
+    ///
+    /// Contract: queued *control* packets (acks, grants, tokens, pulls)
+    /// must be returned before any data packet — the fabric serves
+    /// control at high priority, and a sender that buries control
+    /// behind data deadlocks its own flow-control loop. Returned
+    /// packets must carry this host as their source.
     fn next_packet(&mut self, now: SimTime) -> Option<Packet<M>>;
 
     /// Begin sending a one-way message of `len` bytes to `dst`. `tag` is

@@ -87,6 +87,9 @@ pub fn priority_to_dscp(prio: u8) -> u8 {
     (prio.min(7)) << 3
 }
 
+/// A receive-side packet filter (test hook for loss injection).
+type RxDropFilter = Box<dyn FnMut(&HomaPacket) -> bool + Send>;
+
 struct Shared {
     ep: HomaEndpoint,
     /// Payload store for outbound messages.
@@ -97,7 +100,7 @@ struct Shared {
     peers: HashMap<PeerId, SocketAddr>,
     addr_to_peer: HashMap<SocketAddr, PeerId>,
     /// Test hook: drop incoming packets matching the filter.
-    rx_drop: Option<Box<dyn FnMut(&HomaPacket) -> bool + Send>>,
+    rx_drop: Option<RxDropFilter>,
 }
 
 /// One Homa endpoint bound to a UDP socket, serviced by a background
@@ -287,10 +290,7 @@ impl HomaUdpNode {
         // Stash payload bytes into the reassembly buffer before the
         // endpoint consumes the header.
         if let HomaPacket::Data(h) = &pkt {
-            let buf = s
-                .in_buffers
-                .entry(h.key)
-                .or_insert_with(|| vec![0u8; h.msg_len as usize]);
+            let buf = s.in_buffers.entry(h.key).or_insert_with(|| vec![0u8; h.msg_len as usize]);
             let start = (h.offset as usize).min(buf.len());
             let end = (h.offset as usize + h.payload as usize).min(buf.len());
             let avail = &dgram[payload_off..payload_off + h.payload as usize];
@@ -317,11 +317,19 @@ impl HomaUdpNode {
                     let key = MsgKey { origin: self.me, seq: rpc_seq, dir: Dir::Response };
                     let data = s.in_buffers.remove(&key).unwrap_or_default();
                     // The request payload is no longer needed.
-                    s.out_payloads.remove(&MsgKey { origin: self.me, seq: rpc_seq, dir: Dir::Request });
+                    s.out_payloads.remove(&MsgKey {
+                        origin: self.me,
+                        seq: rpc_seq,
+                        dir: Dir::Request,
+                    });
                     Some(UdpEvent::Response { from: server, tag, data })
                 }
-                HomaEvent::RpcAborted { server, tag } => Some(UdpEvent::Aborted { peer: server, tag }),
-                HomaEvent::OutboundAborted { dst, tag } => Some(UdpEvent::Aborted { peer: dst, tag }),
+                HomaEvent::RpcAborted { server, tag } => {
+                    Some(UdpEvent::Aborted { peer: server, tag })
+                }
+                HomaEvent::OutboundAborted { dst, tag } => {
+                    Some(UdpEvent::Aborted { peer: dst, tag })
+                }
                 HomaEvent::InboundAborted { .. } => None,
             };
             if let Some(ev) = out {

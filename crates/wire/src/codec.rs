@@ -278,7 +278,11 @@ mod tests {
         for pkt in [
             HomaPacket::Resend(ResendHeader { key: key(), offset: 10, length: 999, prio: 7 }),
             HomaPacket::Busy(BusyHeader { key: key() }),
-            HomaPacket::Cutoffs(CutoffsUpdate { version: 3, unsched_levels: 7, cutoffs: vec![1, 2, 3, 4, 5, 6] }),
+            HomaPacket::Cutoffs(CutoffsUpdate {
+                version: 3,
+                unsched_levels: 7,
+                cutoffs: vec![1, 2, 3, 4, 5, 6],
+            }),
         ] {
             let (out, _) = decode(&encode(&pkt, &[])).expect("decodes");
             assert_eq!(out, pkt);
@@ -343,7 +347,11 @@ mod tests {
             ),
             (HomaPacket::Busy(BusyHeader { key: key() }), &b""[..]),
             (
-                HomaPacket::Cutoffs(CutoffsUpdate { version: 1, unsched_levels: 2, cutoffs: vec![5] }),
+                HomaPacket::Cutoffs(CutoffsUpdate {
+                    version: 1,
+                    unsched_levels: 2,
+                    cutoffs: vec![5],
+                }),
                 &b""[..],
             ),
         ] {

@@ -49,7 +49,13 @@ impl LoadPlan {
     /// into `payload`-byte packets with `header` bytes of framing each, and
     /// sends roughly one `ctrl`-byte control packet per data packet beyond
     /// the blind `unsched` prefix.
-    pub fn estimate_overhead(dist: &MessageSizeDist, payload: u64, header: u64, ctrl: u64, unsched: u64) -> f64 {
+    pub fn estimate_overhead(
+        dist: &MessageSizeDist,
+        payload: u64,
+        header: u64,
+        ctrl: u64,
+        unsched: u64,
+    ) -> f64 {
         // Numerical expectation over the quantile grid.
         let n = 10_000;
         let mut total = 0.0;

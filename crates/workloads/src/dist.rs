@@ -128,7 +128,8 @@ impl MessageSizeDist {
             }
             let r = s1 as f64 / s0 as f64;
             // ∫ s0 * r^u du over u in [0,1], scaled by dp.
-            let seg_mean = if (r - 1.0).abs() < 1e-12 { s0 as f64 } else { s0 as f64 * (r - 1.0) / r.ln() };
+            let seg_mean =
+                if (r - 1.0).abs() < 1e-12 { s0 as f64 } else { s0 as f64 * (r - 1.0) / r.ln() };
             total += dp * seg_mean;
         }
         total
@@ -253,10 +254,7 @@ mod tests {
         let n = 200_000;
         let mc: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
         let analytic = d.mean();
-        assert!(
-            (mc - analytic).abs() / analytic < 0.02,
-            "mc={mc} analytic={analytic}"
-        );
+        assert!((mc - analytic).abs() / analytic < 0.02, "mc={mc} analytic={analytic}");
     }
 
     #[test]

@@ -26,7 +26,8 @@ pub enum Workload {
 
 impl Workload {
     /// All five workloads in paper order.
-    pub const ALL: [Workload; 5] = [Workload::W1, Workload::W2, Workload::W3, Workload::W4, Workload::W5];
+    pub const ALL: [Workload; 5] =
+        [Workload::W1, Workload::W2, Workload::W3, Workload::W4, Workload::W5];
 
     /// Short name ("W1" ... "W5").
     pub fn name(self) -> &'static str {
@@ -174,7 +175,11 @@ mod tests {
         let d = Workload::W5.dist();
         // Most bytes in messages over 1 MB (paper: messages > 1MB are 95%
         // of bytes for the web-search workload).
-        assert!(d.byte_weighted_cdf(1_000_000) < 0.20, "bytes cdf = {}", d.byte_weighted_cdf(1_000_000));
+        assert!(
+            d.byte_weighted_cdf(1_000_000) < 0.20,
+            "bytes cdf = {}",
+            d.byte_weighted_cdf(1_000_000)
+        );
         // But a majority of *messages* are under 100 KB ("any message
         // shorter than 100 Kbytes was considered short").
         assert!(d.cdf(100_000) > 0.5);

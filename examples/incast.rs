@@ -20,7 +20,10 @@ use homa_sim::{NetworkConfig, SimDuration, Topology};
 fn main() {
     let topo = Topology::single_switch(16);
     println!("one client, 15 servers, 10 KB responses, 3 rounds each\n");
-    println!("{:>12} {:>16} {:>10} {:>16} {:>10}", "concurrent", "control ON", "drops", "control OFF", "drops");
+    println!(
+        "{:>12} {:>16} {:>10} {:>16} {:>10}",
+        "concurrent", "control ON", "drops", "control OFF", "drops"
+    );
     for concurrent in [32u64, 128, 512] {
         let mut cells = Vec::new();
         for enabled in [true, false] {

@@ -30,12 +30,7 @@ fn main() {
         let res =
             run_protocol_oneway(p, &topo, &dist, 0.8, 20_000, 42, &OnewayOpts::default(), None);
         let s = SlowdownSummary::from_records(&res.records, 10);
-        println!(
-            "\n{} — delivered {}/{} messages",
-            p.name(),
-            res.delivered,
-            res.injected
-        );
+        println!("\n{} — delivered {}/{} messages", p.name(), res.delivered, res.injected);
         print!("{}", slowdown_table("slowdown by message-size decile:", &s));
     }
     println!("\nHoma's dynamic unscheduled priorities keep p99 slowdown flat");

@@ -47,8 +47,7 @@ fn main() {
                         let rtt = at - issued_at[i];
                         // Best case: one request crossing + one response
                         // crossing of an idle fabric.
-                        let best =
-                            2 * net.topology().unloaded_one_way(size, 1_400, 60).as_nanos();
+                        let best = 2 * net.topology().unloaded_one_way(size, 1_400, 60).as_nanos();
                         println!(
                             "{size:>12} {:>14.2} {:>12.2}",
                             rtt.as_micros_f64(),

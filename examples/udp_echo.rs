@@ -13,8 +13,10 @@ use homa_udp::{HomaUdpNode, UdpConfig, UdpEvent};
 use std::time::{Duration, Instant};
 
 fn main() {
-    let server = HomaUdpNode::bind(PeerId(1), "127.0.0.1:0", UdpConfig::default()).expect("bind server");
-    let client = HomaUdpNode::bind(PeerId(0), "127.0.0.1:0", UdpConfig::default()).expect("bind client");
+    let server =
+        HomaUdpNode::bind(PeerId(1), "127.0.0.1:0", UdpConfig::default()).expect("bind server");
+    let client =
+        HomaUdpNode::bind(PeerId(0), "127.0.0.1:0", UdpConfig::default()).expect("bind client");
     client.add_peer(PeerId(1), server.local_addr().expect("addr"));
     server.add_peer(PeerId(0), client.local_addr().expect("addr"));
 

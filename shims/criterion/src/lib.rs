@@ -1,0 +1,225 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the `homa-bench` targets use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! `bench_function`/`bench_with_input`, [`Throughput`], and
+//! [`BenchmarkId`] — over a simple mean-of-N-samples timer. There is no
+//! statistical analysis, warm-up tuning, or HTML report; each benchmark
+//! prints one line:
+//!
+//! ```text
+//! group/name              time: 1.234 µs/iter  (20 samples)  1.18 GiB/s
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (the real crate's `black_box`).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Throughput annotation: turns per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterized benchmark name (`group/function/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { total: Duration::ZERO, iters: 0, samples: self.sample_size };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher { total: Duration::ZERO, iters: 0, samples: self.sample_size };
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if b.iters == 0 {
+            println!("{}/{id:<40} no iterations recorded", self.name);
+            return;
+        }
+        let per_iter = b.total.as_secs_f64() / b.iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => format!("  {}/s", human_bytes(n as f64 / per_iter)),
+            Some(Throughput::Elements(n)) => format!("  {:.3e} elem/s", n as f64 / per_iter),
+            None => String::new(),
+        };
+        println!(
+            "{}/{id:<40} time: {}/iter  ({} samples){rate}",
+            self.name,
+            human_time(per_iter),
+            b.iters
+        );
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.3} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn human_bytes(bps: f64) -> String {
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+    const MIB: f64 = 1024.0 * 1024.0;
+    const KIB: f64 = 1024.0;
+    if bps >= GIB {
+        format!("{:.2} GiB", bps / GIB)
+    } else if bps >= MIB {
+        format!("{:.2} MiB", bps / MIB)
+    } else if bps >= KIB {
+        format!("{:.2} KiB", bps / KIB)
+    } else {
+        format!("{bps:.0} B")
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs and times the
+/// workload.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of samples (after one
+    /// untimed warm-up call).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+}
+
+/// Collect benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3).throughput(Throughput::Bytes(8));
+        let mut ran = 0u32;
+        g.bench_function("add", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        assert!(ran >= 3);
+    }
+}

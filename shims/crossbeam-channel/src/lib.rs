@@ -1,0 +1,206 @@
+//! Offline stand-in for `crossbeam-channel`.
+//!
+//! An unbounded multi-producer/multi-consumer channel built on
+//! `Mutex<VecDeque>` + `Condvar`. Unlike `std::sync::mpsc`, both
+//! endpoints are `Sync`, which the threaded UDP driver relies on
+//! (it shares one node struct — containing the receiver — across
+//! threads via `Arc`).
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+struct Inner<T> {
+    queue: Mutex<ChannelState<T>>,
+    ready: Condvar,
+}
+
+struct ChannelState<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The wait timed out with the channel still empty.
+    Timeout,
+    /// All senders disconnected and the channel is drained.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("receive timed out"),
+            RecvTimeoutError::Disconnected => f.write_str("channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("channel disconnected")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Sending half of an unbounded channel.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(ChannelState { items: VecDeque::new(), senders: 1, receivers: 1 }),
+        ready: Condvar::new(),
+    });
+    (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`; fails only if every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.receivers == 0 {
+            return Err(SendError(value));
+        }
+        q.items.push_back(value);
+        drop(q);
+        self.inner.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        q.senders += 1;
+        drop(q);
+        Sender { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        q.senders -= 1;
+        let empty = q.senders == 0;
+        drop(q);
+        if empty {
+            self.inner.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a value arrives or all senders disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(v) = q.items.pop_front() {
+                return Ok(v);
+            }
+            if q.senders == 0 {
+                return Err(RecvError);
+            }
+            q = self.inner.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Block up to `timeout` for a value.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(v) = q.items.pop_front() {
+                return Ok(v);
+            }
+            if q.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .inner
+                .ready
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        }
+    }
+
+    /// Take a value only if one is already queued.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner).items.pop_front()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        q.receivers += 1;
+        drop(q);
+        Receiver { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        q.receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || {
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv().unwrap());
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+    }
+}

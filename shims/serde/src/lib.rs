@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives from the
+//! sibling `serde_derive` shim. See that crate's docs for why this is
+//! sound for this workspace (no serializer is ever instantiated).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

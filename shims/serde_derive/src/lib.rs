@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates config/stat types with
+//! `#[derive(Serialize, Deserialize)]` so they are ready for
+//! serialization once the real `serde` is available, but nothing in the
+//! tree actually serializes today (there is no `serde_json`/`bincode`
+//! consumer). These derives therefore expand to nothing; the `serde`
+//! facade crate re-exports them. `attributes(serde)` keeps any
+//! `#[serde(...)]` field attributes legal.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

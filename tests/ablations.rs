@@ -138,8 +138,26 @@ fn pias_single_packet_messages_ride_top_priority_on_w3() {
     // levels, PIAS is considerably worse — Figure 12.)
     let topo = Topology::scaled_fabric(3, 8, 2);
     let dist = Workload::W3.dist();
-    let homa = run_protocol_oneway(Protocol::Homa, &topo, &dist, 0.7, 4_000, 51, &OnewayOpts::default(), None);
-    let pias = run_protocol_oneway(Protocol::Pias, &topo, &dist, 0.7, 4_000, 51, &OnewayOpts::default(), None);
+    let homa = run_protocol_oneway(
+        Protocol::Homa,
+        &topo,
+        &dist,
+        0.7,
+        4_000,
+        51,
+        &OnewayOpts::default(),
+        None,
+    );
+    let pias = run_protocol_oneway(
+        Protocol::Pias,
+        &topo,
+        &dist,
+        0.7,
+        4_000,
+        51,
+        &OnewayOpts::default(),
+        None,
+    );
     let h = SlowdownSummary::small_message_p99(&homa.records, 0.3);
     let p = SlowdownSummary::small_message_p99(&pias.records, 0.3);
     // Near-parity for sub-packet W3 messages, not catastrophically worse
@@ -148,8 +166,26 @@ fn pias_single_packet_messages_ride_top_priority_on_w3() {
 
     // And the W1 contrast from Figure 12: PIAS measurably worse there.
     let w1 = Workload::W1.dist();
-    let homa1 = run_protocol_oneway(Protocol::Homa, &topo, &w1, 0.7, 6_000, 51, &OnewayOpts::default(), None);
-    let pias1 = run_protocol_oneway(Protocol::Pias, &topo, &w1, 0.7, 6_000, 51, &OnewayOpts::default(), None);
+    let homa1 = run_protocol_oneway(
+        Protocol::Homa,
+        &topo,
+        &w1,
+        0.7,
+        6_000,
+        51,
+        &OnewayOpts::default(),
+        None,
+    );
+    let pias1 = run_protocol_oneway(
+        Protocol::Pias,
+        &topo,
+        &w1,
+        0.7,
+        6_000,
+        51,
+        &OnewayOpts::default(),
+        None,
+    );
     let h1 = SlowdownSummary::small_message_p99(&homa1.records, 0.3);
     let p1 = SlowdownSummary::small_message_p99(&pias1.records, 0.3);
     assert!(

@@ -38,15 +38,29 @@ fn homa_tail_latency_beats_streaming_under_load() {
     // p99 slowdown is far below a TCP-like stream transport's.
     let topo = Topology::single_switch(10);
     let dist = Workload::W3.dist();
-    let homa = run_protocol_oneway(Protocol::Homa, &topo, &dist, 0.7, 4_000, 3, &OnewayOpts::default(), None);
-    let stream =
-        run_protocol_oneway(Protocol::Stream, &topo, &dist, 0.7, 4_000, 3, &OnewayOpts::default(), None);
+    let homa = run_protocol_oneway(
+        Protocol::Homa,
+        &topo,
+        &dist,
+        0.7,
+        4_000,
+        3,
+        &OnewayOpts::default(),
+        None,
+    );
+    let stream = run_protocol_oneway(
+        Protocol::Stream,
+        &topo,
+        &dist,
+        0.7,
+        4_000,
+        3,
+        &OnewayOpts::default(),
+        None,
+    );
     let h = SlowdownSummary::small_message_p99(&homa.records, 0.5);
     let s = SlowdownSummary::small_message_p99(&stream.records, 0.5);
-    assert!(
-        h * 3.0 < s,
-        "expected >=3x tail gap, got homa={h:.2} stream={s:.2}"
-    );
+    assert!(h * 3.0 < s, "expected >=3x tail gap, got homa={h:.2} stream={s:.2}");
 }
 
 #[test]
@@ -98,10 +112,7 @@ fn restricting_priorities_hurts_tail_latency() {
     };
     let p8 = run(8);
     let p1 = run(1);
-    assert!(
-        p1 > p8 * 1.3,
-        "single priority should degrade tails: P8={p8:.2} P1={p1:.2}"
-    );
+    assert!(p1 > p8 * 1.3, "single priority should degrade tails: P8={p8:.2} P1={p1:.2}");
 }
 
 #[test]
@@ -110,13 +121,19 @@ fn overcommitment_limits_inflight_buffering() {
     // K * RTTbytes (plus unscheduled collisions).
     let topo = Topology::single_switch(16);
     let dist = Workload::W4.dist();
-    let res = run_protocol_oneway(Protocol::Homa, &topo, &dist, 0.8, 800, 9, &OnewayOpts::default(), None);
+    let res = run_protocol_oneway(
+        Protocol::Homa,
+        &topo,
+        &dist,
+        0.8,
+        800,
+        9,
+        &OnewayOpts::default(),
+        None,
+    );
     let max_q = res.stats.max_queue_bytes(PortClass::TorDown).unwrap();
     // 7 scheduled levels x 9.7KB plus a generous unscheduled allowance.
-    assert!(
-        max_q < 350_000,
-        "max TOR downlink queue {max_q}B exceeds the overcommitment bound"
-    );
+    assert!(max_q < 350_000, "max TOR downlink queue {max_q}B exceeds the overcommitment bound");
 }
 
 #[test]

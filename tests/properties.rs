@@ -11,8 +11,11 @@ fn arb_dir() -> impl Strategy<Value = Dir> {
 }
 
 fn arb_key() -> impl Strategy<Value = MsgKey> {
-    (any::<u32>(), any::<u64>(), arb_dir())
-        .prop_map(|(o, seq, dir)| MsgKey { origin: PeerId(o), seq, dir })
+    (any::<u32>(), any::<u64>(), arb_dir()).prop_map(|(o, seq, dir)| MsgKey {
+        origin: PeerId(o),
+        seq,
+        dir,
+    })
 }
 
 proptest! {

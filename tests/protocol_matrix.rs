@@ -1,22 +1,27 @@
 //! Every transport in the comparison matrix completes a moderate-load run
-//! on the leaf-spine fabric — the invariant behind all the figure runs.
+//! on the leaf-spine fabric — the invariant behind all the figure runs —
+//! and conserves bytes exactly under an identical W4 scenario.
 
+use homa::HomaConfig;
+use homa_baselines::{
+    ndp, pfabric, pias, HomaSimTransport, NdpConfig, NdpTransport, PfabricConfig, PfabricTransport,
+    PhostConfig, PhostTransport, PiasConfig, PiasTransport, StreamConfig, StreamTransport,
+};
 use homa_bench::{run_protocol_oneway, Protocol};
 use homa_harness::driver::OnewayOpts;
-use homa_sim::Topology;
+use homa_sim::{
+    AppEvent, HostId, Network, NetworkConfig, PacketMeta, QueueDiscipline, SimTime, Topology,
+    Transport,
+};
 use homa_workloads::Workload;
+use std::collections::HashMap;
 
 fn check(p: Protocol, w: Workload, load: f64, n: u64) {
     let topo = Topology::scaled_fabric(2, 6, 2);
     let res = run_protocol_oneway(p, &topo, &w.dist(), load, n, 17, &OnewayOpts::default(), None);
     assert_eq!(res.injected, n);
     let frac = res.delivered as f64 / n as f64;
-    assert!(
-        frac >= 0.99,
-        "{} on {w}: delivered only {}/{n}",
-        p.name(),
-        res.delivered
-    );
+    assert!(frac >= 0.99, "{} on {w}: delivered only {}/{n}", p.name(), res.delivered);
 }
 
 #[test]
@@ -56,4 +61,140 @@ fn ndp_on_w5() {
 fn basic_and_stream() {
     check(Protocol::Basic, Workload::W3, 0.6, 1_000);
     check(Protocol::Stream, Workload::W3, 0.6, 1_000);
+}
+
+// ---------------------------------------------------------------------
+// Conservation: under one identical W4 scenario (same sizes, same
+// endpoints, same injection times, same fabric seed), every transport
+// must hand the application exactly the injected bytes — nothing lost,
+// nothing delivered twice. This is the contract the shared
+// `baselines::common` scaffolding (reassembly table, send queues,
+// fragmentation) owes every protocol built on it.
+// ---------------------------------------------------------------------
+
+const CONSERVE_HOSTS: u32 = 8;
+const CONSERVE_MSGS: u64 = 60;
+const CONSERVE_SEED: u64 = 0xC0FFEE;
+
+/// The shared scenario: deterministic W4 sizes and endpoint pairs,
+/// injected at a fixed cadence. Returns `(at_ns, src, dst, size, tag)`.
+fn conserve_scenario() -> Vec<(u64, HostId, HostId, u64, u64)> {
+    let dist = Workload::W4.dist();
+    let mut x = CONSERVE_SEED;
+    let mut lcg = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x >> 33
+    };
+    (0..CONSERVE_MSGS)
+        .map(|i| {
+            // Quantile-sampled sizes, capped below the extreme tail so a
+            // single 10 MB outlier doesn't dominate the run.
+            let p = (lcg() % 10_000) as f64 / 10_000.0;
+            let size = dist.quantile(p.min(0.995)).max(1);
+            let src = (lcg() % CONSERVE_HOSTS as u64) as u32;
+            let dst_raw = (lcg() % (CONSERVE_HOSTS as u64 - 1)) as u32;
+            let dst = if dst_raw >= src { dst_raw + 1 } else { dst_raw };
+            (i * 30_000, HostId(src), HostId(dst), size, i)
+        })
+        .collect()
+}
+
+/// Drive one transport through the shared scenario and assert exact
+/// byte conservation.
+fn assert_conserves<M, T>(name: &str, queues: Option<QueueDiscipline>, mk: impl FnMut(HostId) -> T)
+where
+    M: PacketMeta,
+    T: Transport<M>,
+{
+    let netcfg = match queues {
+        Some(q) => NetworkConfig::uniform(CONSERVE_SEED, q),
+        None => NetworkConfig { seed: CONSERVE_SEED, ..NetworkConfig::default() },
+    };
+    let topo = Topology::single_switch(CONSERVE_HOSTS);
+    let mut net: Network<M, T> = Network::new(topo, netcfg, mk);
+
+    let scenario = conserve_scenario();
+    let injected_bytes: u64 = scenario.iter().map(|&(_, _, _, size, _)| size).sum();
+    let mut expect: HashMap<u64, (HostId, HostId, u64)> = HashMap::new();
+    let mut deliveries = Vec::new();
+
+    for (at_ns, src, dst, size, tag) in scenario {
+        net.run_until(SimTime::from_nanos(at_ns));
+        deliveries.extend(net.take_app_events());
+        net.inject_message(src, dst, size, tag);
+        expect.insert(tag, (src, dst, size));
+    }
+    net.run_until(SimTime::from_millis(500));
+    deliveries.extend(net.take_app_events());
+
+    // Exactly one delivery per message, at the right host, with the
+    // right sender and length.
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    for (_, host, ev) in &deliveries {
+        if let AppEvent::MessageDelivered { src, tag, len } = ev {
+            let &(exp_src, exp_dst, exp_size) =
+                expect.get(tag).unwrap_or_else(|| panic!("{name}: unknown tag {tag}"));
+            assert_eq!(*src, exp_src, "{name}: tag {tag} wrong sender");
+            assert_eq!(*host, exp_dst, "{name}: tag {tag} delivered to wrong host");
+            assert_eq!(*len, exp_size, "{name}: tag {tag} wrong length");
+            *seen.entry(*tag).or_default() += 1;
+        }
+    }
+    for (tag, &count) in &seen {
+        assert_eq!(count, 1, "{name}: tag {tag} delivered {count} times");
+    }
+    assert_eq!(
+        seen.len() as u64,
+        CONSERVE_MSGS,
+        "{name}: {} of {CONSERVE_MSGS} messages delivered",
+        seen.len()
+    );
+
+    // Goodput accounting agrees: summed transport counters equal the
+    // injected bytes exactly (no loss, no double-count).
+    let delivered_bytes: u64 =
+        (0..CONSERVE_HOSTS).map(|h| net.transport(HostId(h)).delivered_bytes()).sum();
+    assert_eq!(
+        delivered_bytes, injected_bytes,
+        "{name}: delivered {delivered_bytes} bytes of {injected_bytes} injected"
+    );
+}
+
+#[test]
+fn conservation_homa() {
+    assert_conserves("Homa", None, |h| HomaSimTransport::new(h, HomaConfig::default()));
+}
+
+#[test]
+fn conservation_pfabric() {
+    let cfg = PfabricConfig::default();
+    assert_conserves("pFabric", Some(pfabric::fabric_queues(&cfg)), move |h| {
+        PfabricTransport::new(h, PfabricConfig::default())
+    });
+}
+
+#[test]
+fn conservation_phost() {
+    assert_conserves("pHost", None, |h| PhostTransport::new(h, PhostConfig::default()));
+}
+
+#[test]
+fn conservation_pias() {
+    let cfg = PiasConfig::default();
+    assert_conserves("PIAS", Some(pias::fabric_queues(&cfg)), move |h| {
+        PiasTransport::new(h, PiasConfig::default())
+    });
+}
+
+#[test]
+fn conservation_ndp() {
+    let cfg = NdpConfig::default();
+    assert_conserves("NDP", Some(ndp::fabric_queues(&cfg)), move |h| {
+        NdpTransport::new(h, NdpConfig::default())
+    });
+}
+
+#[test]
+fn conservation_stream() {
+    assert_conserves("Stream", None, |h| StreamTransport::new(h, StreamConfig::default()));
 }

@@ -387,6 +387,42 @@ mod tests {
     }
 
     #[test]
+    fn engines_agree_under_loss() {
+        // The lane-aware engine must replay the legacy heap bit-for-bit
+        // even through the loss-recovery path (RESENDs, retransmissions),
+        // where event ordering is at its most delicate.
+        use homa_sim::{EngineKind, QueueDiscipline, QueueKind};
+        let run = |engine: EngineKind| {
+            let cfg = NetworkConfig {
+                tor_down: QueueDiscipline {
+                    kind: QueueKind::StrictPriority { levels: 8 },
+                    cap_bytes: 4_500,
+                    ecn: None,
+                },
+                ..NetworkConfig::default()
+            }
+            .with_engine(engine);
+            let topo = Topology::multi_tor(16);
+            let mut net: Network<HomaMeta, HomaSimTransport> =
+                Network::new(topo, cfg, |h| HomaSimTransport::new(h, HomaConfig::default()));
+            for s in 0..10u32 {
+                net.inject_message(HostId(s), HostId(15), 30_000, s as u64);
+            }
+            net.run_until(SimTime::from_millis(50));
+            let evs: Vec<_> = net
+                .take_app_events()
+                .into_iter()
+                .map(|(t, h, e)| (t.as_nanos(), h.0, format!("{e:?}")))
+                .collect();
+            (evs, net.events_processed(), net.harvest_stats().total_drops())
+        };
+        let hier = run(EngineKind::Hierarchical);
+        let legacy = run(EngineKind::LegacyHeap);
+        assert!(hier.2 > 0, "test must actually drop packets");
+        assert_eq!(hier, legacy);
+    }
+
+    #[test]
     fn loss_recovery_inside_fabric() {
         // Force drops by shrinking the TOR downlink buffer drastically.
         use homa_sim::{QueueDiscipline, QueueKind};

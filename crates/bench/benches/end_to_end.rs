@@ -52,5 +52,39 @@ fn bench_fabric_scale(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_protocols, bench_fabric_scale);
+/// The perf-smoke shape as a criterion bench: W4 at 80% on the 100-host
+/// multi-TOR fabric, on each event engine.
+fn bench_100host_engines(c: &mut Criterion) {
+    use homa_harness::{FabricSpec, ScenarioSpec};
+    use homa_sim::EngineKind;
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for (label, engine) in [("hier", EngineKind::Hierarchical), ("legacy", EngineKind::LegacyHeap)]
+    {
+        let spec = ScenarioSpec::new(
+            "bench_100h",
+            FabricSpec::MultiTor { hosts: 100 },
+            Workload::W4,
+            0.8,
+            500,
+            2,
+        )
+        .with_engine(engine);
+        g.bench_function(format!("homa_w4_100host_{label}"), |b| {
+            b.iter(|| {
+                let res = homa_bench::run_protocol_scenario(
+                    Protocol::Homa,
+                    &spec,
+                    &OnewayOpts::default(),
+                    None,
+                );
+                assert!(res.delivered >= 495);
+                res.stats.events_processed
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_fabric_scale, bench_100host_engines);
 criterion_main!(benches);

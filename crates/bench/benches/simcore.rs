@@ -1,8 +1,8 @@
-//! Micro-benchmarks for the simulation kernel: event queue and priority
-//! queues.
+//! Micro-benchmarks for the simulation kernel: event queues (flat and
+//! hierarchical), sustained churn at 100-host scale, and priority queues.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use homa_sim::{EventQueue, SimTime};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use homa_sim::{EngineKind, EventEngine, EventQueue, LaneId, SimTime};
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("simcore");
@@ -20,6 +20,86 @@ fn bench_event_queue(c: &mut Criterion) {
             }
             acc
         })
+    });
+    g.finish();
+}
+
+/// Sustained event churn shaped like a 100-host fabric: 113 lanes (100
+/// hosts + 10 TORs + 3 spines), near-monotone per-lane times (the TxDone /
+/// SwitchArrive pattern — each lane's next event is almost always later
+/// than its last), a deep steady state, and one pop + one push per step.
+/// Run on both engines over the *identical* operation sequence.
+fn bench_engine_churn(c: &mut Criterion) {
+    const LANES: u32 = 113;
+    const STEADY: usize = 20_000;
+    const STEPS: usize = 100_000;
+
+    // Pre-generate the op sequence — absolute times included — so both
+    // engines replay identical operations and the timed loop contains
+    // nothing but engine work. Each lane's times advance near-monotonically
+    // (the TxDone / SwitchArrive pattern); 3% of arrivals are slightly out
+    // of order.
+    let mut lcg = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg >> 33
+    };
+    let mut lane_clock = vec![0i64; LANES as usize];
+    let ops: Vec<(u32, u64)> = (0..STEADY + STEPS)
+        .map(|_| {
+            let lane = (next() % LANES as u64) as u32;
+            let r = next();
+            let delta = if r % 33 == 0 { -((r % 500) as i64) } else { (r % 2_000) as i64 };
+            let t = (lane_clock[lane as usize] + delta).max(0);
+            lane_clock[lane as usize] = t.max(lane_clock[lane as usize]);
+            (lane, t as u64)
+        })
+        .collect();
+
+    let run = |kind: EngineKind| {
+        let mut q: EventEngine<u64> = EventEngine::new(kind, LANES);
+        for (i, &(lane, t)) in ops[..STEADY].iter().enumerate() {
+            q.schedule(LaneId(lane), SimTime::from_nanos(t), i as u64);
+        }
+        let mut acc = 0u64;
+        for (i, &(lane, t)) in ops[STEADY..].iter().enumerate() {
+            let (_, v) = q.pop().expect("steady state");
+            acc = acc.wrapping_add(v);
+            q.schedule(LaneId(lane), SimTime::from_nanos(t), i as u64);
+        }
+        acc
+    };
+
+    let mut g = c.benchmark_group("simcore");
+    g.sample_size(10);
+    g.bench_function("engine_churn_100host_hier", |b| {
+        b.iter(|| black_box(run(EngineKind::Hierarchical)))
+    });
+    g.bench_function("engine_churn_100host_flat", |b| {
+        b.iter(|| black_box(run(EngineKind::LegacyHeap)))
+    });
+    g.finish();
+
+    // The `event_queue_push_pop_1k` pattern at 100-host scale: fill 100k
+    // events across the fabric's lanes, then drain completely.
+    let fill_drain = move |kind: EngineKind| {
+        let mut q: EventEngine<u64> = EventEngine::new(kind, LANES);
+        for (i, &(lane, t)) in ops.iter().take(100_000).enumerate() {
+            q.schedule(LaneId(lane), SimTime::from_nanos(t), i as u64);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    };
+    let mut g = c.benchmark_group("simcore");
+    g.sample_size(10);
+    g.bench_function("event_queue_push_pop_100k_hier", |b| {
+        b.iter(|| black_box(fill_drain(EngineKind::Hierarchical)))
+    });
+    g.bench_function("event_queue_push_pop_100k_flat", |b| {
+        b.iter(|| black_box(fill_drain(EngineKind::LegacyHeap)))
     });
     g.finish();
 }
@@ -64,5 +144,5 @@ fn bench_port_queue(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_port_queue);
+criterion_group!(benches, bench_event_queue, bench_engine_churn, bench_port_queue);
 criterion_main!(benches);

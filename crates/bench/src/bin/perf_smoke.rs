@@ -1,0 +1,265 @@
+//! `perf-smoke` — the CI performance-regression gate.
+//!
+//! Runs a fixed set of deterministic scenarios (fixed seed, W4 at 80%
+//! load, 40- and 100-host multi-TOR fabrics), measures wall-clock and
+//! events/sec, and emits a machine-readable JSON report. CI compares the
+//! report against the checked-in `BENCH_BASELINE.json` and fails on a
+//! >25% regression — so event-engine speed never silently erodes.
+//!
+//! ```text
+//! perf-smoke [--out PATH] [--engine hier|legacy] [--quick]
+//!     run the scenarios, print the JSON report, write it to PATH
+//!     (default BENCH_PR.json)
+//!
+//! perf-smoke --compare BASELINE CURRENT [--tolerance 0.25]
+//!     exit nonzero if CURRENT regressed from BASELINE: wall-clock or
+//!     events/sec off by more than the tolerance, or a changed
+//!     deterministic event count (which means the simulation itself
+//!     changed — refresh the baseline deliberately if intended)
+//! ```
+//!
+//! To refresh the baseline after an intentional change:
+//! `cargo run --release -p homa-bench --bin perf-smoke -- --out BENCH_BASELINE.json`
+
+use homa_bench::perfjson::{parse_report, render_report, Report, ScenarioReport};
+use homa_bench::{run_protocol_scenario, Protocol};
+use homa_harness::driver::OnewayOpts;
+use homa_harness::{FabricSpec, ScenarioSpec};
+use homa_sim::EngineKind;
+use homa_workloads::Workload;
+use std::time::Instant;
+
+/// Fixed seed for every gate scenario: the runs are deterministic, so
+/// the baseline's event counts must reproduce exactly.
+const SEED: u64 = 42;
+
+fn gate_scenarios(engine: EngineKind, quick: bool) -> Vec<ScenarioSpec> {
+    let scale = if quick { 4 } else { 1 };
+    vec![
+        ScenarioSpec::new(
+            "w4_80_40h",
+            FabricSpec::MultiTor { hosts: 40 },
+            Workload::W4,
+            0.8,
+            1_200 / scale,
+            SEED,
+        )
+        .with_engine(engine),
+        ScenarioSpec::new(
+            "w4_80_100h",
+            FabricSpec::MultiTor { hosts: 100 },
+            Workload::W4,
+            0.8,
+            3_000 / scale,
+            SEED,
+        )
+        .with_engine(engine),
+    ]
+}
+
+fn run_gate(engine: EngineKind, quick: bool) -> Report {
+    let mut scenarios = Vec::new();
+    for spec in gate_scenarios(engine, quick) {
+        eprintln!("running {} ({:?} engine) ...", spec.name, spec.engine);
+        let start = Instant::now();
+        let res = run_protocol_scenario(Protocol::Homa, &spec, &OnewayOpts::default(), None);
+        let wall = start.elapsed();
+        let events = res.stats.events_processed;
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        assert!(
+            res.delivered as f64 >= res.injected as f64 * 0.99,
+            "{}: only {}/{} delivered — scenario miscalibrated",
+            spec.name,
+            res.delivered,
+            res.injected
+        );
+        scenarios.push(ScenarioReport {
+            name: spec.name.clone(),
+            hosts: spec.fabric.hosts() as u64,
+            messages: res.injected,
+            delivered: res.delivered,
+            events,
+            sim_ns: res.duration.as_nanos(),
+            wall_ms,
+            events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        });
+        eprintln!(
+            "  {}: {:.0} ms, {} events, {:.0} events/s",
+            spec.name,
+            wall_ms,
+            events,
+            events as f64 / wall.as_secs_f64().max(1e-9)
+        );
+    }
+    Report {
+        schema: 1,
+        produced_by: format!(
+            "perf-smoke (homa-bench), seed {SEED}, engine {:?}{}",
+            engine,
+            if quick { ", quick" } else { "" }
+        ),
+        scenarios,
+    }
+}
+
+/// Compare `cur` against `base`; returns human-readable failures.
+fn regressions(base: &Report, cur: &Report, tolerance: f64) -> Vec<String> {
+    let mut fails = Vec::new();
+    for b in &base.scenarios {
+        let Some(c) = cur.scenarios.iter().find(|s| s.name == b.name) else {
+            fails.push(format!("{}: missing from current report", b.name));
+            continue;
+        };
+        if c.messages != b.messages {
+            // Different injection budgets are a comparison mistake (e.g. a
+            // --quick report against the full baseline), not a regression.
+            fails.push(format!(
+                "{}: scenario shapes differ (messages {} -> {}); are you comparing \
+                 a --quick report against a full baseline?",
+                b.name, b.messages, c.messages
+            ));
+            continue;
+        }
+        if c.events != b.events {
+            fails.push(format!(
+                "{}: deterministic event count changed ({} -> {}); if the simulation \
+                 change is intentional, refresh BENCH_BASELINE.json",
+                b.name, b.events, c.events
+            ));
+        }
+        if c.delivered != b.delivered {
+            fails.push(format!(
+                "{}: delivered count changed ({} -> {})",
+                b.name, b.delivered, c.delivered
+            ));
+        }
+        if c.wall_ms > b.wall_ms * (1.0 + tolerance) {
+            fails.push(format!(
+                "{}: wall-clock regressed {:.1} ms -> {:.1} ms (> {:.0}% tolerance)",
+                b.name,
+                b.wall_ms,
+                c.wall_ms,
+                tolerance * 100.0
+            ));
+        }
+        if c.events_per_sec < b.events_per_sec / (1.0 + tolerance) {
+            fails.push(format!(
+                "{}: events/sec regressed {:.0} -> {:.0} (> {:.0}% tolerance)",
+                b.name,
+                b.events_per_sec,
+                c.events_per_sec,
+                tolerance * 100.0
+            ));
+        }
+    }
+    fails
+}
+
+fn compare(base_path: &str, cur_path: &str, tolerance: f64) -> i32 {
+    let load = |p: &str| -> Report {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("perf-smoke: cannot read {p}: {e}");
+            std::process::exit(2);
+        });
+        parse_report(&text).unwrap_or_else(|e| {
+            eprintln!("perf-smoke: cannot parse {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = load(base_path);
+    let cur = load(cur_path);
+    println!("perf-smoke comparison (tolerance {:.0}%):", tolerance * 100.0);
+    println!(
+        "{:<14} {:>12} {:>12} {:>14} {:>14}",
+        "scenario", "base ms", "cur ms", "base ev/s", "cur ev/s"
+    );
+    for b in &base.scenarios {
+        if let Some(c) = cur.scenarios.iter().find(|s| s.name == b.name) {
+            println!(
+                "{:<14} {:>12.1} {:>12.1} {:>14.0} {:>14.0}",
+                b.name, b.wall_ms, c.wall_ms, b.events_per_sec, c.events_per_sec
+            );
+        }
+    }
+    let fails = regressions(&base, &cur, tolerance);
+    if fails.is_empty() {
+        println!("OK: no regression beyond {:.0}%", tolerance * 100.0);
+        0
+    } else {
+        for f in &fails {
+            eprintln!("FAIL: {f}");
+        }
+        1
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from("BENCH_PR.json");
+    let mut engine = EngineKind::Hierarchical;
+    let mut quick = false;
+    let mut compare_paths: Option<(String, String)> = None;
+    let mut tolerance = std::env::var("PERF_SMOKE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.25);
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--engine" => {
+                i += 1;
+                engine = match args.get(i).map(String::as_str) {
+                    Some("hier") | Some("hierarchical") => EngineKind::Hierarchical,
+                    Some("legacy") => EngineKind::LegacyHeap,
+                    _ => usage("--engine takes 'hier' or 'legacy'"),
+                };
+            }
+            "--quick" => quick = true,
+            "--compare" => {
+                let b = args.get(i + 1).cloned().unwrap_or_else(|| usage("--compare BASE CUR"));
+                let c = args.get(i + 2).cloned().unwrap_or_else(|| usage("--compare BASE CUR"));
+                compare_paths = Some((b, c));
+                i += 2;
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--tolerance takes a fraction, e.g. 0.25"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    if let Some((base, cur)) = compare_paths {
+        std::process::exit(compare(&base, &cur, tolerance));
+    }
+
+    let report = run_gate(engine, quick);
+    let json = render_report(&report);
+    print!("{json}");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("perf-smoke: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {out}");
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("perf-smoke: {err}");
+    }
+    eprintln!(
+        "usage: perf-smoke [--out PATH] [--engine hier|legacy] [--quick]\n\
+         \x20      perf-smoke --compare BASELINE CURRENT [--tolerance FRAC]"
+    );
+    std::process::exit(2);
+}

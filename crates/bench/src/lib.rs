@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod perfjson;
+
 use homa::HomaConfig;
 use homa_baselines::{
     homa_sim::{basic_config, homa_px_config, static_map_for_workload},
@@ -19,6 +21,7 @@ use homa_baselines::{
 use homa_harness::driver::{
     run_oneway, run_rpc_echo, OnewayOpts, OnewayResult, RpcOpts, RpcResult,
 };
+use homa_harness::ScenarioSpec;
 use homa_sim::{NetworkConfig, QueueDiscipline, Topology};
 use homa_workloads::MessageSizeDist;
 
@@ -126,6 +129,47 @@ pub fn run_protocol_oneway(
     homa_override: Option<HomaConfig>,
 ) -> OnewayResult {
     let net = netcfg(seed, fabric_queues_for(p, dist));
+    run_protocol_oneway_on(p, topo, dist, load, n_msgs, seed, net, opts, homa_override)
+}
+
+/// Run the one-way experiment a [`ScenarioSpec`] describes for any
+/// protocol, honoring the spec's fabric, workload, load, seed and event
+/// engine. This is the entry point the `perf-smoke` gate and the
+/// determinism tests use.
+pub fn run_protocol_scenario(
+    p: Protocol,
+    spec: &ScenarioSpec,
+    opts: &OnewayOpts,
+    homa_override: Option<HomaConfig>,
+) -> OnewayResult {
+    let dist = spec.workload.dist();
+    let net = spec.netcfg_with(fabric_queues_for(p, &dist));
+    run_protocol_oneway_on(
+        p,
+        &spec.topology(),
+        &dist,
+        spec.load,
+        spec.messages,
+        spec.seed,
+        net,
+        opts,
+        homa_override,
+    )
+}
+
+/// Shared dispatch: one experiment, explicit fabric configuration.
+#[allow(clippy::too_many_arguments)]
+fn run_protocol_oneway_on(
+    p: Protocol,
+    topo: &Topology,
+    dist: &MessageSizeDist,
+    load: f64,
+    n_msgs: u64,
+    seed: u64,
+    net: NetworkConfig,
+    opts: &OnewayOpts,
+    homa_override: Option<HomaConfig>,
+) -> OnewayResult {
     let link = topo.host_link_bps;
     match p {
         Protocol::Homa | Protocol::HomaP(_) | Protocol::Basic => {

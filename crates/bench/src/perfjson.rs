@@ -1,0 +1,243 @@
+//! Minimal JSON writer/reader for the `perf-smoke` report format.
+//!
+//! The workspace builds offline (the `serde` dependency is a no-op shim),
+//! so the perf gate carries its own serializer for the one schema it
+//! needs: a flat object per scenario inside a `"scenarios"` array. The
+//! parser accepts exactly what [`render_report`] emits (plus whitespace
+//! variations) — it is a reader for our own files, not a general JSON
+//! parser.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Measurements for one scenario of a perf-smoke run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (`w4_80_100h`); the key baselines are matched on.
+    pub name: String,
+    /// Hosts in the fabric.
+    pub hosts: u64,
+    /// Messages injected.
+    pub messages: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Simulator events processed — deterministic for a given seed, so a
+    /// mismatch against the baseline means the simulation itself changed.
+    pub events: u64,
+    /// Simulated duration of the run, nanoseconds.
+    pub sim_ns: u64,
+    /// Wall-clock of the run, milliseconds.
+    pub wall_ms: f64,
+    /// Events processed per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// A whole perf-smoke report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Schema version (bump when fields change incompatibly).
+    pub schema: u32,
+    /// Free-form description of what produced the report.
+    pub produced_by: String,
+    /// Per-scenario measurements.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+/// Serialize a report as pretty-printed JSON.
+pub fn render_report(r: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", r.schema);
+    let _ = writeln!(out, "  \"produced_by\": \"{}\",", escape(&r.produced_by));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in r.scenarios.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", escape(&s.name));
+        let _ = writeln!(out, "      \"hosts\": {},", s.hosts);
+        let _ = writeln!(out, "      \"messages\": {},", s.messages);
+        let _ = writeln!(out, "      \"delivered\": {},", s.delivered);
+        let _ = writeln!(out, "      \"events\": {},", s.events);
+        let _ = writeln!(out, "      \"sim_ns\": {},", s.sim_ns);
+        let _ = writeln!(out, "      \"wall_ms\": {:.3},", s.wall_ms);
+        let _ = writeln!(out, "      \"events_per_sec\": {:.1}", s.events_per_sec);
+        out.push_str(if i + 1 < r.scenarios.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parse a report produced by [`render_report`]. Returns a readable error
+/// for anything malformed.
+pub fn parse_report(json: &str) -> Result<Report, String> {
+    let objects = flat_objects(json)?;
+    let mut schema = 0u32;
+    let mut produced_by = String::new();
+    let mut scenarios = Vec::new();
+    for obj in objects {
+        if let Some(name) = obj.get("name") {
+            let get = |k: &str| -> Result<f64, String> {
+                obj.get(k)
+                    .ok_or_else(|| format!("scenario {name}: missing field {k:?}"))?
+                    .parse::<f64>()
+                    .map_err(|e| format!("scenario {name}: bad {k:?}: {e}"))
+            };
+            scenarios.push(ScenarioReport {
+                name: name.clone(),
+                hosts: get("hosts")? as u64,
+                messages: get("messages")? as u64,
+                delivered: get("delivered")? as u64,
+                events: get("events")? as u64,
+                sim_ns: get("sim_ns")? as u64,
+                wall_ms: get("wall_ms")?,
+                events_per_sec: get("events_per_sec")?,
+            });
+        } else {
+            // The top-level object (fields outside any scenario).
+            if let Some(s) = obj.get("schema") {
+                schema = s.parse().map_err(|e| format!("bad schema: {e}"))?;
+            }
+            if let Some(p) = obj.get("produced_by") {
+                produced_by = p.clone();
+            }
+        }
+    }
+    if scenarios.is_empty() {
+        return Err("no scenarios found".into());
+    }
+    Ok(Report { schema, produced_by, scenarios })
+}
+
+/// Split a JSON document into flat key→value maps: one for each
+/// `{...}` nesting level encountered. Strings lose their quotes; numbers
+/// stay textual. Arrays only serve as grouping.
+fn flat_objects(json: &str) -> Result<Vec<BTreeMap<String, String>>, String> {
+    let mut stack: Vec<BTreeMap<String, String>> = Vec::new();
+    let mut done: Vec<BTreeMap<String, String>> = Vec::new();
+    let mut key: Option<String> = None;
+    let mut chars = json.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' => {
+                // A container discharges any pending key ("scenarios": [...]).
+                key = None;
+                stack.push(BTreeMap::new());
+            }
+            '[' => key = None,
+            '}' => {
+                let obj = stack.pop().ok_or("unbalanced '}'")?;
+                done.push(obj);
+                key = None;
+            }
+            '"' => {
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\\') => match chars.next() {
+                            Some(e) => s.push(e),
+                            None => return Err("dangling escape".into()),
+                        },
+                        Some('"') => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err("unterminated string".into()),
+                    }
+                }
+                let top = stack.last_mut().ok_or("value outside object")?;
+                match key.take() {
+                    None => key = Some(s),
+                    Some(k) => {
+                        top.insert(k, s);
+                    }
+                }
+            }
+            ':' | ',' | ']' => {}
+            c if c.is_whitespace() => {}
+            c => {
+                // A bare token: number, true/false/null.
+                let mut tok = String::new();
+                tok.push(c);
+                while let Some(&n) = chars.peek() {
+                    if n == ',' || n == '}' || n == ']' || n.is_whitespace() {
+                        break;
+                    }
+                    tok.push(n);
+                    chars.next();
+                }
+                let top = stack.last_mut().ok_or("value outside object")?;
+                let k = key.take().ok_or_else(|| format!("bare value {tok:?} without key"))?;
+                top.insert(k, tok);
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return Err("unbalanced '{'".into());
+    }
+    Ok(done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            schema: 1,
+            produced_by: "perf-smoke test".into(),
+            scenarios: vec![
+                ScenarioReport {
+                    name: "w4_80_40h".into(),
+                    hosts: 40,
+                    messages: 2000,
+                    delivered: 2000,
+                    events: 123_456,
+                    sim_ns: 7_000_000,
+                    wall_ms: 321.5,
+                    events_per_sec: 383_999.9,
+                },
+                ScenarioReport {
+                    name: "w4_80_100h".into(),
+                    hosts: 100,
+                    messages: 4000,
+                    delivered: 3999,
+                    events: 999_999,
+                    sim_ns: 9_000_000,
+                    wall_ms: 1000.0,
+                    events_per_sec: 999_999.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let r = sample();
+        let json = render_report(&r);
+        let back = parse_report(&json).unwrap();
+        assert_eq!(back.schema, 1);
+        assert_eq!(back.produced_by, "perf-smoke test");
+        assert_eq!(back.scenarios.len(), 2);
+        assert_eq!(back.scenarios[0], r.scenarios[0]);
+        assert_eq!(back.scenarios[1].delivered, 3999);
+        assert!((back.scenarios[1].wall_ms - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace_and_ordering() {
+        let json = r#"{"schema":1,"produced_by":"x","scenarios":[
+            {"events":10,"name":"a","hosts":2,"messages":1,"delivered":1,
+             "sim_ns":5,"events_per_sec":2.0,"wall_ms":5.0}]}"#;
+        let r = parse_report(json).unwrap();
+        assert_eq!(r.scenarios[0].name, "a");
+        assert_eq!(r.scenarios[0].events, 10);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_report("{").is_err());
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report(r#"{"scenarios":[{"name":"a"}]}"#).is_err());
+    }
+}

@@ -421,7 +421,12 @@ impl HomaEndpoint {
         // not been fully transmitted".
         let mut dead: Vec<u64> = Vec::new();
         let mut chase: Vec<(PeerId, u64)> = Vec::new();
-        for (&seq, rpc) in self.client_rpcs.iter_mut() {
+        // Sorted order: the chase RESENDs go on the wire in this order,
+        // and HashMap iteration order is not run-to-run deterministic.
+        let mut seqs: Vec<u64> = self.client_rpcs.keys().copied().collect();
+        seqs.sort_unstable();
+        for seq in seqs {
+            let rpc = self.client_rpcs.get_mut(&seq).expect("seq just collected");
             if !rpc.awaiting_first_response {
                 continue;
             }

@@ -234,7 +234,13 @@ impl ReceiverState {
         let interval = self.cfg.resend_interval_ns;
         let limit = self.cfg.abort_after_resends;
         let mut dead: Vec<MsgKey> = Vec::new();
-        for m in self.msgs.values_mut() {
+        // Sorted key order: the emitted RESENDs go on the wire in this
+        // order, and HashMap iteration order is not deterministic across
+        // runs (it would break bit-for-bit reproducibility).
+        let mut keys: Vec<MsgKey> = self.msgs.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let m = self.msgs.get_mut(&key).expect("key just collected");
             // Only chase messages from which we expect bytes: either
             // granted-but-undelivered data, or a gap in what has arrived.
             let expecting =

@@ -117,7 +117,12 @@ impl SenderState {
         let payload = self.cfg.max_payload as u64;
         let mut abandoned = Vec::new();
         let mut dead = Vec::new();
-        for m in self.msgs.values_mut() {
+        // Sorted key order so retransmit state changes (and the abandoned
+        // list) are independent of HashMap iteration order.
+        let mut keys: Vec<MsgKey> = self.msgs.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let m = self.msgs.get_mut(&key).expect("key just collected");
             if m.key.dir != Dir::Oneway || m.fully_sent() || m.transmittable() {
                 continue;
             }

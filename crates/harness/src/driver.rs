@@ -9,6 +9,10 @@
 //!   RPCs to servers (Figures 8–9).
 //! * [`run_incast`] — Figure 10: one client, many concurrent RPCs with
 //!   10 KB responses.
+//!
+//! Each driver takes the fabric, workload, load and seed positionally;
+//! [`crate::scenario`] wraps the same entry points behind a declarative
+//! [`crate::ScenarioSpec`] so whole experiments are nameable values.
 
 use crate::slowdown::MsgRecord;
 use homa_sim::{

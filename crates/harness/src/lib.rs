@@ -11,6 +11,9 @@
 //!   observed completion time over the best possible time on an unloaded
 //!   network, summarized at p50/p99 over size bins that are linear in
 //!   message count (the x-axis convention of Figures 8/9/12/13).
+//! * [`scenario`] — declarative [`ScenarioSpec`]s (fabric shape, workload,
+//!   load, seed, event engine) that the drivers consume; the vocabulary of
+//!   the `perf-smoke` CI gate and the determinism tests.
 //! * [`capacity`] — the highest-sustainable-load search behind Figure 15.
 //! * [`render`] — plain-text table/series renderers used by the `repro`
 //!   binary and recorded in `EXPERIMENTS.md`.
@@ -21,11 +24,15 @@
 pub mod capacity;
 pub mod driver;
 pub mod render;
+pub mod scenario;
 pub mod slowdown;
 
 pub use capacity::max_sustainable_load;
 pub use driver::{
     run_incast, run_oneway, run_rpc_echo, IncastResult, OnewayOpts, OnewayResult, RpcOpts,
     RpcResult,
+};
+pub use scenario::{
+    run_incast_scenario, run_oneway_scenario, run_rpc_echo_scenario, FabricSpec, ScenarioSpec,
 };
 pub use slowdown::{MsgRecord, SlowdownBin, SlowdownSummary};

@@ -1,0 +1,276 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`ScenarioSpec`] names everything that makes a run what it is —
+//! fabric shape, workload, offered load, message budget, seed, event
+//! engine — in one value that the three experiment drivers
+//! ([`run_oneway`], [`run_rpc_echo`], [`run_incast`]) consume via the
+//! `*_scenario` wrappers below. The `perf-smoke` CI gate, the
+//! determinism tests and the nightly long-haul matrix all describe their
+//! runs this way, so "the 100-host W4 run at 80% load with seed 42" is a
+//! value that can be logged, compared and replayed exactly.
+
+use crate::driver::{
+    run_incast, run_oneway, run_rpc_echo, IncastResult, OnewayOpts, OnewayResult, RpcOpts,
+    RpcResult,
+};
+use homa_sim::{
+    EngineKind, HostId, NetworkConfig, PacketMeta, QueueDiscipline, SimDuration, Topology,
+    Transport,
+};
+use homa_workloads::Workload;
+
+/// The fabric a scenario runs on, by shape rather than by a prebuilt
+/// [`Topology`] — so specs stay small, printable and comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricSpec {
+    /// `n` hosts on one switch ([`Topology::single_switch`]).
+    SingleSwitch {
+        /// Number of hosts.
+        hosts: u32,
+    },
+    /// An explicit leaf–spine shape ([`Topology::scaled_fabric`]).
+    LeafSpine {
+        /// Number of racks.
+        racks: u32,
+        /// Hosts per rack.
+        hosts_per_rack: u32,
+        /// Number of spine switches.
+        spines: u32,
+    },
+    /// A multi-TOR fabric sized by host count ([`Topology::multi_tor`]).
+    MultiTor {
+        /// Total hosts: ≥ 16 and divisible by 10, 16 or 8, so the fabric
+        /// has at least two racks.
+        hosts: u32,
+    },
+    /// The paper's Figure 11 fabric: 144 hosts, 9 racks, 4 spines.
+    Paper,
+}
+
+impl FabricSpec {
+    /// Materialize the topology.
+    pub fn topology(&self) -> Topology {
+        match *self {
+            FabricSpec::SingleSwitch { hosts } => Topology::single_switch(hosts),
+            FabricSpec::LeafSpine { racks, hosts_per_rack, spines } => {
+                Topology::scaled_fabric(racks, hosts_per_rack, spines)
+            }
+            FabricSpec::MultiTor { hosts } => Topology::multi_tor(hosts),
+            FabricSpec::Paper => Topology::paper_fabric(),
+        }
+    }
+
+    /// Total hosts in the fabric.
+    pub fn hosts(&self) -> u32 {
+        match *self {
+            FabricSpec::SingleSwitch { hosts } | FabricSpec::MultiTor { hosts } => hosts,
+            FabricSpec::LeafSpine { racks, hosts_per_rack, .. } => racks * hosts_per_rack,
+            FabricSpec::Paper => 144,
+        }
+    }
+}
+
+/// One fully-specified experiment: everything a run is a pure function
+/// of, minus the transport (which the caller supplies, so one spec can be
+/// replayed across protocols and engines).
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Short machine-friendly name (`w4_80_100h`); keys the perf-smoke
+    /// baseline comparison.
+    pub name: String,
+    /// Fabric shape.
+    pub fabric: FabricSpec,
+    /// Message-size workload (the paper's W1–W5).
+    pub workload: Workload,
+    /// Offered load as a fraction of aggregate host-link bandwidth.
+    pub load: f64,
+    /// Messages (or RPCs, or concurrent incast requests) to inject.
+    pub messages: u64,
+    /// Seed for all randomness in the run.
+    pub seed: u64,
+    /// Event engine to run on.
+    pub engine: EngineKind,
+}
+
+impl ScenarioSpec {
+    /// A spec with the default (hierarchical) engine.
+    pub fn new(
+        name: impl Into<String>,
+        fabric: FabricSpec,
+        workload: Workload,
+        load: f64,
+        messages: u64,
+        seed: u64,
+    ) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            fabric,
+            workload,
+            load,
+            messages,
+            seed,
+            engine: EngineKind::default(),
+        }
+    }
+
+    /// The same scenario on a different event engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Materialize the topology.
+    pub fn topology(&self) -> Topology {
+        self.fabric.topology()
+    }
+
+    /// Fabric configuration for this spec: seeded, on the spec's engine,
+    /// with the default strict-priority queues.
+    pub fn netcfg(&self) -> NetworkConfig {
+        self.netcfg_with(None)
+    }
+
+    /// Fabric configuration with a protocol-specific queue discipline on
+    /// every port class (pFabric, PIAS, NDP), or the default when `None`.
+    pub fn netcfg_with(&self, queues: Option<QueueDiscipline>) -> NetworkConfig {
+        let base = match queues {
+            Some(q) => NetworkConfig::uniform(self.seed, q),
+            None => NetworkConfig { seed: self.seed, ..NetworkConfig::default() },
+        };
+        base.with_engine(self.engine)
+    }
+}
+
+/// Run the all-to-all one-way experiment a spec describes.
+pub fn run_oneway_scenario<M, T>(
+    spec: &ScenarioSpec,
+    queues: Option<QueueDiscipline>,
+    make: impl FnMut(HostId) -> T,
+    opts: &OnewayOpts,
+) -> OnewayResult
+where
+    M: PacketMeta,
+    T: Transport<M>,
+{
+    run_oneway(
+        &spec.topology(),
+        spec.netcfg_with(queues),
+        make,
+        &spec.workload.dist(),
+        spec.load,
+        spec.messages,
+        spec.seed,
+        opts,
+    )
+}
+
+/// Run the §5.1 echo-RPC experiment a spec describes; `spec.messages`
+/// is the RPC budget.
+pub fn run_rpc_echo_scenario<M, T>(
+    spec: &ScenarioSpec,
+    queues: Option<QueueDiscipline>,
+    make: impl FnMut(HostId) -> T,
+    opts: &RpcOpts,
+) -> RpcResult
+where
+    M: PacketMeta,
+    T: Transport<M>,
+{
+    run_rpc_echo(
+        &spec.topology(),
+        spec.netcfg_with(queues),
+        make,
+        &spec.workload.dist(),
+        spec.load,
+        spec.messages,
+        spec.seed,
+        opts,
+    )
+}
+
+/// Run the Figure 10 incast a spec describes: `spec.messages` concurrent
+/// RPCs per round (the workload/load fields are unused — incast responses
+/// are fixed-size).
+pub fn run_incast_scenario<M, T>(
+    spec: &ScenarioSpec,
+    queues: Option<QueueDiscipline>,
+    make: impl FnMut(HostId) -> T,
+    resp_len: u64,
+    rounds: u32,
+    per_round_timeout: SimDuration,
+) -> IncastResult
+where
+    M: PacketMeta,
+    T: Transport<M>,
+{
+    run_incast(
+        &spec.topology(),
+        spec.netcfg_with(queues),
+        make,
+        spec.messages,
+        resp_len,
+        rounds,
+        per_round_timeout,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homa::HomaConfig;
+    use homa_baselines::HomaSimTransport;
+
+    #[test]
+    fn fabric_specs_materialize() {
+        assert_eq!(FabricSpec::SingleSwitch { hosts: 8 }.topology().num_hosts(), 8);
+        assert_eq!(FabricSpec::MultiTor { hosts: 100 }.topology().num_hosts(), 100);
+        assert_eq!(FabricSpec::Paper.topology().num_hosts(), 144);
+        let ls = FabricSpec::LeafSpine { racks: 3, hosts_per_rack: 8, spines: 2 };
+        assert_eq!(ls.topology().num_hosts(), 24);
+        assert_eq!(ls.hosts(), 24);
+        assert_eq!(FabricSpec::Paper.hosts(), 144);
+    }
+
+    #[test]
+    fn spec_drives_oneway_run() {
+        let spec = ScenarioSpec::new(
+            "smoke",
+            FabricSpec::SingleSwitch { hosts: 6 },
+            Workload::W2,
+            0.5,
+            120,
+            3,
+        );
+        let res = run_oneway_scenario(
+            &spec,
+            None,
+            |h| HomaSimTransport::new(h, HomaConfig::default()),
+            &OnewayOpts::default(),
+        );
+        assert_eq!(res.injected, 120);
+        assert_eq!(res.delivered, 120);
+    }
+
+    #[test]
+    fn spec_engine_selection_is_invisible_in_results() {
+        let run = |engine| {
+            let spec = ScenarioSpec::new(
+                "ab",
+                FabricSpec::LeafSpine { racks: 2, hosts_per_rack: 4, spines: 2 },
+                Workload::W1,
+                0.6,
+                200,
+                9,
+            )
+            .with_engine(engine);
+            let res = run_oneway_scenario(
+                &spec,
+                None,
+                |h| HomaSimTransport::new(h, HomaConfig::default()),
+                &OnewayOpts::default(),
+            );
+            res.records.iter().map(|r| (r.size, r.completed_ns)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(EngineKind::Hierarchical), run(EngineKind::LegacyHeap));
+    }
+}

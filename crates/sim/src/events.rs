@@ -1,19 +1,46 @@
-//! The discrete-event queue.
+//! The discrete-event engines.
 //!
-//! A binary heap of `(time, sequence, payload)` entries. The sequence number
-//! is assigned at insertion, so events scheduled for the same instant fire
-//! in insertion order. This makes runs fully deterministic, which the test
-//! suite and the reproducibility goals of the repository depend on.
+//! Two engines share one contract: events are totally ordered by
+//! `(time, sequence)`, where the sequence number is assigned globally at
+//! insertion. Events scheduled for the same instant therefore fire in
+//! insertion order, which makes runs fully deterministic — the test suite
+//! and the reproducibility goals of the repository depend on it.
+//!
+//! * [`EventQueue`] — the original monolithic binary heap. Simple, and
+//!   still what small simulations use via
+//!   [`EngineKind::LegacyHeap`].
+//! * [`HierEventQueue`] — the hierarchical engine that makes 100+ host
+//!   fabrics affordable. Events are routed to per-lane queues (the
+//!   network assigns one lane per host plus one per fabric switch); each
+//!   lane stores its events as a sorted *run* (a `VecDeque` absorbing the
+//!   overwhelmingly common in-order appends in O(1)) plus a small *spill*
+//!   heap for out-of-order arrivals. A top-level *ladder* — a small heap
+//!   over the current lane heads, keyed on the same `(time, seq)` — picks
+//!   the global minimum. Stale ladder entries (heads superseded by an
+//!   earlier arrival, or already popped) are skipped lazily.
+//!
+//! Because both engines order by the same globally-assigned
+//! `(time, seq)` key, a simulation pops the *bit-identical* event
+//! sequence from either; `tests/determinism.rs` in the workspace root
+//! proves this end-to-end.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Opaque token identifying a timer registered by a transport or the
 /// experiment driver. The meaning of the value is private to whoever
 /// scheduled it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TimerToken(pub u64);
+
+/// Identifies one event lane of a [`HierEventQueue`]. Lanes are dense
+/// indices assigned by whoever builds the engine (the network maps hosts,
+/// TORs and spines to consecutive lanes); events within a lane tend to be
+/// scheduled in non-decreasing time order, which is the property the
+/// hierarchical engine exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LaneId(pub u32);
 
 struct Entry<E> {
     at: SimTime,
@@ -72,6 +99,16 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|e| (e.at, e.payload))
     }
 
+    /// Remove and return the earliest event if it fires at or before `t`:
+    /// one heap probe instead of the `peek_time`-then-`pop` pair the
+    /// dispatch loops used to do.
+    pub fn pop_if_before(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.peek()?.at > t {
+            return None;
+        }
+        self.pop()
+    }
+
     /// The time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
@@ -85,6 +122,338 @@ impl<E> EventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+}
+
+/// Counters describing how the hierarchical engine behaved over a run;
+/// exposed for `perf-smoke` output and engine tuning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of lanes the engine was built with (1 for the legacy heap).
+    pub lanes: u32,
+    /// Deepest any single lane ever got.
+    pub max_lane_depth: usize,
+    /// Events appended to a lane's sorted run in order (the O(1) path).
+    pub inorder_events: u64,
+    /// Events that arrived out of order and went to a lane's spill heap.
+    pub spilled_events: u64,
+    /// Stale ladder heads skipped during merges.
+    pub stale_skips: u64,
+}
+
+/// One lane: a sorted run absorbing in-order appends plus a spill heap
+/// for the rare out-of-order arrival.
+struct Lane<E> {
+    run: VecDeque<Entry<E>>,
+    spill: BinaryHeap<Entry<E>>,
+}
+
+impl<E> Lane<E> {
+    fn new() -> Self {
+        Lane { run: VecDeque::new(), spill: BinaryHeap::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.run.len() + self.spill.len()
+    }
+
+    /// The `(time, seq)` key of this lane's earliest event.
+    fn min_key(&self) -> Option<(SimTime, u64)> {
+        let r = self.run.front().map(|e| (e.at, e.seq));
+        let s = self.spill.peek().map(|e| (e.at, e.seq));
+        match (r, s) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Entry<E>> {
+        let take_run = match (self.run.front(), self.spill.peek()) {
+            (Some(r), Some(s)) => (r.at, r.seq) <= (s.at, s.seq),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_run {
+            self.run.pop_front()
+        } else {
+            self.spill.pop()
+        }
+    }
+}
+
+/// A lane head recorded in the ladder: the `(time, seq)` key of what was,
+/// at push time, some lane's earliest event. Lazily invalidated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeadKey {
+    at: SimTime,
+    seq: u64,
+    lane: u32,
+}
+
+impl PartialOrd for HeadKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeadKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted: BinaryHeap pops the earliest head first. `seq` is
+        // globally unique, so the lane never decides the order.
+        (other.at, other.seq, other.lane).cmp(&(self.at, self.seq, self.lane))
+    }
+}
+
+/// The hierarchical event engine: per-lane queues merged through a small
+/// ladder of lane heads. Same `(time, seq)` total order as
+/// [`EventQueue`], but push/pop touch a short sorted run and a heap of
+/// ~`lanes` entries instead of one heap over every pending event.
+pub struct HierEventQueue<E> {
+    lanes: Vec<Lane<E>>,
+    ladder: BinaryHeap<HeadKey>,
+    next_seq: u64,
+    len: usize,
+    /// Number of stale entries currently in the ladder. Staleness is only
+    /// created when a spilled arrival supersedes a lane's head, so while
+    /// this is zero (the overwhelmingly common case) the merge can skip
+    /// validity checks entirely.
+    stale_debt: usize,
+    stats: EngineStats,
+}
+
+impl<E> HierEventQueue<E> {
+    /// An empty engine with `lanes` event lanes.
+    pub fn new(lanes: u32) -> Self {
+        assert!(lanes >= 1, "need at least one lane");
+        HierEventQueue {
+            lanes: (0..lanes).map(|_| Lane::new()).collect(),
+            ladder: BinaryHeap::with_capacity(lanes as usize + 8),
+            next_seq: 0,
+            len: 0,
+            stale_debt: 0,
+            stats: EngineStats { lanes, ..EngineStats::default() },
+        }
+    }
+
+    /// Schedule `payload` on `lane` at `at`. Events at equal times fire in
+    /// the order they were scheduled, across all lanes.
+    pub fn schedule(&mut self, lane: LaneId, at: SimTime, payload: E) {
+        let li = lane.0 as usize;
+        assert!(li < self.lanes.len(), "lane {} out of range ({} lanes)", lane.0, self.lanes.len());
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let l = &mut self.lanes[li];
+        // Only a new lane minimum needs a ladder entry — and an in-order
+        // append to a non-empty lane can never be one (the lane minimum is
+        // at most the run back it was appended behind), so the common case
+        // touches no heap at all.
+        match l.run.back() {
+            Some(back) if at >= back.at => {
+                l.run.push_back(Entry { at, seq, payload });
+                self.stats.inorder_events += 1;
+            }
+            Some(_) => {
+                // Out-of-order arrival: spill, and supersede the lane head
+                // if this is the new minimum.
+                let old = l.min_key().expect("run nonempty");
+                l.spill.push(Entry { at, seq, payload });
+                self.stats.spilled_events += 1;
+                if (at, seq) < old {
+                    self.stale_debt += 1;
+                    self.ladder.push(HeadKey { at, seq, lane: lane.0 });
+                }
+            }
+            None => {
+                let old = l.spill.peek().map(|e| (e.at, e.seq));
+                l.run.push_back(Entry { at, seq, payload });
+                self.stats.inorder_events += 1;
+                match old {
+                    // Lane was empty: it has no ladder entry yet.
+                    None => self.ladder.push(HeadKey { at, seq, lane: lane.0 }),
+                    Some(m) if (at, seq) < m => {
+                        self.stale_debt += 1;
+                        self.ladder.push(HeadKey { at, seq, lane: lane.0 });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        self.stats.max_lane_depth = self.stats.max_lane_depth.max(l.len());
+        self.len += 1;
+    }
+
+    /// Drop stale ladder heads so the top, if any, names a lane whose
+    /// current minimum it matches. Called after every mutation, so
+    /// `peek_time` stays exact on `&self`. While `stale_debt` is zero no
+    /// stale entry exists anywhere and this is a single branch.
+    fn settle(&mut self) {
+        while self.stale_debt > 0 {
+            let Some(&top) = self.ladder.peek() else { break };
+            if self.lanes[top.lane as usize].min_key() == Some((top.at, top.seq)) {
+                break;
+            }
+            self.ladder.pop();
+            self.stale_debt -= 1;
+            self.stats.stale_skips += 1;
+        }
+    }
+
+    /// Remove and return the earliest event across all lanes.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Self { lanes, ladder, len, .. } = self;
+        let mut head = ladder.peek_mut()?;
+        let top = *head;
+        let lane = &mut lanes[top.lane as usize];
+        // Fast path: no spill — the head is the run front and the next
+        // minimum is right behind it.
+        let (e, next) = if lane.spill.is_empty() {
+            let e = lane.run.pop_front().expect("valid ladder head");
+            let next = lane.run.front().map(|f| (f.at, f.seq));
+            (e, next)
+        } else {
+            let e = lane.pop_min().expect("valid ladder head");
+            (e, lane.min_key())
+        };
+        debug_assert_eq!((e.at, e.seq), (top.at, top.seq));
+        match next {
+            // Replace the top in place: one sift instead of a pop + push.
+            Some((at, seq)) => {
+                *head = HeadKey { at, seq, lane: top.lane };
+                drop(head);
+            }
+            None => {
+                std::collections::binary_heap::PeekMut::pop(head);
+            }
+        }
+        *len -= 1;
+        self.settle();
+        Some((e.at, e.payload))
+    }
+
+    /// Remove and return the earliest event if it fires at or before `t`.
+    pub fn pop_if_before(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? > t {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        // `settle` ran after the last mutation, so the top head is valid.
+        self.ladder.peek().map(|h| h.at)
+    }
+
+    /// Number of pending events across all lanes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Behavior counters accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+/// Which event engine a [`crate::Network`] runs on. The default is the
+/// hierarchical engine; the `legacy-engine` cargo feature flips the
+/// default back to the monolithic heap so the whole test suite can be
+/// A/B-d against it (`cargo test --features homa-sim/legacy-engine`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Per-lane queues merged through a ladder ([`HierEventQueue`]).
+    Hierarchical,
+    /// The original single binary heap ([`EventQueue`]).
+    LegacyHeap,
+}
+
+impl Default for EngineKind {
+    fn default() -> Self {
+        if cfg!(feature = "legacy-engine") {
+            EngineKind::LegacyHeap
+        } else {
+            EngineKind::Hierarchical
+        }
+    }
+}
+
+/// A runtime-selectable event engine. Both variants order events by the
+/// same globally-assigned `(time, seq)` key, so a simulation is
+/// bit-identical on either; the legacy variant simply ignores lanes.
+pub enum EventEngine<E> {
+    /// The hierarchical lane engine.
+    Hierarchical(HierEventQueue<E>),
+    /// The monolithic heap, kept for A/B determinism and perf checks.
+    Legacy(EventQueue<E>),
+}
+
+impl<E> EventEngine<E> {
+    /// Build an engine of `kind` over `lanes` lanes.
+    pub fn new(kind: EngineKind, lanes: u32) -> Self {
+        match kind {
+            EngineKind::Hierarchical => EventEngine::Hierarchical(HierEventQueue::new(lanes)),
+            EngineKind::LegacyHeap => EventEngine::Legacy(EventQueue::new()),
+        }
+    }
+
+    /// Schedule `payload` on `lane` at `at`.
+    pub fn schedule(&mut self, lane: LaneId, at: SimTime, payload: E) {
+        match self {
+            EventEngine::Hierarchical(q) => q.schedule(lane, at, payload),
+            EventEngine::Legacy(q) => q.schedule(at, payload),
+        }
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            EventEngine::Hierarchical(q) => q.pop(),
+            EventEngine::Legacy(q) => q.pop(),
+        }
+    }
+
+    /// Remove and return the earliest event if it fires at or before `t`.
+    pub fn pop_if_before(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        match self {
+            EventEngine::Hierarchical(q) => q.pop_if_before(t),
+            EventEngine::Legacy(q) => q.pop_if_before(t),
+        }
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            EventEngine::Hierarchical(q) => q.peek_time(),
+            EventEngine::Legacy(q) => q.peek_time(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        match self {
+            EventEngine::Hierarchical(q) => q.len(),
+            EventEngine::Legacy(q) => q.len(),
+        }
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Behavior counters (the legacy heap reports a single-lane engine
+    /// with no fast-path accounting).
+    pub fn stats(&self) -> EngineStats {
+        match self {
+            EventEngine::Hierarchical(q) => q.stats(),
+            EventEngine::Legacy(_) => EngineStats { lanes: 1, ..EngineStats::default() },
+        }
     }
 }
 
@@ -155,5 +524,126 @@ mod tests {
         };
         assert_eq!(run(), run());
         assert_eq!(run(), vec![1, 4, 2, 3]);
+    }
+
+    #[test]
+    fn pop_if_before_respects_threshold() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        assert_eq!(q.pop_if_before(SimTime::from_nanos(5)), None);
+        assert_eq!(q.pop_if_before(SimTime::from_nanos(10)), Some((SimTime::from_nanos(10), "a")));
+        assert_eq!(q.pop_if_before(SimTime::from_nanos(15)), None);
+        assert_eq!(q.pop_if_before(SimTime::from_nanos(25)), Some((SimTime::from_nanos(20), "b")));
+        assert_eq!(q.pop_if_before(SimTime::MAX), None);
+    }
+
+    #[test]
+    fn hier_pops_in_time_order_across_lanes() {
+        let mut q = HierEventQueue::new(3);
+        q.schedule(LaneId(0), SimTime::from_nanos(30), "c");
+        q.schedule(LaneId(1), SimTime::from_nanos(10), "a");
+        q.schedule(LaneId(2), SimTime::from_nanos(20), "b");
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(10)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn hier_equal_times_fire_in_insertion_order_across_lanes() {
+        let mut q = HierEventQueue::new(4);
+        let t = SimTime::from_nanos(5);
+        for i in 0..100u32 {
+            q.schedule(LaneId(i % 4), t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn hier_out_of_order_within_lane_spills_correctly() {
+        let mut q = HierEventQueue::new(1);
+        q.schedule(LaneId(0), SimTime::from_nanos(100), "late");
+        q.schedule(LaneId(0), SimTime::from_nanos(50), "early");
+        q.schedule(LaneId(0), SimTime::from_nanos(75), "mid");
+        assert_eq!(q.stats().spilled_events, 2);
+        assert_eq!(q.pop().unwrap().1, "early");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn hier_matches_flat_on_random_interleavings() {
+        // The engines must pop identical sequences for identical schedule
+        // calls — the bit-for-bit contract the Network relies on.
+        let mut lcg = 0xDEAD_BEEFu64;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let mut flat: EventQueue<u64> = EventQueue::new();
+        let mut hier: HierEventQueue<u64> = HierEventQueue::new(7);
+        let mut popped = 0u64;
+        for i in 0..5_000u64 {
+            let r = next();
+            if r % 3 != 0 || flat.is_empty() {
+                let lane = LaneId((r % 7) as u32);
+                let at = SimTime::from_nanos(r % 10_000);
+                flat.schedule(at, i);
+                hier.schedule(lane, at, i);
+            } else if r % 2 == 0 {
+                assert_eq!(flat.pop(), hier.pop());
+                popped += 1;
+            } else {
+                let t = SimTime::from_nanos(next() % 10_000);
+                assert_eq!(flat.pop_if_before(t), hier.pop_if_before(t));
+            }
+            assert_eq!(flat.len(), hier.len());
+            assert_eq!(flat.peek_time(), hier.peek_time());
+        }
+        while let Some(got) = hier.pop() {
+            assert_eq!(Some(got), flat.pop());
+            popped += 1;
+        }
+        assert_eq!(flat.pop(), None);
+        assert!(popped > 1_000, "exercised only {popped} pops");
+    }
+
+    #[test]
+    fn hier_stats_track_fast_path() {
+        let mut q = HierEventQueue::new(2);
+        for i in 0..10u64 {
+            q.schedule(LaneId(0), SimTime::from_nanos(i * 10), i);
+        }
+        let s = q.stats();
+        assert_eq!(s.lanes, 2);
+        assert_eq!(s.inorder_events, 10);
+        assert_eq!(s.spilled_events, 0);
+        assert_eq!(s.max_lane_depth, 10);
+    }
+
+    #[test]
+    fn engine_dispatch_matches_across_kinds() {
+        let run = |kind: EngineKind| {
+            let mut q: EventEngine<u32> = EventEngine::new(kind, 3);
+            let mut out = Vec::new();
+            q.schedule(LaneId(0), SimTime::from_nanos(4), 1);
+            q.schedule(LaneId(1), SimTime::from_nanos(4), 2);
+            out.push(q.pop().unwrap().1);
+            q.schedule(LaneId(2), SimTime::from_nanos(4), 3);
+            q.schedule(LaneId(0), SimTime::from_nanos(2), 4);
+            while let Some((_, v)) = q.pop_if_before(SimTime::from_nanos(3)) {
+                out.push(v);
+            }
+            while let Some((_, v)) = q.pop() {
+                out.push(v);
+            }
+            out
+        };
+        assert_eq!(run(EngineKind::Hierarchical), run(EngineKind::LegacyHeap));
+        assert_eq!(run(EngineKind::Hierarchical), vec![1, 4, 2, 3]);
     }
 }

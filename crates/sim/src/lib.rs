@@ -51,7 +51,9 @@ pub mod topology;
 pub mod transport;
 
 pub use delay::DelayBreakdown;
-pub use events::{EventQueue, TimerToken};
+pub use events::{
+    EngineKind, EngineStats, EventEngine, EventQueue, HierEventQueue, LaneId, TimerToken,
+};
 pub use network::{Network, NetworkConfig, StepOutput};
 pub use packet::{Packet, PacketMeta};
 pub use queues::{EcnConfig, QueueDiscipline, QueueKind};

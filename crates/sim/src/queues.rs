@@ -333,6 +333,44 @@ impl<M: PacketMeta> PortQueue<M> {
         Waiting { pkt, enqueued_at: now, lag }
     }
 
+    /// Hot-path bypass for an idle port: when the queue is empty and
+    /// `pkt` would be accepted intact, perform exactly the accounting an
+    /// enqueue-then-immediate-dequeue pair would (byte integral touch,
+    /// `max_bytes_seen`, ECN marking) and return `true` so the caller can
+    /// transmit the packet directly, skipping the per-level FIFOs and the
+    /// dequeue scan. Returns `false` — with `pkt` untouched — whenever
+    /// the discipline might drop, trim or reorder, in which case the
+    /// caller must fall back to [`enqueue`](Self::enqueue).
+    ///
+    /// Only call this when the port is idle: a zero-length wait means no
+    /// delay attribution and no preemption lag can accrue.
+    pub fn pass_through(&mut self, now: SimTime, pkt: &mut Packet<M>) -> bool {
+        if !self.is_empty() {
+            return false;
+        }
+        let size = pkt.wire_bytes() as u64;
+        if size > self.disc.cap_bytes {
+            return false;
+        }
+        if let QueueKind::NdpTrim { data_cap_packets } = self.disc.kind {
+            // A zero-capacity data FIFO trims even the first data packet.
+            if data_cap_packets == 0 && !(pkt.meta.is_control() || pkt.was_trimmed) {
+                return false;
+            }
+        }
+        // Same ECN rule as `enqueue`: mark on instantaneous occupancy at
+        // arrival (zero here, so only a zero threshold marks).
+        if let Some(ecn) = self.disc.ecn {
+            if self.bytes >= ecn.threshold_bytes {
+                pkt.ecn = true;
+                self.ecn_marks += 1;
+            }
+        }
+        self.account_add(now, size);
+        self.account_remove(now, size);
+        true
+    }
+
     /// Remove and return the next packet to transmit, stamping its delay
     /// attribution. Returns `None` when the queue is empty.
     pub fn dequeue(&mut self, now: SimTime) -> Option<Packet<M>> {

@@ -137,6 +137,9 @@ pub struct RunStats {
     pub tor_down_goodput_bytes: u64,
     /// Mean downlink utilization across hosts.
     pub mean_downlink_utilization: f64,
+    /// Total simulator events processed when the stats were harvested
+    /// (the numerator of the `perf-smoke` events/sec metric).
+    pub events_processed: u64,
 }
 
 impl RunStats {

@@ -83,6 +83,32 @@ impl Topology {
         Topology { racks, hosts_per_rack, spines, ..Topology::paper_fabric() }
     }
 
+    /// A multi-TOR fabric for `hosts` hosts (40, 100, 160, ...), with the
+    /// paper's link speeds and delays. Hosts are grouped into racks of 10
+    /// (or 16/8 when 10 does not divide `hosts`), and the spine layer is
+    /// sized so the fabric is not oversubscribed — the shape the scale
+    /// experiments and the `perf-smoke` CI gate run on.
+    ///
+    /// # Panics
+    /// If no rack size of 10, 16 or 8 divides `hosts` into at least two
+    /// racks (so `hosts` must be ≥ 16 and divisible by one of them;
+    /// counts like 8 or 10 make a single rack — use
+    /// [`single_switch`](Self::single_switch) for those).
+    pub fn multi_tor(hosts: u32) -> Self {
+        let hosts_per_rack = [10u32, 16, 8]
+            .into_iter()
+            .find(|hpr| hosts % hpr == 0 && hosts / hpr >= 2)
+            .unwrap_or_else(|| {
+                panic!("multi_tor: pick a host count >= 16 divisible by 10, 16 or 8, got {hosts}")
+            });
+        let racks = hosts / hosts_per_rack;
+        let base = Topology::paper_fabric();
+        // Enough spine bandwidth that a rack's full uplink demand fits:
+        // hosts_per_rack * 10G <= spines * 40G.
+        let spines = (hosts_per_rack as u64 * base.host_link_bps).div_ceil(base.uplink_bps) as u32;
+        Topology { racks, hosts_per_rack, spines, ..base }
+    }
+
     /// The implementation cluster of §5.1: `n` hosts on a single 10 Gbps
     /// switch.
     pub fn single_switch(n: u32) -> Self {
@@ -244,6 +270,33 @@ mod tests {
         assert_eq!(t.rack_of(HostId(16)), 1);
         assert_eq!(t.index_in_rack(HostId(17)), 1);
         assert_eq!(t.rack_of(HostId(143)), 8);
+    }
+
+    #[test]
+    fn multi_tor_shapes() {
+        let t = Topology::multi_tor(40);
+        assert_eq!((t.racks, t.hosts_per_rack, t.num_hosts()), (4, 10, 40));
+        assert!(t.spines >= 3, "oversubscribed: {} spines", t.spines);
+        let t = Topology::multi_tor(100);
+        assert_eq!((t.racks, t.hosts_per_rack, t.num_hosts()), (10, 10, 100));
+        let t = Topology::multi_tor(160);
+        assert_eq!((t.racks, t.hosts_per_rack, t.num_hosts()), (16, 10, 160));
+        let t = Topology::multi_tor(16);
+        assert_eq!((t.racks, t.hosts_per_rack, t.num_hosts()), (2, 8, 16));
+        // Spine bandwidth covers a full rack's uplink demand.
+        for hosts in [40, 100, 160] {
+            let t = Topology::multi_tor(hosts);
+            assert!(
+                t.spines as u64 * t.uplink_bps >= t.hosts_per_rack as u64 * t.host_link_bps,
+                "{hosts}-host fabric oversubscribed"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multi_tor")]
+    fn multi_tor_rejects_awkward_host_counts() {
+        let _ = Topology::multi_tor(17);
     }
 
     #[test]

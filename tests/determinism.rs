@@ -1,0 +1,108 @@
+//! Cross-engine determinism: the hierarchical event engine must replay
+//! the legacy single-heap engine bit-for-bit.
+//!
+//! Both engines order events by the same globally-assigned `(time, seq)`
+//! key, so for one [`ScenarioSpec`] + seed the full `MsgRecord` stream
+//! and the harvested `RunStats` must be identical — not statistically
+//! close, *identical*. This is the contract that lets the perf gate pin
+//! deterministic event counts in `BENCH_BASELINE.json`.
+
+use homa_bench::{run_protocol_scenario, Protocol};
+use homa_harness::driver::OnewayOpts;
+use homa_harness::{FabricSpec, ScenarioSpec};
+use homa_sim::EngineKind;
+use homa_workloads::Workload;
+
+/// Exact signature of a run: every record field (sizes, injection and
+/// completion times, unloaded denominators, delay attribution) plus the
+/// full fabric statistics. Debug formatting is lossless for the integer
+/// fields and bit-faithful for the floats.
+fn run_signature(p: Protocol, spec: &ScenarioSpec) -> (String, String, u64, u64) {
+    let res = run_protocol_scenario(p, spec, &OnewayOpts::default(), None);
+    assert_eq!(res.injected, spec.messages, "{}: injection shortfall", spec.name);
+    (
+        format!("{:?}", res.records),
+        format!("{:?}", res.stats),
+        res.delivered,
+        res.stats.events_processed,
+    )
+}
+
+fn assert_engines_agree(p: Protocol, spec: ScenarioSpec) {
+    let hier = run_signature(p, &spec.clone().with_engine(EngineKind::Hierarchical));
+    let legacy = run_signature(p, &spec.clone().with_engine(EngineKind::LegacyHeap));
+    assert_eq!(
+        hier.3, legacy.3,
+        "{}: event counts diverged (hier {} vs legacy {})",
+        spec.name, hier.3, legacy.3
+    );
+    assert_eq!(hier.2, legacy.2, "{}: delivered counts diverged", spec.name);
+    assert_eq!(hier.0, legacy.0, "{}: MsgRecord streams diverged", spec.name);
+    assert_eq!(hier.1, legacy.1, "{}: RunStats diverged", spec.name);
+
+    // And the hierarchical engine agrees with itself across runs.
+    let again = run_signature(p, &spec.clone().with_engine(EngineKind::Hierarchical));
+    assert_eq!(hier, again, "{}: hierarchical engine not repeatable", spec.name);
+}
+
+#[test]
+fn homa_engines_agree_on_multi_tor_fabric() {
+    assert_engines_agree(
+        Protocol::Homa,
+        // Mirrors the perf gate's `w4_80_40h` scenario exactly, so the
+        // pinned event count in BENCH_BASELINE.json is engine-independent.
+        ScenarioSpec::new(
+            "det_homa_40h",
+            FabricSpec::MultiTor { hosts: 40 },
+            Workload::W4,
+            0.8,
+            1_200,
+            42,
+        ),
+    );
+}
+
+#[test]
+fn homa_engines_agree_on_leaf_spine() {
+    assert_engines_agree(
+        Protocol::Homa,
+        ScenarioSpec::new(
+            "det_homa_ls",
+            FabricSpec::LeafSpine { racks: 2, hosts_per_rack: 6, spines: 2 },
+            Workload::W2,
+            0.7,
+            800,
+            7,
+        ),
+    );
+}
+
+#[test]
+fn phost_engines_agree() {
+    assert_engines_agree(
+        Protocol::Phost,
+        ScenarioSpec::new(
+            "det_phost",
+            FabricSpec::LeafSpine { racks: 2, hosts_per_rack: 6, spines: 2 },
+            Workload::W2,
+            0.6,
+            600,
+            13,
+        ),
+    );
+}
+
+#[test]
+fn pfabric_engines_agree() {
+    assert_engines_agree(
+        Protocol::Pfabric,
+        ScenarioSpec::new(
+            "det_pfabric",
+            FabricSpec::SingleSwitch { hosts: 8 },
+            Workload::W2,
+            0.6,
+            600,
+            5,
+        ),
+    );
+}

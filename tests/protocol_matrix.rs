@@ -17,11 +17,19 @@ use homa_workloads::Workload;
 use std::collections::HashMap;
 
 fn check(p: Protocol, w: Workload, load: f64, n: u64) {
-    let topo = Topology::scaled_fabric(2, 6, 2);
-    let res = run_protocol_oneway(p, &topo, &w.dist(), load, n, 17, &OnewayOpts::default(), None);
+    check_on(p, w, load, n, 17, &Topology::scaled_fabric(2, 6, 2));
+}
+
+fn check_on(p: Protocol, w: Workload, load: f64, n: u64, seed: u64, topo: &Topology) {
+    let res = run_protocol_oneway(p, topo, &w.dist(), load, n, seed, &OnewayOpts::default(), None);
     assert_eq!(res.injected, n);
     let frac = res.delivered as f64 / n as f64;
-    assert!(frac >= 0.99, "{} on {w}: delivered only {}/{n}", p.name(), res.delivered);
+    assert!(
+        frac >= 0.99,
+        "{} on {w} (seed {seed}): delivered only {}/{n}",
+        p.name(),
+        res.delivered
+    );
 }
 
 #[test]
@@ -61,6 +69,65 @@ fn ndp_on_w5() {
 fn basic_and_stream() {
     check(Protocol::Basic, Workload::W3, 0.6, 1_000);
     check(Protocol::Stream, Workload::W3, 0.6, 1_000);
+}
+
+// ---------------------------------------------------------------------
+// Nightly long-haul matrix: a second seed, more messages, and a bigger
+// fabric than the per-PR runs — every transport in the comparison. These
+// are `#[ignore]`d so PR CI stays fast; the scheduled nightly workflow
+// runs them with `cargo test --release -- --ignored`.
+// ---------------------------------------------------------------------
+
+const LONG_SEED: u64 = 99;
+
+#[test]
+#[ignore = "long-haul: run by the nightly CI job"]
+fn long_haul_homa_second_seed() {
+    let topo = Topology::scaled_fabric(3, 8, 2);
+    check_on(Protocol::Homa, Workload::W2, 0.8, 6_000, LONG_SEED, &topo);
+    check_on(Protocol::Homa, Workload::W4, 0.8, 2_000, LONG_SEED, &topo);
+}
+
+#[test]
+#[ignore = "long-haul: run by the nightly CI job"]
+fn long_haul_homa_100_hosts() {
+    check_on(Protocol::Homa, Workload::W4, 0.8, 6_000, LONG_SEED, &Topology::multi_tor(100));
+}
+
+#[test]
+#[ignore = "long-haul: run by the nightly CI job"]
+fn long_haul_pfabric_second_seed() {
+    let topo = Topology::scaled_fabric(3, 8, 2);
+    check_on(Protocol::Pfabric, Workload::W2, 0.7, 4_000, LONG_SEED, &topo);
+}
+
+#[test]
+#[ignore = "long-haul: run by the nightly CI job"]
+fn long_haul_phost_second_seed() {
+    let topo = Topology::scaled_fabric(3, 8, 2);
+    check_on(Protocol::Phost, Workload::W2, 0.6, 4_000, LONG_SEED, &topo);
+}
+
+#[test]
+#[ignore = "long-haul: run by the nightly CI job"]
+fn long_haul_pias_second_seed() {
+    let topo = Topology::scaled_fabric(3, 8, 2);
+    check_on(Protocol::Pias, Workload::W2, 0.6, 4_000, LONG_SEED, &topo);
+}
+
+#[test]
+#[ignore = "long-haul: run by the nightly CI job"]
+fn long_haul_ndp_second_seed() {
+    let topo = Topology::scaled_fabric(3, 8, 2);
+    check_on(Protocol::Ndp, Workload::W5, 0.5, 200, LONG_SEED, &topo);
+}
+
+#[test]
+#[ignore = "long-haul: run by the nightly CI job"]
+fn long_haul_basic_and_stream_second_seed() {
+    let topo = Topology::scaled_fabric(3, 8, 2);
+    check_on(Protocol::Basic, Workload::W3, 0.6, 3_000, LONG_SEED, &topo);
+    check_on(Protocol::Stream, Workload::W3, 0.6, 3_000, LONG_SEED, &topo);
 }
 
 // ---------------------------------------------------------------------

@@ -25,41 +25,83 @@ use homa_bench::perfjson::{parse_report, render_report, Report, ScenarioReport};
 use homa_bench::{run_protocol_scenario, Protocol};
 use homa_harness::driver::OnewayOpts;
 use homa_harness::{FabricSpec, ScenarioSpec};
-use homa_sim::EngineKind;
-use homa_workloads::Workload;
+use homa_sim::{EngineKind, FaultPlan, HostId, LinkId};
+use homa_workloads::{TrafficSpec, Workload};
 use std::time::Instant;
 
 /// Fixed seed for every gate scenario: the runs are deterministic, so
 /// the baseline's event counts must reproduce exactly.
 const SEED: u64 = 42;
 
-fn gate_scenarios(engine: EngineKind, quick: bool) -> Vec<ScenarioSpec> {
+/// One gate scenario plus the minimum delivered fraction it must reach.
+/// The uniform scenarios must complete outright; the incast-under-flaps
+/// scenario legitimately loses the few one-way messages whose every
+/// packet died on the downed link (fire-and-forget), so its floor is
+/// lower — and the exact delivered count is still pinned by the
+/// baseline comparison.
+struct GateScenario {
+    spec: ScenarioSpec,
+    min_delivered_frac: f64,
+}
+
+fn gate_scenarios(engine: EngineKind, quick: bool) -> Vec<GateScenario> {
     let scale = if quick { 4 } else { 1 };
     vec![
-        ScenarioSpec::new(
-            "w4_80_40h",
-            FabricSpec::MultiTor { hosts: 40 },
-            Workload::W4,
-            0.8,
-            1_200 / scale,
-            SEED,
-        )
-        .with_engine(engine),
-        ScenarioSpec::new(
-            "w4_80_100h",
-            FabricSpec::MultiTor { hosts: 100 },
-            Workload::W4,
-            0.8,
-            3_000 / scale,
-            SEED,
-        )
-        .with_engine(engine),
+        GateScenario {
+            spec: ScenarioSpec::new(
+                "w4_80_40h",
+                FabricSpec::MultiTor { hosts: 40 },
+                Workload::W4,
+                0.8,
+                1_200 / scale,
+                SEED,
+            )
+            .with_engine(engine),
+            min_delivered_frac: 0.99,
+        },
+        GateScenario {
+            spec: ScenarioSpec::new(
+                "w4_80_100h",
+                FabricSpec::MultiTor { hosts: 100 },
+                Workload::W4,
+                0.8,
+                3_000 / scale,
+                SEED,
+            )
+            .with_engine(engine),
+            min_delivered_frac: 0.99,
+        },
+        // Pins the scenario subsystem: a 20-wide incast at 80% of the
+        // victim's downlink, with that downlink flapping five times
+        // during the burst. Event counts, delivered counts and
+        // events/sec all gate on this, so neither the TrafficMatrix
+        // stream nor the fault dispatch path can drift silently.
+        GateScenario {
+            spec: ScenarioSpec::new(
+                "incast20_flap_40h",
+                FabricSpec::MultiTor { hosts: 40 },
+                Workload::W4,
+                0.8,
+                600 / scale,
+                SEED,
+            )
+            .with_engine(engine)
+            .with_traffic(TrafficSpec::incast(20))
+            .with_faults(FaultPlan::new().link_flaps(
+                LinkId::HostDownlink(HostId(0)),
+                5_000_000,
+                500_000,
+                10_000_000,
+                5,
+            )),
+            min_delivered_frac: 0.90,
+        },
     ]
 }
 
 fn run_gate(engine: EngineKind, quick: bool) -> Report {
     let mut scenarios = Vec::new();
-    for spec in gate_scenarios(engine, quick) {
+    for GateScenario { spec, min_delivered_frac } in gate_scenarios(engine, quick) {
         eprintln!("running {} ({:?} engine) ...", spec.name, spec.engine);
         let start = Instant::now();
         let res = run_protocol_scenario(Protocol::Homa, &spec, &OnewayOpts::default(), None);
@@ -67,7 +109,7 @@ fn run_gate(engine: EngineKind, quick: bool) -> Report {
         let events = res.stats.events_processed;
         let wall_ms = wall.as_secs_f64() * 1e3;
         assert!(
-            res.delivered as f64 >= res.injected as f64 * 0.99,
+            res.delivered as f64 >= res.injected as f64 * min_delivered_frac,
             "{}: only {}/{} delivered — scenario miscalibrated",
             spec.name,
             res.delivered,

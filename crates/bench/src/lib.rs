@@ -144,6 +144,8 @@ pub fn run_protocol_scenario(
 ) -> OnewayResult {
     let dist = spec.workload.dist();
     let net = spec.netcfg_with(fabric_queues_for(p, &dist));
+    // The spec's traffic pattern and fault schedule override the base
+    // options, exactly as in the harness's scenario wrappers.
     run_protocol_oneway_on(
         p,
         &spec.topology(),
@@ -152,7 +154,7 @@ pub fn run_protocol_scenario(
         spec.messages,
         spec.seed,
         net,
-        opts,
+        &spec.oneway_opts(opts),
         homa_override,
     )
 }

@@ -533,6 +533,14 @@ impl HomaEndpoint {
         self.sender.active_messages()
     }
 
+    /// Whether the sender still holds state for `key`. Drivers that
+    /// store payloads outside the endpoint (e.g. the UDP node) use this
+    /// to garbage-collect buffers: once the sender has dropped a
+    /// message, no retransmission can ever ask for its bytes again.
+    pub fn outbound_contains(&self, key: MsgKey) -> bool {
+        self.sender.contains(key)
+    }
+
     /// Snapshot of incomplete inbound messages (diagnostics); see
     /// [`crate::receiver::ReceiverState::inbound_snapshot`].
     pub fn inbound_snapshot(&self) -> Vec<(MsgKey, u64, u64, u64, u32)> {

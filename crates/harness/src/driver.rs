@@ -16,10 +16,10 @@
 
 use crate::slowdown::MsgRecord;
 use homa_sim::{
-    AppEvent, HostId, Network, NetworkConfig, PacketMeta, RunStats, SimDuration, SimTime, Topology,
-    Transport,
+    AppEvent, FaultPlan, HostId, Network, NetworkConfig, PacketMeta, RunStats, SimDuration,
+    SimTime, Topology, Transport,
 };
-use homa_workloads::{LoadPlan, MessageSizeDist, PoissonArrivals};
+use homa_workloads::{LoadPlan, MessageSizeDist, PoissonArrivals, TrafficMatrix, TrafficSpec};
 use std::collections::HashMap;
 
 /// Per-packet constants used for unloaded-latency denominators and load
@@ -46,6 +46,15 @@ pub struct OnewayOpts {
     /// Messages at the head of the run excluded from the records
     /// (warm-up transient).
     pub warmup_msgs: u64,
+    /// Source–destination pattern, victim overlay and workload mix. The
+    /// default (uniform, no overlay, no mix) replays historical runs
+    /// bit-for-bit. [`crate::ScenarioSpec`] overrides this with its own
+    /// `traffic` field when driving through the scenario wrappers.
+    pub traffic: TrafficSpec,
+    /// Fault schedule installed on the fabric before injection; the
+    /// default empty plan schedules nothing. Overridden by
+    /// [`crate::ScenarioSpec::faults`] in the scenario wrappers.
+    pub faults: FaultPlan,
 }
 
 impl Default for OnewayOpts {
@@ -56,6 +65,8 @@ impl Default for OnewayOpts {
             track_delay: false,
             drain: SimDuration::from_millis(200),
             warmup_msgs: 0,
+            traffic: TrafficSpec::default(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -63,14 +74,25 @@ impl Default for OnewayOpts {
 /// Result of a [`run_oneway`] experiment.
 #[derive(Debug)]
 pub struct OnewayResult {
-    /// Per-message observations (post-warmup, delivered only).
+    /// Per-message observations (post-warmup, delivered only; the victim
+    /// overlay's messages are reported in `victim_records` instead).
     pub records: Vec<MsgRecord>,
+    /// Observations for the victim-flow overlay, if the traffic spec has
+    /// one (empty otherwise).
+    pub victim_records: Vec<MsgRecord>,
     /// Messages injected.
     pub injected: u64,
     /// Messages delivered.
     pub delivered: u64,
     /// Messages aborted by the transport.
     pub aborted: u64,
+    /// Messages still outstanding when the run ended: not delivered and
+    /// not aborted. Nonzero either when the drain budget ran out under
+    /// overload, or under fault injection — a one-way message whose every
+    /// packet died on a downed link is unrecoverable (fire-and-forget:
+    /// the receiver never learned of it, and the sender's lingering state
+    /// expires without an acknowledgment mechanism, per §3.8).
+    pub lost: u64,
     /// Fabric statistics at harvest.
     pub stats: RunStats,
     /// Mean fraction of receiver time with an idle downlink while grants
@@ -108,25 +130,53 @@ where
     T: Transport<M>,
 {
     let hosts = topo.num_hosts();
+    // A bimodal mix shifts the mean message size (and overhead); fold the
+    // second mode into the load arithmetic so the target load stays
+    // honest.
+    let (mean_msg_bytes, mean_overhead_bytes) = match &opts.traffic.mix {
+        Some(mix) => {
+            let second = mix.second.dist();
+            let f = mix.frac;
+            (
+                (1.0 - f) * dist.mean() + f * second.mean(),
+                (1.0 - f) * LoadPlan::estimate_overhead(dist, PAYLOAD, OVERHEAD, CTRL, 9_700)
+                    + f * LoadPlan::estimate_overhead(&second, PAYLOAD, OVERHEAD, CTRL, 9_700),
+            )
+        }
+        None => (dist.mean(), LoadPlan::estimate_overhead(dist, PAYLOAD, OVERHEAD, CTRL, 9_700)),
+    };
     let plan = LoadPlan {
-        hosts,
+        // Patterns that concentrate on one link (incast) interpret `load`
+        // against that bottleneck, not the whole fabric.
+        hosts: opts.traffic.loaded_links(hosts),
         host_link_bps: topo.host_link_bps,
         load,
-        mean_msg_bytes: dist.mean(),
-        mean_overhead_bytes: LoadPlan::estimate_overhead(dist, PAYLOAD, OVERHEAD, CTRL, 9_700),
+        mean_msg_bytes,
+        mean_overhead_bytes,
     };
     let mut gen = PoissonArrivals::new(
         seed ^ 0x9e37_79b9,
         dist.clone(),
         hosts,
         plan.mean_interarrival_secs(),
-    );
+    )
+    .with_matrix(opts.traffic.matrix(hosts, topo.hosts_per_rack, seed));
+    if let Some(mix) = &opts.traffic.mix {
+        gen = gen.with_mix(mix.second.dist(), mix.frac);
+    }
+    if let Some(victim) = opts.traffic.victim {
+        gen = gen.with_victim(victim);
+    }
     let mut net: Network<M, T> = Network::new(topo.clone(), netcfg, make);
+    if !opts.faults.is_empty() {
+        net.install_faults(&opts.faults);
+    }
 
-    // tag -> (size, injected_ns, cross_rack)
-    let mut pending: HashMap<u64, (u64, u64, bool)> = HashMap::new();
+    // tag -> (size, injected_ns, cross_rack, victim)
+    let mut pending: HashMap<u64, (u64, u64, bool, bool)> = HashMap::new();
     let mut unloaded_cache: HashMap<(u64, bool), u64> = HashMap::new();
     let mut records = Vec::with_capacity(n_msgs as usize);
+    let mut victim_records = Vec::new();
     let mut injected = 0u64;
     let mut delivered = 0u64;
     let mut aborted = 0u64;
@@ -144,15 +194,16 @@ where
     };
 
     let handle_events = |net: &mut Network<M, T>,
-                         pending: &mut HashMap<u64, (u64, u64, bool)>,
+                         pending: &mut HashMap<u64, (u64, u64, bool, bool)>,
                          records: &mut Vec<MsgRecord>,
+                         victim_records: &mut Vec<MsgRecord>,
                          delivered: &mut u64,
                          aborted: &mut u64,
                          unloaded_cache: &mut UnloadedCache<'_, M, T>| {
         for (at, host, ev) in net.take_app_events() {
             match ev {
                 AppEvent::MessageDelivered { src, tag, len } => {
-                    if let Some((size, injected_ns, cross)) = pending.remove(&tag) {
+                    if let Some((size, injected_ns, cross, victim)) = pending.remove(&tag) {
                         debug_assert_eq!(size, len);
                         *delivered += 1;
                         if tag >= opts.warmup_msgs {
@@ -162,13 +213,18 @@ where
                                 Default::default()
                             };
                             let unloaded_ns = unloaded_cache(net, size, cross);
-                            records.push(MsgRecord {
+                            let rec = MsgRecord {
                                 size,
                                 injected_ns,
                                 completed_ns: at.as_nanos(),
                                 unloaded_ns,
                                 delay,
-                            });
+                            };
+                            if victim {
+                                victim_records.push(rec);
+                            } else {
+                                records.push(rec);
+                            }
                         }
                     }
                 }
@@ -191,6 +247,7 @@ where
                 &mut net,
                 &mut pending,
                 &mut records,
+                &mut victim_records,
                 &mut delivered,
                 &mut aborted,
                 &mut unloaded_of,
@@ -208,6 +265,7 @@ where
             &mut net,
             &mut pending,
             &mut records,
+            &mut victim_records,
             &mut delivered,
             &mut aborted,
             &mut unloaded_of,
@@ -215,7 +273,7 @@ where
         let tag = injected;
         let cross = topo.rack_of(HostId(arrival.src)) != topo.rack_of(HostId(arrival.dst));
         net.inject_message(HostId(arrival.src), HostId(arrival.dst), arrival.size, tag);
-        pending.insert(tag, (arrival.size, at.as_nanos(), cross));
+        pending.insert(tag, (arrival.size, at.as_nanos(), cross, arrival.victim));
         injected += 1;
         injected_bytes += arrival.size;
     }
@@ -233,6 +291,7 @@ where
             &mut net,
             &mut pending,
             &mut records,
+            &mut victim_records,
             &mut delivered,
             &mut aborted,
             &mut unloaded_of,
@@ -247,7 +306,7 @@ where
     } else {
         0.0
     };
-    let delivered_goodput: u64 = records.iter().map(|r| r.size).sum();
+    let delivered_goodput: u64 = records.iter().chain(victim_records.iter()).map(|r| r.size).sum();
     let delivered_bps = if duration.as_nanos() > 0 {
         delivered_goodput as f64 * 8.0 / duration.as_secs_f64()
     } else {
@@ -256,9 +315,11 @@ where
 
     OnewayResult {
         records,
+        victim_records,
         injected,
         delivered,
         aborted,
+        lost: pending.len() as u64,
         stats,
         wasted_fraction: if samples > 0 { wasted_hits as f64 / samples as f64 } else { f64::NAN },
         duration,
@@ -278,11 +339,19 @@ pub struct RpcOpts {
     pub drain: SimDuration,
     /// RPCs at the head of the run excluded from the records.
     pub warmup: u64,
+    /// Fault schedule installed on the fabric before injection (empty by
+    /// default).
+    pub faults: FaultPlan,
 }
 
 impl Default for RpcOpts {
     fn default() -> Self {
-        RpcOpts { clients: 8, drain: SimDuration::from_millis(200), warmup: 0 }
+        RpcOpts {
+            clients: 8,
+            drain: SimDuration::from_millis(200),
+            warmup: 0,
+            faults: FaultPlan::default(),
+        }
     }
 }
 
@@ -338,6 +407,9 @@ where
         plan.mean_interarrival_secs(),
     );
     let mut net: Network<M, T> = Network::new(topo.clone(), netcfg, make);
+    if !opts.faults.is_empty() {
+        net.install_faults(&opts.faults);
+    }
     let mut rng_srv = seed.wrapping_mul(0x2545_F491_4F6C_DD1D);
 
     let mut pending: HashMap<u64, (u64, u64)> = HashMap::new();
@@ -447,19 +519,23 @@ where
     M: PacketMeta,
     T: Transport<M>,
 {
-    let servers = topo.num_hosts() - 1;
+    let hosts = topo.num_hosts();
     let mut net: Network<M, T> = Network::new(topo.clone(), netcfg, make);
     let client = HostId(0);
     let mut tag = 0u64;
     let mut delivered_bytes = 0u64;
     let mut aborted = 0u64;
-
     let start = net.now();
     for _ in 0..rounds {
+        // The response fan-in is exactly the incast traffic pattern: the
+        // matrix's (sender, 0) pairs name each round's servers (responses
+        // converge on host 0, the client).
+        let mut fan_in = TrafficMatrix::incast(concurrent.min(u32::MAX as u64) as u32, hosts);
         let mut outstanding = std::collections::HashSet::new();
-        for i in 0..concurrent {
-            let server = HostId(1 + (i % servers as u64) as u32);
-            net.inject_rpc(client, server, 100, tag);
+        for _ in 0..concurrent {
+            let (server, to) = fan_in.draw_rotational();
+            debug_assert_eq!(to, client.0, "incast matrix must target the client");
+            net.inject_rpc(client, HostId(server), 100, tag);
             outstanding.insert(tag);
             tag += 1;
         }
@@ -546,6 +622,76 @@ mod tests {
         for r in &res.records {
             assert!(r.slowdown() > 0.9);
         }
+    }
+
+    #[test]
+    fn oneway_incast_pattern_converges_on_host_zero() {
+        use homa_workloads::VictimSpec;
+        let topo = Topology::single_switch(12);
+        let opts = OnewayOpts {
+            traffic: TrafficSpec::incast(8).with_victim(VictimSpec::new(9, 10, 5_000, 50_000)),
+            ..OnewayOpts::default()
+        };
+        let res = run_oneway(
+            &topo,
+            NetworkConfig::default(),
+            |h| HomaSimTransport::new(h, HomaConfig::default()),
+            &Workload::W2.dist(),
+            0.5,
+            400,
+            11,
+            &opts,
+        );
+        assert_eq!(res.injected, 400);
+        assert_eq!(res.delivered, 400, "incast at 50% of the victim downlink must complete");
+        // The victim overlay's completions are separated out.
+        assert!(!res.victim_records.is_empty(), "no victim records");
+        assert_eq!(res.records.len() + res.victim_records.len(), 400);
+        for r in &res.victim_records {
+            assert_eq!(r.size, 5_000);
+        }
+    }
+
+    #[test]
+    fn oneway_under_link_flap_recovers() {
+        use homa_sim::LinkId;
+        let topo = Topology::single_switch(8);
+        let opts = OnewayOpts {
+            // Flap host 1's downlink four times during the run. Messages
+            // that kept at least one surviving packet are recovered by
+            // RESEND; only wholly-dropped one-way messages may be lost
+            // (fire-and-forget), and every message must be accounted for.
+            faults: FaultPlan::new().link_flaps(
+                LinkId::HostDownlink(HostId(1)),
+                100_000,
+                150_000,
+                400_000,
+                4,
+            ),
+            ..OnewayOpts::default()
+        };
+        let res = run_oneway(
+            &topo,
+            NetworkConfig::default(),
+            |h| HomaSimTransport::new(h, HomaConfig::default()),
+            &Workload::W3.dist(),
+            0.5,
+            600,
+            3,
+            &opts,
+        );
+        assert_eq!(res.injected, 600);
+        assert_eq!(res.stats.faults_applied, 8);
+        assert_eq!(
+            res.delivered + res.aborted + res.lost,
+            600,
+            "messages unaccounted for: {} delivered, {} aborted, {} lost",
+            res.delivered,
+            res.aborted,
+            res.lost
+        );
+        assert!(res.stats.fault_drops > 0, "flaps never bit");
+        assert!(res.delivered >= 500, "flap recovery too lossy: {}", res.delivered);
     }
 
     #[test]

@@ -14,10 +14,10 @@ use crate::driver::{
     RpcResult,
 };
 use homa_sim::{
-    EngineKind, HostId, NetworkConfig, PacketMeta, QueueDiscipline, SimDuration, Topology,
-    Transport,
+    EngineKind, FaultPlan, HostId, NetworkConfig, PacketMeta, QueueDiscipline, SimDuration,
+    Topology, Transport,
 };
-use homa_workloads::Workload;
+use homa_workloads::{TrafficSpec, Workload};
 
 /// The fabric a scenario runs on, by shape rather than by a prebuilt
 /// [`Topology`] — so specs stay small, printable and comparable.
@@ -90,6 +90,14 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// Event engine to run on.
     pub engine: EngineKind,
+    /// Source–destination pattern, victim overlay and workload mix. The
+    /// default is the paper's uniform-random all-to-all, which replays
+    /// pre-existing specs event-for-event.
+    pub traffic: TrafficSpec,
+    /// Declarative fault schedule (link flaps, receiver pauses, rate
+    /// limits). Empty by default: no events are scheduled and runs are
+    /// unchanged.
+    pub faults: FaultPlan,
 }
 
 impl ScenarioSpec {
@@ -110,6 +118,8 @@ impl ScenarioSpec {
             messages,
             seed,
             engine: EngineKind::default(),
+            traffic: TrafficSpec::default(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -117,6 +127,28 @@ impl ScenarioSpec {
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
         self
+    }
+
+    /// The same scenario under a different traffic pattern.
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// The same scenario with a fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Fold this spec's traffic pattern and fault schedule into a set of
+    /// driver options (the spec wins over whatever the base options
+    /// carry). Used by every `*_scenario` wrapper and the bench dispatch.
+    pub fn oneway_opts(&self, base: &OnewayOpts) -> OnewayOpts {
+        let mut opts = base.clone();
+        opts.traffic = self.traffic;
+        opts.faults = self.faults.clone();
+        opts
     }
 
     /// Materialize the topology.
@@ -160,7 +192,7 @@ where
         spec.load,
         spec.messages,
         spec.seed,
-        opts,
+        &spec.oneway_opts(opts),
     )
 }
 
@@ -176,6 +208,8 @@ where
     M: PacketMeta,
     T: Transport<M>,
 {
+    let mut opts = opts.clone();
+    opts.faults = spec.faults.clone();
     run_rpc_echo(
         &spec.topology(),
         spec.netcfg_with(queues),
@@ -184,7 +218,7 @@ where
         spec.load,
         spec.messages,
         spec.seed,
-        opts,
+        &opts,
     )
 }
 
@@ -249,6 +283,54 @@ mod tests {
         );
         assert_eq!(res.injected, 120);
         assert_eq!(res.delivered, 120);
+    }
+
+    #[test]
+    fn default_spec_has_inert_traffic_and_faults() {
+        let spec = ScenarioSpec::new(
+            "plain",
+            FabricSpec::SingleSwitch { hosts: 4 },
+            Workload::W1,
+            0.5,
+            10,
+            1,
+        );
+        assert!(spec.traffic.is_default());
+        assert!(spec.faults.is_empty());
+        let opts = spec.oneway_opts(&OnewayOpts::default());
+        assert!(opts.traffic.is_default());
+        assert!(opts.faults.is_empty());
+    }
+
+    #[test]
+    fn traffic_and_fault_spec_drive_a_scenario_run() {
+        use homa_sim::{FaultPlan, HostId, LinkId};
+        use homa_workloads::TrafficSpec;
+        let spec = ScenarioSpec::new(
+            "incast_flap",
+            FabricSpec::SingleSwitch { hosts: 10 },
+            Workload::W2,
+            0.4,
+            200,
+            5,
+        )
+        .with_traffic(TrafficSpec::incast(6))
+        .with_faults(
+            FaultPlan::new()
+                .link_flaps(LinkId::HostDownlink(HostId(0)), 50_000, 60_000, 200_000, 2)
+                .receiver_pause(HostId(2), 10_000, 80_000),
+        );
+        let res = run_oneway_scenario(
+            &spec,
+            None,
+            |h| HomaSimTransport::new(h, HomaConfig::default()),
+            &OnewayOpts::default(),
+        );
+        assert_eq!(res.injected, 200);
+        assert_eq!(res.stats.faults_applied, 6);
+        assert_eq!(res.delivered + res.aborted + res.lost, 200);
+        assert!(res.stats.fault_drops > 0, "flap never bit");
+        assert!(res.delivered >= 120, "delivered only {}", res.delivered);
     }
 
     #[test]

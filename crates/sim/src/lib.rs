@@ -42,6 +42,7 @@
 
 pub mod delay;
 pub mod events;
+pub mod faults;
 pub mod network;
 pub mod packet;
 pub mod queues;
@@ -54,6 +55,7 @@ pub use delay::DelayBreakdown;
 pub use events::{
     EngineKind, EngineStats, EventEngine, EventQueue, HierEventQueue, LaneId, TimerToken,
 };
+pub use faults::{Fault, FaultPlan, FaultSpec, LinkId};
 pub use network::{Network, NetworkConfig, StepOutput};
 pub use packet::{Packet, PacketMeta};
 pub use queues::{EcnConfig, QueueDiscipline, QueueKind};

@@ -20,6 +20,7 @@
 //!    runs.
 
 use crate::events::{EngineKind, EngineStats, EventEngine, LaneId, TimerToken};
+use crate::faults::{Fault, FaultPlan, LinkId};
 use crate::packet::{Packet, PacketMeta};
 use crate::queues::{PortQueue, QueueDiscipline};
 use crate::stats::{PortClass, PortStats, RunStats, StreamingStats};
@@ -88,11 +89,29 @@ enum Ev<M> {
     HostDeliver { host: HostId, pkt: Packet<M> },
     /// A transport timer fired.
     Timer { host: HostId, token: TimerToken },
+    /// A scheduled fault takes effect (see [`crate::faults`]).
+    Fault { node: NodeId, port: u32, action: FaultAction },
+}
+
+/// A [`Fault`] resolved against the topology at install time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultAction {
+    LinkDown,
+    LinkUp,
+    SetRate(u64),
+    RestoreRate,
+    PauseRx,
+    ResumeRx,
 }
 
 struct Port<M> {
     queue: PortQueue<M>,
     rate_bps: u64,
+    /// The topology-configured rate, restored after a rate-limit fault.
+    base_rate_bps: u64,
+    /// Link state; a downed port neither serves its queue nor accepts
+    /// newly-routed packets (they are fault-dropped).
+    up: bool,
     peer: NodeId,
     class: PortClass,
     /// The packet currently being serialized, with its completion time.
@@ -105,6 +124,8 @@ impl<M: PacketMeta> Port<M> {
         Port {
             queue: PortQueue::new(disc),
             rate_bps,
+            base_rate_bps: rate_bps,
+            up: true,
             peer,
             class,
             sending: None,
@@ -150,6 +171,13 @@ pub struct Network<M: PacketMeta, T: Transport<M>> {
     scratch: TransportActions,
     app_events: Vec<(SimTime, HostId, AppEvent)>,
     events_processed: u64,
+    /// Per-host receiver-pause state and the packets buffered while
+    /// paused (delivered in order on resume).
+    paused: Vec<bool>,
+    pause_buf: Vec<Vec<Packet<M>>>,
+    faults_applied: u64,
+    fault_drops: u64,
+    deferred_deliveries: u64,
 }
 
 impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
@@ -219,6 +247,7 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
         // One event lane per host, plus one per TOR (batching all of a
         // rack's port events) and one per spine switch.
         let lanes = topo.num_hosts() + topo.racks + topo.spines;
+        let nhosts = topo.num_hosts() as usize;
         Network {
             queue: EventEngine::new(cfg.engine, lanes),
             topo,
@@ -231,6 +260,11 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
             scratch: TransportActions::new(),
             app_events: Vec::new(),
             events_processed: 0,
+            paused: vec![false; nhosts],
+            pause_buf: (0..nhosts).map(|_| Vec::new()).collect(),
+            faults_applied: 0,
+            fault_drops: 0,
+            deferred_deliveries: 0,
         }
     }
 
@@ -380,18 +414,142 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
             Ev::TxDone { node, port } => self.on_tx_done(node, port),
             Ev::SwitchArrive { node, pkt } => self.on_switch_arrive(node, pkt),
             Ev::HostDeliver { host, pkt } => {
-                let mut act = std::mem::take(&mut self.scratch);
-                act.reset();
-                let now = self.now;
-                self.hosts[host.0 as usize].transport.on_packet(now, pkt, &mut act);
-                self.apply_actions(host, act);
+                if self.paused[host.0 as usize] {
+                    self.pause_buf[host.0 as usize].push(pkt);
+                    self.deferred_deliveries += 1;
+                    return;
+                }
+                self.deliver_to_host(host, pkt);
             }
+            Ev::Fault { node, port, action } => self.apply_fault(node, port, action),
             Ev::Timer { host, token } => {
                 let mut act = std::mem::take(&mut self.scratch);
                 act.reset();
                 let now = self.now;
                 self.hosts[host.0 as usize].transport.on_timer(now, token, &mut act);
                 self.apply_actions(host, act);
+            }
+        }
+    }
+
+    /// Hand a fully-arrived packet to a host's transport (the tail of the
+    /// `HostDeliver` path, also used when a paused receiver resumes).
+    fn deliver_to_host(&mut self, host: HostId, pkt: Packet<M>) {
+        let mut act = std::mem::take(&mut self.scratch);
+        act.reset();
+        let now = self.now;
+        self.hosts[host.0 as usize].transport.on_packet(now, pkt, &mut act);
+        self.apply_actions(host, act);
+    }
+
+    /// Install a declarative fault plan: each fault becomes an event on
+    /// the affected node's lane, so fault-laden runs replay bit-identically
+    /// on either engine. May be called repeatedly; faults must not be
+    /// scheduled in the past.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        for (at, fault) in plan.sorted_events() {
+            assert!(at >= self.now, "fault scheduled in the past: {fault:?} at {at:?}");
+            let (node, port, action) = self.resolve_fault(fault);
+            let lane = self.lane_of(node);
+            self.queue.schedule(lane, at, Ev::Fault { node, port, action });
+        }
+    }
+
+    /// Resolve a declarative fault against the topology, validating ids.
+    fn resolve_fault(&self, fault: Fault) -> (NodeId, u32, FaultAction) {
+        let link_port = |link: LinkId| -> (NodeId, u32) {
+            match link {
+                LinkId::HostUplink(h) => {
+                    assert!(h.0 < self.topo.num_hosts(), "no such host {h}");
+                    (NodeId::Host(h), 0)
+                }
+                LinkId::HostDownlink(h) => {
+                    assert!(h.0 < self.topo.num_hosts(), "no such host {h}");
+                    (NodeId::Tor(self.topo.rack_of(h)), self.topo.index_in_rack(h))
+                }
+                LinkId::TorUplink { rack, spine } => {
+                    assert!(rack < self.topo.racks && spine < self.topo.spines);
+                    (NodeId::Tor(rack), self.topo.hosts_per_rack + spine)
+                }
+                LinkId::SpineDownlink { spine, rack } => {
+                    assert!(rack < self.topo.racks && spine < self.topo.spines);
+                    (NodeId::Spine(spine), rack)
+                }
+            }
+        };
+        match fault {
+            Fault::LinkDown(l) => {
+                let (n, p) = link_port(l);
+                (n, p, FaultAction::LinkDown)
+            }
+            Fault::LinkUp(l) => {
+                let (n, p) = link_port(l);
+                (n, p, FaultAction::LinkUp)
+            }
+            Fault::RateLimit { link, bps } => {
+                assert!(bps > 0, "rate limit must be positive");
+                let (n, p) = link_port(link);
+                (n, p, FaultAction::SetRate(bps))
+            }
+            Fault::RateRestore(l) => {
+                let (n, p) = link_port(l);
+                (n, p, FaultAction::RestoreRate)
+            }
+            Fault::PauseReceiver(h) => {
+                assert!(h.0 < self.topo.num_hosts(), "no such host {h}");
+                (NodeId::Host(h), 0, FaultAction::PauseRx)
+            }
+            Fault::ResumeReceiver(h) => {
+                assert!(h.0 < self.topo.num_hosts(), "no such host {h}");
+                (NodeId::Host(h), 0, FaultAction::ResumeRx)
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, node: NodeId, port_idx: u32, action: FaultAction) {
+        self.faults_applied += 1;
+        match action {
+            FaultAction::LinkDown => self.port_mut(node, port_idx).up = false,
+            FaultAction::LinkUp => {
+                self.port_mut(node, port_idx).up = true;
+                // Restart service: a host pulls from its transport, a
+                // switch port from its (preserved) queue.
+                match node {
+                    NodeId::Host(h) => self.poll_host_tx(h),
+                    _ => {
+                        let now = self.now;
+                        let lane = self.lane_of(node);
+                        let port = self.port_mut(node, port_idx);
+                        if !port.busy() {
+                            if let Some(next) = port.queue.dequeue(now) {
+                                let done_at = Self::begin_tx(now, port, next);
+                                self.queue.schedule(
+                                    lane,
+                                    done_at,
+                                    Ev::TxDone { node, port: port_idx },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            FaultAction::SetRate(bps) => self.port_mut(node, port_idx).rate_bps = bps,
+            FaultAction::RestoreRate => {
+                let port = self.port_mut(node, port_idx);
+                port.rate_bps = port.base_rate_bps;
+            }
+            FaultAction::PauseRx => {
+                let NodeId::Host(h) = node else { unreachable!("pause resolved to a host") };
+                self.paused[h.0 as usize] = true;
+            }
+            FaultAction::ResumeRx => {
+                let NodeId::Host(h) = node else { unreachable!("resume resolved to a host") };
+                self.paused[h.0 as usize] = false;
+                // Deliver everything buffered while paused, in arrival
+                // order, at the resume instant.
+                for pkt in std::mem::take(&mut self.pause_buf[h.0 as usize]) {
+                    self.deliver_to_host(h, pkt);
+                }
             }
         }
     }
@@ -415,7 +573,7 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
     /// If the host uplink is idle, pull the next packet from the transport.
     fn poll_host_tx(&mut self, host: HostId) {
         let hn = &mut self.hosts[host.0 as usize];
-        if hn.port.busy() {
+        if hn.port.busy() || !hn.port.up {
             return;
         }
         let now = self.now;
@@ -476,6 +634,11 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                 let now = self.now;
                 let lane = self.lane_of(node);
                 let port = self.port_mut(node, port_idx);
+                // A downed link finishes its in-flight packet but does not
+                // start another; service resumes on the LinkUp fault.
+                if !port.up {
+                    return;
+                }
                 if let Some(next) = port.queue.dequeue(now) {
                     let done_at = Self::begin_tx(now, port, next);
                     self.queue.schedule(lane, done_at, Ev::TxDone { node, port: port_idx });
@@ -488,6 +651,14 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
         let port_idx = self.route(node, pkt.dst);
         let now = self.now;
         let lane = self.lane_of(node);
+
+        // Link-state check: packets routed to a downed egress are lost
+        // (the switch has nowhere to forward them); transports recover
+        // via their own retransmission machinery.
+        if !self.port_mut(node, port_idx).up {
+            self.fault_drops += 1;
+            return;
+        }
         let port = self.port_mut(node, port_idx);
 
         // Hot-path bypass: an idle port with an empty queue transmits the
@@ -541,7 +712,13 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
 
     /// Collect fabric-level statistics.
     pub fn harvest_stats(&self) -> RunStats {
-        let mut stats = RunStats { events_processed: self.events_processed, ..RunStats::default() };
+        let mut stats = RunStats {
+            events_processed: self.events_processed,
+            faults_applied: self.faults_applied,
+            fault_drops: self.fault_drops,
+            deferred_deliveries: self.deferred_deliveries,
+            ..RunStats::default()
+        };
         let now = self.now;
         let classes =
             [PortClass::HostUp, PortClass::TorUp, PortClass::SpineDown, PortClass::TorDown];
@@ -779,6 +956,175 @@ mod tests {
         assert_eq!(stats.events_processed, net.events_processed());
         // Host lanes + 10 TOR lanes + spine lanes.
         assert_eq!(net.engine_stats().lanes, 100 + 10 + net.topology().spines);
+    }
+
+    #[test]
+    fn downed_link_drops_and_recovery_resumes_queue() {
+        use crate::faults::{FaultPlan, LinkId};
+        let mut net = simple_net(Topology::single_switch(4));
+        // Host 2's downlink is down from 1µs to 100µs.
+        net.install_faults(&FaultPlan::new().link_flaps(
+            LinkId::HostDownlink(HostId(2)),
+            1_000,
+            99_000,
+            1_000_000,
+            1,
+        ));
+        // First message crosses before the fault.
+        net.inject_message(HostId(0), HostId(2), 100, 1);
+        net.run_until(SimTime::from_micros(5));
+        assert_eq!(net.take_app_events().len(), 1);
+        // Messages sent into the dark window are fault-dropped at the TOR.
+        net.inject_message(HostId(0), HostId(2), 100, 2);
+        net.inject_message(HostId(1), HostId(2), 100, 3);
+        net.run_until(SimTime::from_millis(1));
+        assert_eq!(net.take_app_events().len(), 0, "packets crossed a downed link");
+        let stats = net.harvest_stats();
+        assert_eq!(stats.fault_drops, 2);
+        assert_eq!(stats.faults_applied, 2);
+        // After link-up, traffic flows again.
+        net.inject_message(HostId(0), HostId(2), 100, 4);
+        net.run_until(SimTime::from_millis(2));
+        assert_eq!(net.take_app_events().len(), 1);
+    }
+
+    #[test]
+    fn downed_link_preserves_queued_packets() {
+        use crate::faults::{Fault, FaultPlan, LinkId};
+        let mut net = simple_net(Topology::single_switch(4));
+        let link = LinkId::HostDownlink(HostId(2));
+        // Two senders race onto host 2's downlink; the loser is queued at
+        // the TOR when the link goes down mid-burst, and must survive.
+        net.inject_message(HostId(0), HostId(2), 1000, 1);
+        net.inject_message(HostId(1), HostId(2), 1000, 2);
+        // Down just after the first packet starts serializing on the
+        // downlink (~1100ns: 848ns uplink + 250ns switch delay).
+        net.install_faults(
+            &FaultPlan::new().at(1_200, Fault::LinkDown(link)).at(500_000, Fault::LinkUp(link)),
+        );
+        net.run_until(SimTime::from_micros(400));
+        // Only the in-flight packet arrived during the outage.
+        assert_eq!(net.take_app_events().len(), 1);
+        net.run_until(SimTime::from_millis(1));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 1, "queued packet lost across the flap");
+        assert!(evs[0].0 >= SimTime::from_micros(500), "served before link-up");
+        assert_eq!(net.harvest_stats().fault_drops, 0);
+    }
+
+    #[test]
+    fn receiver_pause_defers_then_delivers_in_order() {
+        use crate::faults::FaultPlan;
+        let mut net = simple_net(Topology::single_switch(4));
+        net.install_faults(&FaultPlan::new().receiver_pause(HostId(2), 1_000, 50_000));
+        for i in 0..5u64 {
+            net.inject_message(HostId(0), HostId(2), 200 + i, i);
+        }
+        net.run_until(SimTime::from_micros(40));
+        assert_eq!(net.take_app_events().len(), 0, "paused host processed packets");
+        net.run_until(SimTime::from_millis(1));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 5);
+        // All five delivered exactly at the resume instant, in send order.
+        for (i, (at, host, ev)) in evs.iter().enumerate() {
+            assert_eq!(at.as_nanos(), 50_000);
+            assert_eq!(*host, HostId(2));
+            assert!(
+                matches!(ev, AppEvent::MessageDelivered { len, .. } if *len == 200 + i as u64),
+                "out of order at {i}: {ev:?}"
+            );
+        }
+        let stats = net.harvest_stats();
+        assert_eq!(stats.deferred_deliveries, 5);
+        assert_eq!(stats.faults_applied, 2);
+    }
+
+    #[test]
+    fn rate_limit_slows_then_restores() {
+        use crate::faults::{FaultPlan, LinkId};
+        let mut net = simple_net(Topology::single_switch(4));
+        // Cut host 0's uplink to 1 Gbps for the first 100µs.
+        net.install_faults(&FaultPlan::new().rate_limit(
+            LinkId::HostUplink(HostId(0)),
+            0,
+            100_000,
+            1_000_000_000,
+        ));
+        // Advance past the fault instant so the SetRate event has fired
+        // (injection at the same instant would race the event queue).
+        net.run_until(SimTime::from_nanos(10));
+        let t0 = net.now();
+        net.inject_message(HostId(0), HostId(1), 1000, 1);
+        net.run_until(SimTime::from_millis(1));
+        let evs = net.take_app_events();
+        // 1060B at 1G = 8480ns first hop (vs 848ns at 10G), then 250ns
+        // switch + 848ns downlink + 1.5µs software.
+        assert_eq!((evs[0].0 - t0).as_nanos(), 8480 + 250 + 848 + 1500);
+        // After restore, the same transfer is back to full speed.
+        net.inject_message(HostId(0), HostId(1), 1000, 2);
+        let t0 = net.now();
+        net.run_until(SimTime::from_millis(2));
+        let evs = net.take_app_events();
+        assert_eq!((evs[0].0 - t0).as_nanos(), 848 + 250 + 848 + 1500);
+    }
+
+    #[test]
+    fn downed_host_uplink_holds_packets_in_transport() {
+        use crate::faults::{Fault, FaultPlan, LinkId};
+        let mut net = simple_net(Topology::single_switch(4));
+        let link = LinkId::HostUplink(HostId(0));
+        net.install_faults(
+            &FaultPlan::new().at(100, Fault::LinkDown(link)).at(200_000, Fault::LinkUp(link)),
+        );
+        net.run_until(SimTime::from_micros(1));
+        // Injected while the uplink is down: the pull model keeps the
+        // packet in the transport, so nothing is lost.
+        net.inject_message(HostId(0), HostId(1), 500, 1);
+        net.run_until(SimTime::from_micros(100));
+        assert_eq!(net.take_app_events().len(), 0);
+        net.run_until(SimTime::from_millis(1));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 1);
+        assert!(evs[0].0 >= SimTime::from_micros(200));
+        assert_eq!(net.harvest_stats().fault_drops, 0);
+    }
+
+    #[test]
+    fn engines_agree_under_faults() {
+        use crate::faults::{FaultPlan, LinkId};
+        let run = |engine: EngineKind| {
+            let topo = Topology::scaled_fabric(2, 4, 2);
+            let cfg = NetworkConfig::default().with_engine(engine);
+            let mut net = Network::new(topo, cfg, |h| Echoless {
+                me: h,
+                outbox: Default::default(),
+                delivered: 0,
+            });
+            net.install_faults(
+                &FaultPlan::new()
+                    .link_flaps(LinkId::HostDownlink(HostId(3)), 5_000, 20_000, 50_000, 4)
+                    .receiver_pause(HostId(1), 10_000, 120_000)
+                    .rate_limit(LinkId::TorUplink { rack: 0, spine: 0 }, 0, 300_000, 5_000_000_000),
+            );
+            for i in 0..120u32 {
+                net.inject_message(
+                    HostId(i % 8),
+                    HostId((i * 3 + 1) % 8),
+                    400 + i as u64 * 11,
+                    i as u64,
+                );
+                net.run_until(SimTime::from_micros(3 * (i as u64 + 1)));
+            }
+            net.run_until(SimTime::from_millis(5));
+            let evs: Vec<_> =
+                net.take_app_events().into_iter().map(|(t, h, _)| (t.as_nanos(), h.0)).collect();
+            (evs, net.events_processed(), format!("{:?}", net.harvest_stats()))
+        };
+        let hier = run(EngineKind::Hierarchical);
+        let legacy = run(EngineKind::LegacyHeap);
+        assert_eq!(hier, legacy);
+        let stats_dbg = &hier.2;
+        assert!(stats_dbg.contains("faults_applied: 12"), "fault count missing: {stats_dbg}");
     }
 
     #[test]

@@ -140,6 +140,14 @@ pub struct RunStats {
     /// Total simulator events processed when the stats were harvested
     /// (the numerator of the `perf-smoke` events/sec metric).
     pub events_processed: u64,
+    /// Fault events applied from an installed [`crate::FaultPlan`]
+    /// (0 when no plan was installed).
+    pub faults_applied: u64,
+    /// Packets dropped because they were routed to a downed link.
+    pub fault_drops: u64,
+    /// Packet deliveries deferred by a receiver-pause fault (handed to
+    /// the transport on resume).
+    pub deferred_deliveries: u64,
 }
 
 impl RunStats {

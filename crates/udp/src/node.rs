@@ -206,6 +206,13 @@ impl HomaUdpNode {
         &self.events_rx
     }
 
+    /// Number of outbound payload buffers currently retained (shrinks to
+    /// zero once sent messages are delivered/acknowledged and their
+    /// retransmission window has passed).
+    pub fn out_payload_count(&self) -> usize {
+        self.shared.lock().out_payloads.len()
+    }
+
     /// Stop the driver thread (the node drains on drop of the last Arc).
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
@@ -240,12 +247,6 @@ impl HomaUdpNode {
                     break;
                 }
             }
-            // Outbound payloads for fully-delivered RPCs/messages are
-            // garbage-collected opportunistically.
-            if s.out_payloads.len() > 1024 {
-                let ep = &s.ep;
-                let _ = ep;
-            }
         }
         for (addr, buf) in batch {
             // DSCP marking would go here (requires raw socket options);
@@ -272,6 +273,13 @@ impl HomaUdpNode {
                 let mut s = self.shared.lock();
                 s.ep.timer_tick(now_ns());
                 self.drain_events(&mut s);
+                // GC delivered out-payloads: once the endpoint's sender
+                // has dropped a message (response acked, one-way linger
+                // expired, or aborted), no retransmission can ask for its
+                // bytes — the buffer is dead weight on a long-running
+                // node.
+                let Shared { ep, out_payloads, .. } = &mut *s;
+                out_payloads.retain(|key, _| ep.outbound_contains(*key));
                 drop(s);
             }
             self.pump();
@@ -437,6 +445,72 @@ mod tests {
         match b.events().recv_timeout(Duration::from_secs(10)).unwrap() {
             UdpEvent::Message { data, .. } => assert_eq!(data, payload),
             other => panic!("unexpected {other:?}"),
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn out_payload_map_shrinks_after_delivery() {
+        // Short retransmission window so the one-way linger (4x resend
+        // interval) expires quickly and the driver GC can reap the
+        // payload buffer.
+        let cfg = UdpConfig {
+            homa: HomaConfig { resend_interval_ns: 5_000_000, ..HomaConfig::default() },
+            ..UdpConfig::default()
+        };
+        let a = HomaUdpNode::bind(PeerId(0), ("127.0.0.1", 0), cfg.clone()).unwrap();
+        let b = HomaUdpNode::bind(PeerId(1), ("127.0.0.1", 0), cfg).unwrap();
+        a.add_peer(PeerId(1), b.local_addr().unwrap());
+        b.add_peer(PeerId(0), a.local_addr().unwrap());
+
+        for i in 0..8u64 {
+            let payload: Vec<u8> = (0..10_000u32).map(|x| (x % 255) as u8).collect();
+            a.send_message(PeerId(1), payload, i).unwrap();
+        }
+        assert!(a.out_payload_count() >= 1, "payloads retained while in flight");
+        for _ in 0..8 {
+            match b.events().recv_timeout(Duration::from_secs(5)).unwrap() {
+                UdpEvent::Message { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // All delivered; after the linger window the sender drops its
+        // state and the driver GC must shrink the map to empty.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while a.out_payload_count() > 0 {
+            assert!(Instant::now() < deadline, "out_payloads never GC'd: {}", {
+                a.out_payload_count()
+            });
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn rpc_payloads_released_after_completion() {
+        let (a, b) = pair(4);
+        a.call(PeerId(1), vec![7u8; 5_000], 1).unwrap();
+        match b.events().recv_timeout(Duration::from_secs(5)).unwrap() {
+            UdpEvent::Request { from, rpc, data } => b.respond(from, rpc, data).unwrap(),
+            other => panic!("unexpected {other:?}"),
+        }
+        match a.events().recv_timeout(Duration::from_secs(5)).unwrap() {
+            UdpEvent::Response { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // The response acknowledges the request, and the server drops
+        // response state once fully sent — both maps must empty out.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while a.out_payload_count() > 0 || b.out_payload_count() > 0 {
+            assert!(
+                Instant::now() < deadline,
+                "rpc payloads never GC'd: client {} server {}",
+                a.out_payload_count(),
+                b.out_payload_count()
+            );
+            std::thread::sleep(Duration::from_millis(10));
         }
         a.shutdown();
         b.shutdown();

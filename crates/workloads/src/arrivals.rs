@@ -8,6 +8,7 @@
 //! yields `(time, size, src, dst)` tuples for the drivers.
 
 use crate::dist::MessageSizeDist;
+use crate::traffic::{TrafficMatrix, VictimSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -73,13 +74,24 @@ impl LoadPlan {
 
 /// An open-loop Poisson arrival generator over a fixed host population.
 ///
-/// Senders and receivers are drawn uniformly at random (receiver != sender),
-/// matching the paper's all-to-all communication pattern.
+/// By default senders and receivers are drawn uniformly at random
+/// (receiver != sender), matching the paper's all-to-all communication
+/// pattern; [`with_matrix`](Self::with_matrix) swaps in any
+/// [`TrafficMatrix`] pattern, [`with_mix`](Self::with_mix) makes the
+/// size distribution bimodal, and [`with_victim`](Self::with_victim)
+/// overlays a periodic victim flow. The unadorned generator is
+/// draw-for-draw identical to its historical behavior, so existing seeds
+/// replay unchanged.
 #[derive(Debug)]
 pub struct PoissonArrivals {
     rng: StdRng,
     dist: MessageSizeDist,
-    hosts: u32,
+    matrix: TrafficMatrix,
+    /// Second size mode: `frac` of messages sample from this
+    /// distribution instead of `dist`.
+    mix: Option<(MessageSizeDist, f64)>,
+    victim: Option<VictimSpec>,
+    victim_next_ns: u64,
     /// Mean interarrival in nanoseconds (fabric-wide).
     mean_gap_ns: f64,
     next_ns: u64,
@@ -96,6 +108,9 @@ pub struct Arrival {
     pub dst: u32,
     /// Message size in bytes.
     pub size: u64,
+    /// True when this arrival belongs to the victim-flow overlay rather
+    /// than the main pattern.
+    pub victim: bool,
 }
 
 impl PoissonArrivals {
@@ -107,12 +122,38 @@ impl PoissonArrivals {
         let mut gen = PoissonArrivals {
             rng: StdRng::seed_from_u64(seed),
             dist,
-            hosts,
+            matrix: TrafficMatrix::uniform(hosts),
+            mix: None,
+            victim: None,
+            victim_next_ns: 0,
             mean_gap_ns: mean_gap_secs * 1e9,
             next_ns: 0,
         };
         gen.next_ns = gen.sample_gap();
         gen
+    }
+
+    /// Replace the uniform pattern with `matrix` (built over the same
+    /// host population).
+    pub fn with_matrix(mut self, matrix: TrafficMatrix) -> Self {
+        self.matrix = matrix;
+        self
+    }
+
+    /// Sample `frac` of message sizes from `second` instead of the
+    /// primary distribution (a bimodal workload mix).
+    pub fn with_mix(mut self, second: MessageSizeDist, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac));
+        self.mix = Some((second, frac));
+        self
+    }
+
+    /// Overlay a periodic victim flow; its arrivals interleave with the
+    /// main pattern in time order and carry `victim: true`.
+    pub fn with_victim(mut self, victim: VictimSpec) -> Self {
+        self.victim_next_ns = victim.period_ns;
+        self.victim = Some(victim);
+        self
     }
 
     fn sample_gap(&mut self) -> u64 {
@@ -124,20 +165,30 @@ impl PoissonArrivals {
 
     /// Peek the time of the next arrival without consuming it.
     pub fn peek_ns(&self) -> u64 {
-        self.next_ns
+        match &self.victim {
+            Some(_) => self.next_ns.min(self.victim_next_ns),
+            None => self.next_ns,
+        }
     }
 
-    /// Generate the next arrival.
+    /// Generate the next arrival (victim overlay and main pattern merged
+    /// in time order; the victim wins ties so its cadence never slips).
     pub fn next_arrival(&mut self) -> Arrival {
+        if let Some(v) = self.victim {
+            if self.victim_next_ns <= self.next_ns {
+                let at_ns = self.victim_next_ns;
+                self.victim_next_ns += v.period_ns;
+                return Arrival { at_ns, src: v.src, dst: v.dst, size: v.size, victim: true };
+            }
+        }
         let at_ns = self.next_ns;
         self.next_ns += self.sample_gap();
-        let src = self.rng.gen_range(0..self.hosts);
-        let mut dst = self.rng.gen_range(0..self.hosts - 1);
-        if dst >= src {
-            dst += 1;
-        }
-        let size = self.dist.sample(&mut self.rng);
-        Arrival { at_ns, src, dst, size }
+        let (src, dst) = self.matrix.draw(&mut self.rng);
+        let size = match &self.mix {
+            Some((second, frac)) if self.rng.gen::<f64>() < *frac => second.sample(&mut self.rng),
+            _ => self.dist.sample(&mut self.rng),
+        };
+        Arrival { at_ns, src, dst, size, victim: false }
     }
 }
 
@@ -208,6 +259,63 @@ mod tests {
             assert!(a.at_ns > prev);
             prev = a.at_ns;
         }
+    }
+
+    #[test]
+    fn matrix_composition_redirects_endpoints() {
+        use crate::traffic::TrafficMatrix;
+        let mut g = PoissonArrivals::new(11, MessageSizeDist::fixed(500), 8, 1e-6)
+            .with_matrix(TrafficMatrix::incast(4, 8));
+        let mut prev = 0u64;
+        for _ in 0..200 {
+            let a = g.next_arrival();
+            assert!(a.at_ns > prev);
+            prev = a.at_ns;
+            assert_eq!(a.dst, 0);
+            assert!((1..=4).contains(&a.src));
+            assert!((500..=501).contains(&a.size), "size {}", a.size);
+            assert!(!a.victim);
+        }
+    }
+
+    #[test]
+    fn victim_overlay_interleaves_in_time_order() {
+        use crate::traffic::VictimSpec;
+        let mut g = PoissonArrivals::new(5, Workload::W1.dist(), 8, 1e-6)
+            .with_victim(VictimSpec::new(7, 0, 2_000, 10_000));
+        let mut prev = 0u64;
+        let mut victims = 0u64;
+        let mut last_victim_at = 0u64;
+        for _ in 0..5_000 {
+            let a = g.next_arrival();
+            assert!(a.at_ns >= prev, "arrivals out of order");
+            prev = a.at_ns;
+            if a.victim {
+                victims += 1;
+                assert_eq!((a.src, a.dst, a.size), (7, 0, 2_000));
+                assert_eq!(a.at_ns, last_victim_at + 10_000, "victim cadence slipped");
+                last_victim_at = a.at_ns;
+            }
+        }
+        assert!(victims > 100, "victim overlay starved: {victims}");
+    }
+
+    #[test]
+    fn bimodal_mix_samples_both_modes() {
+        let small = MessageSizeDist::fixed(10);
+        let mut g = PoissonArrivals::new(3, MessageSizeDist::fixed(1_000_000), 4, 1e-6)
+            .with_mix(small, 0.3);
+        let (mut a, mut b) = (0u64, 0u64);
+        for _ in 0..5_000 {
+            let size = g.next_arrival().size;
+            if size <= 100 {
+                a += 1;
+            } else {
+                b += 1;
+            }
+        }
+        let frac = a as f64 / (a + b) as f64;
+        assert!((0.25..0.35).contains(&frac), "mix fraction {frac}");
     }
 
     #[test]

@@ -29,8 +29,10 @@
 
 pub mod arrivals;
 pub mod dist;
+pub mod traffic;
 pub mod workload;
 
-pub use arrivals::{LoadPlan, PoissonArrivals};
+pub use arrivals::{Arrival, LoadPlan, PoissonArrivals};
 pub use dist::MessageSizeDist;
+pub use traffic::{MixSpec, PatternSpec, TrafficMatrix, TrafficSpec, VictimSpec};
 pub use workload::Workload;

@@ -1,0 +1,488 @@
+//! Source–destination traffic patterns ([`TrafficMatrix`]) and their
+//! declarative descriptions ([`TrafficSpec`]).
+//!
+//! The paper's simulations use uniform-random all-to-all traffic (§5.2),
+//! but its headline claims are about behavior under *stress*: incast
+//! bursts (Figure 10, §3.6), overload, and mixed workloads. This module
+//! makes the communication pattern a first-class, seedable value the
+//! experiment drivers consume, instead of an ad-hoc `gen_range` pair
+//! buried in the arrival generator:
+//!
+//! * [`PatternSpec::Uniform`] — the paper's default: src and dst drawn
+//!   uniformly at random, dst ≠ src. Byte-compatible with the historical
+//!   behavior (same RNG draws in the same order), so existing seeds
+//!   replay unchanged.
+//! * [`PatternSpec::Permutation`] — a fixed random derangement: each
+//!   source sends only to its assigned partner. The classic worst case
+//!   for centralized schedulers, and a clean pattern for measuring
+//!   per-pair fairness.
+//! * [`PatternSpec::Incast { fan_in }`] — `fan_in` senders all target
+//!   host 0 (round-robin over senders), the §3.6 stress shape.
+//! * [`PatternSpec::Shuffle`] — an all-to-all shuffle: each source
+//!   cycles through every other host in round-robin order, like the
+//!   transfer phase of a MapReduce shuffle.
+//! * [`PatternSpec::Hotspot`] — a fraction of all messages target the
+//!   hot rack (rack 0), with sources drawn rack-local or cross-rack;
+//!   the remainder is uniform.
+//!
+//! On top of the pattern, a [`TrafficSpec`] can overlay a periodic
+//! *victim flow* (a fixed src→dst probe whose latency is reported
+//! separately by the drivers — the "innocent bystander" measurement) and
+//! a *bimodal workload mix* (a fraction of messages sampled from a
+//! second message-size workload, e.g. W1 mice over W4 elephants).
+
+use crate::workload::Workload;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The source–destination pattern of a traffic scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PatternSpec {
+    /// Uniform-random all-to-all (the paper's §5.2 default).
+    Uniform,
+    /// A fixed random derangement: host `i` always sends to `perm[i]`.
+    Permutation,
+    /// `fan_in` senders (hosts `1..=fan_in`, round-robin) all send to
+    /// host 0.
+    Incast {
+        /// Number of distinct senders converging on host 0 (capped at
+        /// `hosts - 1`).
+        fan_in: u32,
+    },
+    /// All-to-all shuffle: each source walks all other hosts in
+    /// round-robin order.
+    Shuffle,
+    /// A fraction of messages target the hot rack (rack 0).
+    Hotspot {
+        /// Fraction of messages addressed to the hot rack (0..1); the
+        /// rest are uniform.
+        hot_frac: f64,
+        /// Sources of hot messages: inside the hot rack (`true`) or
+        /// anywhere outside it (`false`).
+        rack_local: bool,
+    },
+}
+
+/// A periodic background "victim flow" overlaid on the main pattern: a
+/// fixed-size message from `src` to `dst` every `period_ns`. The drivers
+/// record victim completions separately, so a scenario can report what an
+/// incast or a link flap does to an innocent bystander flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VictimSpec {
+    /// Victim sender.
+    pub src: u32,
+    /// Victim receiver.
+    pub dst: u32,
+    /// Victim message size in bytes.
+    pub size: u64,
+    /// Injection period in nanoseconds (first injection at `period_ns`).
+    pub period_ns: u64,
+}
+
+impl VictimSpec {
+    /// A victim flow `src → dst` of `size`-byte messages every
+    /// `period_ns`.
+    pub fn new(src: u32, dst: u32, size: u64, period_ns: u64) -> Self {
+        assert_ne!(src, dst, "victim flow cannot be self-addressed");
+        assert!(period_ns > 0, "victim period must be positive");
+        VictimSpec { src, dst, size, period_ns }
+    }
+}
+
+/// A bimodal workload mix: with probability `frac`, a message's size is
+/// sampled from `second` instead of the scenario's primary workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixSpec {
+    /// The second mode's workload.
+    pub second: Workload,
+    /// Fraction of messages drawn from `second` (0..1).
+    pub frac: f64,
+}
+
+/// Declarative description of a scenario's traffic: pattern plus optional
+/// victim-flow overlay and bimodal size mix. The default spec reproduces
+/// the historical uniform-random behavior bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficSpec {
+    /// Source–destination pattern.
+    pub pattern: PatternSpec,
+    /// Optional periodic victim flow.
+    pub victim: Option<VictimSpec>,
+    /// Optional bimodal workload mix.
+    pub mix: Option<MixSpec>,
+}
+
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        TrafficSpec { pattern: PatternSpec::Uniform, victim: None, mix: None }
+    }
+}
+
+impl TrafficSpec {
+    /// The historical uniform-random pattern (the default).
+    pub fn uniform() -> Self {
+        TrafficSpec::default()
+    }
+
+    /// An incast of `fan_in` senders onto host 0.
+    pub fn incast(fan_in: u32) -> Self {
+        assert!(fan_in >= 1, "incast needs at least one sender");
+        TrafficSpec { pattern: PatternSpec::Incast { fan_in }, ..TrafficSpec::default() }
+    }
+
+    /// A fixed random derangement.
+    pub fn permutation() -> Self {
+        TrafficSpec { pattern: PatternSpec::Permutation, ..TrafficSpec::default() }
+    }
+
+    /// An all-to-all shuffle.
+    pub fn shuffle() -> Self {
+        TrafficSpec { pattern: PatternSpec::Shuffle, ..TrafficSpec::default() }
+    }
+
+    /// A hotspot pattern: `hot_frac` of messages target rack 0, sourced
+    /// rack-locally or cross-rack.
+    pub fn hotspot(hot_frac: f64, rack_local: bool) -> Self {
+        assert!((0.0..=1.0).contains(&hot_frac), "hot_frac must be in [0, 1]");
+        TrafficSpec {
+            pattern: PatternSpec::Hotspot { hot_frac, rack_local },
+            ..TrafficSpec::default()
+        }
+    }
+
+    /// Overlay a periodic victim flow.
+    pub fn with_victim(mut self, victim: VictimSpec) -> Self {
+        self.victim = Some(victim);
+        self
+    }
+
+    /// Mix in a second workload for `frac` of messages.
+    pub fn with_mix(mut self, second: Workload, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "mix fraction must be in [0, 1]");
+        self.mix = Some(MixSpec { second, frac });
+        self
+    }
+
+    /// Whether this spec is exactly the historical default (uniform, no
+    /// victim, no mix), i.e. replays existing seeds unchanged.
+    pub fn is_default(&self) -> bool {
+        *self == TrafficSpec::default()
+    }
+
+    /// Materialize the pattern for a fabric of `hosts` hosts grouped into
+    /// racks of `hosts_per_rack`. `seed` only feeds pattern-construction
+    /// randomness (the permutation); per-message draws use the arrival
+    /// generator's RNG.
+    pub fn matrix(&self, hosts: u32, hosts_per_rack: u32, seed: u64) -> TrafficMatrix {
+        TrafficMatrix::from_pattern(self.pattern, hosts, hosts_per_rack, seed)
+    }
+
+    /// How many host links the pattern actually loads, for converting a
+    /// target load fraction into an arrival rate. Uniform-style patterns
+    /// spread across every host uplink; an incast is bottlenecked by the
+    /// single victim downlink, so "80% load" means 80% of *that* link.
+    pub fn loaded_links(&self, hosts: u32) -> u32 {
+        match self.pattern {
+            PatternSpec::Incast { .. } => 1,
+            PatternSpec::Hotspot { .. }
+            | PatternSpec::Uniform
+            | PatternSpec::Permutation
+            | PatternSpec::Shuffle => hosts,
+        }
+    }
+}
+
+/// A materialized, stateful source–destination generator. Created from a
+/// [`TrafficSpec`] (or directly via [`TrafficMatrix::incast`]) and driven
+/// by [`draw`](Self::draw) once per message.
+#[derive(Debug, Clone)]
+pub struct TrafficMatrix {
+    hosts: u32,
+    kind: MatrixKind,
+}
+
+#[derive(Debug, Clone)]
+enum MatrixKind {
+    Uniform,
+    Permutation { perm: Vec<u32> },
+    Incast { senders: u32, next: u32 },
+    Shuffle { counters: Vec<u32> },
+    Hotspot { hot_frac: f64, rack_local: bool, hot_hosts: u32 },
+}
+
+impl TrafficMatrix {
+    /// Materialize `pattern` over `hosts` hosts in racks of
+    /// `hosts_per_rack`.
+    pub fn from_pattern(pattern: PatternSpec, hosts: u32, hosts_per_rack: u32, seed: u64) -> Self {
+        assert!(hosts >= 2, "patterns need at least two hosts");
+        let kind = match pattern {
+            PatternSpec::Uniform => MatrixKind::Uniform,
+            PatternSpec::Permutation => MatrixKind::Permutation { perm: derangement(hosts, seed) },
+            PatternSpec::Incast { fan_in } => {
+                MatrixKind::Incast { senders: fan_in.clamp(1, hosts - 1), next: 0 }
+            }
+            PatternSpec::Shuffle => MatrixKind::Shuffle { counters: vec![0; hosts as usize] },
+            PatternSpec::Hotspot { hot_frac, rack_local } => {
+                let hot_hosts = hosts_per_rack.min(hosts);
+                if rack_local {
+                    assert!(hot_hosts >= 2, "rack-local hotspot needs >= 2 hosts in the hot rack");
+                } else {
+                    assert!(hot_hosts < hosts, "cross-rack hotspot needs hosts outside rack 0");
+                }
+                MatrixKind::Hotspot { hot_frac, rack_local, hot_hosts }
+            }
+        };
+        TrafficMatrix { hosts, kind }
+    }
+
+    /// The uniform-random pattern.
+    pub fn uniform(hosts: u32) -> Self {
+        TrafficMatrix::from_pattern(PatternSpec::Uniform, hosts, hosts, 0)
+    }
+
+    /// An incast of `fan_in` senders onto host 0: successive draws
+    /// rotate round-robin over hosts `1..=min(fan_in, hosts-1)`. This is
+    /// also the fan-in selector `run_incast` uses for its request
+    /// spraying.
+    pub fn incast(fan_in: u32, hosts: u32) -> Self {
+        TrafficMatrix::from_pattern(PatternSpec::Incast { fan_in }, hosts, hosts, 0)
+    }
+
+    /// Number of hosts in the pattern.
+    pub fn hosts(&self) -> u32 {
+        self.hosts
+    }
+
+    /// Draw the next pair of a purely rotational pattern (incast), which
+    /// never consumes randomness. Lets closed-loop drivers like
+    /// `run_incast` share the pattern without owning an RNG.
+    ///
+    /// # Panics
+    /// If the pattern is randomized (uniform, permutation, shuffle,
+    /// hotspot) — use [`draw`](Self::draw) for those.
+    pub fn draw_rotational(&mut self) -> (u32, u32) {
+        match &mut self.kind {
+            MatrixKind::Incast { senders, next } => {
+                let src = 1 + (*next % *senders);
+                *next = next.wrapping_add(1);
+                (src, 0)
+            }
+            other => panic!("pattern {other:?} needs an RNG; use TrafficMatrix::draw"),
+        }
+    }
+
+    /// Draw the next `(src, dst)` pair. Patterns with rotation state
+    /// (incast, shuffle) advance it; random patterns consume draws from
+    /// `rng` — the uniform pattern makes exactly the two `gen_range`
+    /// calls the historical generator made, so default-spec runs replay
+    /// bit-for-bit.
+    pub fn draw(&mut self, rng: &mut StdRng) -> (u32, u32) {
+        let hosts = self.hosts;
+        if matches!(self.kind, MatrixKind::Incast { .. }) {
+            return self.draw_rotational();
+        }
+        match &mut self.kind {
+            MatrixKind::Uniform => uniform_pair(rng, hosts),
+            MatrixKind::Permutation { perm } => {
+                let src = rng.gen_range(0..hosts);
+                (src, perm[src as usize])
+            }
+            MatrixKind::Incast { .. } => unreachable!("handled above"),
+            MatrixKind::Shuffle { counters } => {
+                let src = rng.gen_range(0..hosts);
+                let k = counters[src as usize];
+                counters[src as usize] = k.wrapping_add(1);
+                let dst = (src + 1 + (k % (hosts - 1))) % hosts;
+                (src, dst)
+            }
+            MatrixKind::Hotspot { hot_frac, rack_local, hot_hosts } => {
+                if rng.gen::<f64>() < *hot_frac {
+                    let dst = rng.gen_range(0..*hot_hosts);
+                    let src = if *rack_local {
+                        let mut s = rng.gen_range(0..*hot_hosts - 1);
+                        if s >= dst {
+                            s += 1;
+                        }
+                        s
+                    } else {
+                        rng.gen_range(*hot_hosts..hosts)
+                    };
+                    (src, dst)
+                } else {
+                    uniform_pair(rng, hosts)
+                }
+            }
+        }
+    }
+}
+
+/// The historical uniform draw: src uniform, dst uniform over the other
+/// hosts.
+fn uniform_pair(rng: &mut StdRng, hosts: u32) -> (u32, u32) {
+    let src = rng.gen_range(0..hosts);
+    let mut dst = rng.gen_range(0..hosts - 1);
+    if dst >= src {
+        dst += 1;
+    }
+    (src, dst)
+}
+
+/// A seeded random derangement of `0..hosts` (Fisher–Yates, re-shuffled
+/// until no host maps to itself).
+fn derangement(hosts: u32, seed: u64) -> Vec<u32> {
+    let mut x = seed ^ 0xD129_42F1_A9C7_2E31;
+    let mut next = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x >> 33
+    };
+    let mut perm: Vec<u32> = (0..hosts).collect();
+    loop {
+        for i in (1..perm.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        if perm.iter().enumerate().all(|(i, &p)| i as u32 != p) {
+            return perm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_matches_historical_draws() {
+        // The matrix's uniform draw must consume the RNG exactly like the
+        // historical inline code, so default-spec runs replay unchanged.
+        let mut a = rng();
+        let mut b = rng();
+        let mut m = TrafficMatrix::uniform(16);
+        for _ in 0..1_000 {
+            let got = m.draw(&mut a);
+            let src = b.gen_range(0..16u32);
+            let mut dst = b.gen_range(0..15u32);
+            if dst >= src {
+                dst += 1;
+            }
+            assert_eq!(got, (src, dst));
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_fixed_derangement() {
+        let mut m = TrafficSpec::permutation().matrix(12, 4, 99);
+        let mut r = rng();
+        let mut seen: Vec<Option<u32>> = vec![None; 12];
+        for _ in 0..2_000 {
+            let (src, dst) = m.draw(&mut r);
+            assert_ne!(src, dst);
+            match seen[src as usize] {
+                None => seen[src as usize] = Some(dst),
+                Some(prev) => assert_eq!(prev, dst, "partner of {src} changed"),
+            }
+        }
+        // Every host drew at least once and partners are distinct.
+        let partners: Vec<u32> = seen.iter().map(|p| p.expect("all hosts drawn")).collect();
+        let mut sorted = partners.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 12, "not a permutation: {partners:?}");
+    }
+
+    #[test]
+    fn incast_rotates_over_fan_in_senders() {
+        let mut m = TrafficMatrix::incast(3, 10);
+        let mut r = rng();
+        let pairs: Vec<(u32, u32)> = (0..7).map(|_| m.draw(&mut r)).collect();
+        assert_eq!(pairs, vec![(1, 0), (2, 0), (3, 0), (1, 0), (2, 0), (3, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn incast_fan_in_caps_at_population() {
+        let mut m = TrafficMatrix::incast(64, 5);
+        let mut r = rng();
+        for _ in 0..20 {
+            let (src, dst) = m.draw(&mut r);
+            assert_eq!(dst, 0);
+            assert!((1..5).contains(&src));
+        }
+    }
+
+    #[test]
+    fn shuffle_walks_every_destination() {
+        let hosts = 6u32;
+        let mut m = TrafficSpec::shuffle().matrix(hosts, hosts, 0);
+        let mut r = rng();
+        let mut per_src: Vec<Vec<u32>> = vec![Vec::new(); hosts as usize];
+        for _ in 0..6_000 {
+            let (src, dst) = m.draw(&mut r);
+            assert_ne!(src, dst);
+            per_src[src as usize].push(dst);
+        }
+        for (src, dsts) in per_src.iter().enumerate() {
+            // Each source's destination sequence is the round-robin walk.
+            for (k, &dst) in dsts.iter().enumerate() {
+                let expect = (src as u32 + 1 + (k as u32 % (hosts - 1))) % hosts;
+                assert_eq!(dst, expect, "src {src} draw {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_rack_zero() {
+        let mut m = TrafficSpec::hotspot(0.8, false).matrix(40, 10, 0);
+        let mut r = rng();
+        let mut hot = 0;
+        for _ in 0..10_000 {
+            let (src, dst) = m.draw(&mut r);
+            assert_ne!(src, dst);
+            if dst < 10 {
+                hot += 1;
+            }
+        }
+        // ~80% hot plus the uniform remainder's spillover into rack 0.
+        assert!((7_500..9_500).contains(&hot), "hot count {hot}");
+    }
+
+    #[test]
+    fn cross_rack_hotspot_sources_outside_hot_rack() {
+        let mut m = TrafficSpec::hotspot(1.0, false).matrix(40, 10, 0);
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let (src, dst) = m.draw(&mut r);
+            assert!(dst < 10, "hot destination in rack 0, got {dst}");
+            assert!(src >= 10, "hot message sourced in-rack: {src}");
+        }
+    }
+
+    #[test]
+    fn rack_local_hotspot_stays_in_rack() {
+        let mut m = TrafficSpec::hotspot(1.0, true).matrix(40, 10, 0);
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let (src, dst) = m.draw(&mut r);
+            assert!(src < 10 && dst < 10 && src != dst);
+        }
+    }
+
+    #[test]
+    fn loaded_links_normalization() {
+        assert_eq!(TrafficSpec::uniform().loaded_links(40), 40);
+        assert_eq!(TrafficSpec::incast(20).loaded_links(40), 1);
+        assert_eq!(TrafficSpec::shuffle().loaded_links(40), 40);
+    }
+
+    #[test]
+    fn default_spec_is_default() {
+        assert!(TrafficSpec::default().is_default());
+        assert!(TrafficSpec::uniform().is_default());
+        assert!(!TrafficSpec::incast(4).is_default());
+        assert!(!TrafficSpec::uniform().with_mix(Workload::W1, 0.5).is_default());
+    }
+}

@@ -10,8 +10,8 @@
 use homa_bench::{run_protocol_scenario, Protocol};
 use homa_harness::driver::OnewayOpts;
 use homa_harness::{FabricSpec, ScenarioSpec};
-use homa_sim::EngineKind;
-use homa_workloads::Workload;
+use homa_sim::{EngineKind, FaultPlan, HostId, LinkId};
+use homa_workloads::{TrafficSpec, VictimSpec, Workload};
 
 /// Exact signature of a run: every record field (sizes, injection and
 /// completion times, unloaded denominators, delay attribution) plus the
@@ -20,8 +20,14 @@ use homa_workloads::Workload;
 fn run_signature(p: Protocol, spec: &ScenarioSpec) -> (String, String, u64, u64) {
     let res = run_protocol_scenario(p, spec, &OnewayOpts::default(), None);
     assert_eq!(res.injected, spec.messages, "{}: injection shortfall", spec.name);
+    assert_eq!(
+        res.delivered + res.aborted + res.lost,
+        spec.messages,
+        "{}: messages unaccounted for",
+        spec.name
+    );
     (
-        format!("{:?}", res.records),
+        format!("{:?} | victims {:?}", res.records, res.victim_records),
         format!("{:?}", res.stats),
         res.delivered,
         res.stats.events_processed,
@@ -90,6 +96,57 @@ fn phost_engines_agree() {
             13,
         ),
     );
+}
+
+#[test]
+fn homa_engines_agree_under_incast_flap_and_pause() {
+    // The fault path is where engine divergence would be most likely:
+    // fault events share lanes with packet events, receiver-pause defers
+    // and replays deliveries, and link flaps force the RESEND machinery
+    // through retransmission timing. The engines must still replay each
+    // other bit-for-bit — including the fault counters in RunStats.
+    let spec = ScenarioSpec::new(
+        "det_fault_incast",
+        FabricSpec::LeafSpine { racks: 2, hosts_per_rack: 6, spines: 2 },
+        Workload::W2,
+        0.5,
+        700,
+        21,
+    )
+    .with_traffic(TrafficSpec::incast(8).with_victim(VictimSpec::new(9, 3, 20_000, 100_000)))
+    .with_faults(
+        FaultPlan::new()
+            .link_flaps(LinkId::HostDownlink(HostId(0)), 300_000, 150_000, 600_000, 4)
+            .receiver_pause(HostId(3), 500_000, 900_000)
+            .rate_limit(
+                LinkId::TorUplink { rack: 0, spine: 0 },
+                100_000,
+                2_000_000,
+                10_000_000_000,
+            ),
+    );
+    assert_engines_agree(Protocol::Homa, spec);
+}
+
+#[test]
+fn phost_engines_agree_under_link_flaps() {
+    let spec = ScenarioSpec::new(
+        "det_fault_phost",
+        FabricSpec::LeafSpine { racks: 2, hosts_per_rack: 6, spines: 2 },
+        Workload::W2,
+        0.5,
+        500,
+        13,
+    )
+    .with_traffic(TrafficSpec::shuffle())
+    .with_faults(FaultPlan::new().link_flaps(
+        LinkId::SpineDownlink { spine: 1, rack: 1 },
+        200_000,
+        100_000,
+        500_000,
+        3,
+    ));
+    assert_engines_agree(Protocol::Phost, spec);
 }
 
 #[test]

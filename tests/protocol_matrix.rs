@@ -131,6 +131,93 @@ fn long_haul_basic_and_stream_second_seed() {
 }
 
 // ---------------------------------------------------------------------
+// Nightly fault matrix: every transport in the byte-conservation set
+// runs the incast-of-20 + link-flap + receiver-pause scenario to
+// quiescence. The invariants are accounting ones — every injected
+// message is delivered, aborted, or counted lost (a one-way message
+// whose every packet died on a downed link is unrecoverable by design),
+// and the faults demonstrably fired. Run with
+// `cargo test --release --test protocol_matrix -- --ignored`.
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+fn fault_matrix_spec(p: Protocol) -> homa_harness::ScenarioSpec {
+    use homa_harness::{FabricSpec, ScenarioSpec};
+    use homa_sim::{FaultPlan, LinkId};
+    use homa_workloads::TrafficSpec;
+    ScenarioSpec::new(
+        format!("fault_incast20_{}", p.name()),
+        FabricSpec::MultiTor { hosts: 40 },
+        Workload::W2,
+        0.5,
+        1_500,
+        LONG_SEED,
+    )
+    .with_traffic(TrafficSpec::incast(20))
+    // The whole schedule sits inside the ~1.7ms injection window so every
+    // fault fires for every transport (after the last injection the run
+    // only continues while messages are outstanding).
+    .with_faults(
+        FaultPlan::new()
+            .link_flaps(LinkId::HostDownlink(HostId(0)), 200_000, 60_000, 400_000, 3)
+            .receiver_pause(HostId(0), 1_300_000, 1_450_000),
+    )
+}
+
+#[cfg(test)]
+fn check_fault_matrix(p: Protocol) {
+    use homa_bench::run_protocol_scenario;
+    let spec = fault_matrix_spec(p);
+    let res = run_protocol_scenario(p, &spec, &OnewayOpts::default(), None);
+    assert_eq!(res.injected, spec.messages, "{}: injection shortfall", p.name());
+    assert_eq!(
+        res.delivered + res.aborted + res.lost,
+        spec.messages,
+        "{}: unaccounted messages",
+        p.name()
+    );
+    assert_eq!(res.stats.faults_applied, 8, "{}: fault schedule truncated", p.name());
+    let frac = res.delivered as f64 / spec.messages as f64;
+    assert!(frac >= 0.80, "{}: only {:.1}% delivered under faults", p.name(), frac * 100.0);
+}
+
+#[test]
+#[ignore = "long-haul: run by the nightly CI job"]
+fn long_haul_fault_matrix_homa() {
+    check_fault_matrix(Protocol::Homa);
+}
+
+#[test]
+#[ignore = "long-haul: run by the nightly CI job"]
+fn long_haul_fault_matrix_pfabric() {
+    check_fault_matrix(Protocol::Pfabric);
+}
+
+#[test]
+#[ignore = "long-haul: run by the nightly CI job"]
+fn long_haul_fault_matrix_phost() {
+    check_fault_matrix(Protocol::Phost);
+}
+
+#[test]
+#[ignore = "long-haul: run by the nightly CI job"]
+fn long_haul_fault_matrix_pias() {
+    check_fault_matrix(Protocol::Pias);
+}
+
+#[test]
+#[ignore = "long-haul: run by the nightly CI job"]
+fn long_haul_fault_matrix_ndp() {
+    check_fault_matrix(Protocol::Ndp);
+}
+
+#[test]
+#[ignore = "long-haul: run by the nightly CI job"]
+fn long_haul_fault_matrix_stream() {
+    check_fault_matrix(Protocol::Stream);
+}
+
+// ---------------------------------------------------------------------
 // Conservation: under one identical W4 scenario (same sizes, same
 // endpoints, same injection times, same fabric seed), every transport
 // must hand the application exactly the injected bytes — nothing lost,
@@ -143,14 +230,52 @@ const CONSERVE_HOSTS: u32 = 8;
 const CONSERVE_MSGS: u64 = 60;
 const CONSERVE_SEED: u64 = 0xC0FFEE;
 
-/// The shared scenario: deterministic W4 sizes and endpoint pairs,
-/// injected at a fixed cadence. Returns `(at_ns, src, dst, size, tag)`.
-fn conserve_scenario() -> Vec<(u64, HostId, HostId, u64, u64)> {
+/// Source–destination pattern of a conservation scenario: the historical
+/// uniform row plus the incast and shuffle rows from the
+/// `TrafficMatrix` subsystem.
+#[derive(Clone, Copy)]
+enum ConservePattern {
+    Uniform,
+    Incast,
+    Shuffle,
+}
+
+impl ConservePattern {
+    const ALL: [ConservePattern; 3] =
+        [ConservePattern::Uniform, ConservePattern::Incast, ConservePattern::Shuffle];
+
+    fn name(self) -> &'static str {
+        match self {
+            ConservePattern::Uniform => "uniform",
+            ConservePattern::Incast => "incast",
+            ConservePattern::Shuffle => "shuffle",
+        }
+    }
+}
+
+/// The shared scenario: deterministic W4 sizes at a fixed cadence, with
+/// endpoints from the selected pattern. Returns
+/// `(at_ns, src, dst, size, tag)`.
+fn conserve_scenario(pattern: ConservePattern) -> Vec<(u64, HostId, HostId, u64, u64)> {
+    use homa_workloads::TrafficMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
     let dist = Workload::W4.dist();
     let mut x = CONSERVE_SEED;
     let mut lcg = move || {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         x >> 33
+    };
+    let mut rng = StdRng::seed_from_u64(CONSERVE_SEED);
+    let mut matrix = match pattern {
+        // The historical uniform row keeps its original LCG endpoint
+        // draws (bit-compatible with the pre-TrafficMatrix test).
+        ConservePattern::Uniform => None,
+        ConservePattern::Incast => Some(TrafficMatrix::incast(5, CONSERVE_HOSTS)),
+        ConservePattern::Shuffle => {
+            Some(homa_workloads::TrafficSpec::shuffle().matrix(CONSERVE_HOSTS, CONSERVE_HOSTS, 1))
+        }
     };
     (0..CONSERVE_MSGS)
         .map(|i| {
@@ -158,21 +283,46 @@ fn conserve_scenario() -> Vec<(u64, HostId, HostId, u64, u64)> {
             // single 10 MB outlier doesn't dominate the run.
             let p = (lcg() % 10_000) as f64 / 10_000.0;
             let size = dist.quantile(p.min(0.995)).max(1);
-            let src = (lcg() % CONSERVE_HOSTS as u64) as u32;
-            let dst_raw = (lcg() % (CONSERVE_HOSTS as u64 - 1)) as u32;
-            let dst = if dst_raw >= src { dst_raw + 1 } else { dst_raw };
+            let (src, dst) = match &mut matrix {
+                None => {
+                    let src = (lcg() % CONSERVE_HOSTS as u64) as u32;
+                    let dst_raw = (lcg() % (CONSERVE_HOSTS as u64 - 1)) as u32;
+                    let dst = if dst_raw >= src { dst_raw + 1 } else { dst_raw };
+                    (src, dst)
+                }
+                Some(m) => m.draw(&mut rng),
+            };
             (i * 30_000, HostId(src), HostId(dst), size, i)
         })
         .collect()
 }
 
-/// Drive one transport through the shared scenario and assert exact
-/// byte conservation.
-fn assert_conserves<M, T>(name: &str, queues: Option<QueueDiscipline>, mk: impl FnMut(HostId) -> T)
-where
+/// Drive one transport through the shared scenario (all three traffic
+/// patterns) and assert exact byte conservation under each.
+fn assert_conserves<M, T>(
+    name: &str,
+    queues: Option<QueueDiscipline>,
+    mut mk: impl FnMut(HostId) -> T,
+) where
     M: PacketMeta,
     T: Transport<M>,
 {
+    for pattern in ConservePattern::ALL {
+        assert_conserves_on(name, pattern, queues, &mut mk);
+    }
+}
+
+/// One transport, one traffic pattern: exact byte conservation.
+fn assert_conserves_on<M, T>(
+    name: &str,
+    pattern: ConservePattern,
+    queues: Option<QueueDiscipline>,
+    mk: impl FnMut(HostId) -> T,
+) where
+    M: PacketMeta,
+    T: Transport<M>,
+{
+    let name = &format!("{name}/{}", pattern.name());
     let netcfg = match queues {
         Some(q) => NetworkConfig::uniform(CONSERVE_SEED, q),
         None => NetworkConfig { seed: CONSERVE_SEED, ..NetworkConfig::default() },
@@ -180,7 +330,7 @@ where
     let topo = Topology::single_switch(CONSERVE_HOSTS);
     let mut net: Network<M, T> = Network::new(topo, netcfg, mk);
 
-    let scenario = conserve_scenario();
+    let scenario = conserve_scenario(pattern);
     let injected_bytes: u64 = scenario.iter().map(|&(_, _, _, size, _)| size).sum();
     let mut expect: HashMap<u64, (HostId, HostId, u64)> = HashMap::new();
     let mut deliveries = Vec::new();

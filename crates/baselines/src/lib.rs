@@ -27,6 +27,15 @@
 //! its own packet metadata and reports deliveries through
 //! [`AppEvent`](homa_sim_crate::AppEvent)s, so the experiment harness can
 //! drive any of them interchangeably.
+//!
+//! ## Paper map
+//!
+//! | module | paper section |
+//! |---|---|
+//! | [`homa_sim`] | §5.2's Homa simulation (and §5.1's HomaPx / Basic variants of Figures 8/9) |
+//! | [`stream`] | §5.1's TCP head-of-line-blocking comparison |
+//! | [`pfabric`] / [`phost`] / [`pias`] / [`ndp`] | §5.2's comparison transports (Figures 12–15) |
+//! | [`common`] | shared scaffolding (flow tables, reassembly, timers) — engineering, not paper |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -3,73 +3,140 @@
 //! One subcommand per experiment; see `repro help`. By default the
 //! experiments run at a reduced scale (fewer hosts/messages) so a full
 //! sweep finishes in minutes; pass `--full` for paper-scale runs (144
-//! hosts, 8x the messages).
+//! hosts, 8x the messages). Every subcommand prints the familiar text
+//! table *and* writes machine-readable `FIG_<n>.json` next to it.
+//!
+//! `repro compare` is the figure-accuracy gate: it re-runs (or loads,
+//! with `--from-dir`) Figures 12–16, joins the measured points against
+//! the digitized published curves (`homa_harness::figures`), prints
+//! per-point delta tables, writes `COMPARE.json`, and exits nonzero when
+//! a gated curve drifts past its tolerance.
 //!
 //! ```text
 //! repro fig12 --workloads W2,W4 --loads 0.8
 //! repro table1
-//! repro all
+//! repro all [--compare]
+//! repro compare [--from-dir DIR] [--tolerance-scale F]
 //! ```
 
-use homa::HomaConfig;
-use homa_baselines::homa_sim::static_map_for_workload;
-use homa_baselines::HomaSimTransport;
-use homa_bench::{run_protocol_oneway, run_protocol_rpc, Protocol};
-use homa_harness::capacity::max_sustainable_load;
-use homa_harness::driver::{run_incast, OnewayOpts, RpcOpts};
-use homa_harness::render::{fmt_bps, fmt_bytes, slowdown_table};
-use homa_harness::slowdown::SlowdownSummary;
-use homa_sim::{NetworkConfig, PortClass, SimDuration, Topology};
+use homa_bench::figdata::{
+    self, compare_tables, measured_points, run_compare_set, write_table, CompareOutcome, ReproOpts,
+    COMPARE_FIGURES,
+};
+use homa_bench::perfjson::{parse_table, FigTable};
 use homa_workloads::Workload;
-use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
-#[derive(Debug, Clone)]
-struct Opts {
-    full: bool,
-    workloads: Vec<Workload>,
-    loads: Vec<f64>,
-    seed: u64,
-    msgs_scale: f64,
-    bins: usize,
+/// One-line usage error, exit 2 (satellite fix: bad CLI input must not
+/// panic deep in the harness).
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
 }
 
-impl Default for Opts {
-    fn default() -> Self {
-        Opts {
-            full: false,
-            workloads: vec![Workload::W2, Workload::W4],
-            loads: vec![0.8],
-            seed: 1,
-            msgs_scale: 1.0,
-            bins: 10,
-        }
-    }
+struct Cli {
+    opts: ReproOpts,
+    loads_overridden: bool,
+    out_dir: PathBuf,
+    from_dir: Option<PathBuf>,
+    tol_scale: f64,
+    compare_after: bool,
 }
 
-impl Opts {
-    /// Simulation fabric: scaled-down by default, Figure 11's 144 hosts
-    /// with `--full`.
-    fn fabric(&self) -> Topology {
-        if self.full {
-            Topology::paper_fabric()
-        } else {
-            Topology::scaled_fabric(3, 8, 2)
+fn parse_cli(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        opts: ReproOpts::default(),
+        loads_overridden: false,
+        out_dir: PathBuf::from("."),
+        from_dir: None,
+        tol_scale: 1.0,
+        compare_after: false,
+    };
+    let mut i = 0;
+    let take = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => cli.opts.full = true,
+            "--compare" => cli.compare_after = true,
+            "--seed" => {
+                let v = take(args, &mut i, "--seed");
+                cli.opts.seed = v.parse().unwrap_or_else(|_| {
+                    die(&format!("--seed takes an unsigned integer, got {v:?}"))
+                });
+            }
+            "--scale" => {
+                let v = take(args, &mut i, "--scale");
+                let s: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--scale takes a number, got {v:?}")));
+                if s <= 0.0 || !s.is_finite() {
+                    die(&format!("--scale must be a positive number, got {v}"));
+                }
+                cli.opts.msgs_scale = s;
+            }
+            "--bins" => {
+                let v = take(args, &mut i, "--bins");
+                let b: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--bins takes an integer, got {v:?}")));
+                if b == 0 {
+                    die("--bins must be at least 1");
+                }
+                cli.opts.bins = b;
+            }
+            "--workloads" => {
+                let v = take(args, &mut i, "--workloads");
+                cli.opts.workloads = v
+                    .split(',')
+                    .map(|s| {
+                        Workload::parse(s).unwrap_or_else(|| {
+                            die(&format!("unknown workload {s:?} (expected W1..W5)"))
+                        })
+                    })
+                    .collect();
+                if cli.opts.workloads.is_empty() {
+                    die("--workloads needs at least one workload");
+                }
+            }
+            "--loads" => {
+                let v = take(args, &mut i, "--loads");
+                cli.opts.loads = v
+                    .split(',')
+                    .map(|s| {
+                        let l: f64 = s
+                            .parse()
+                            .unwrap_or_else(|_| die(&format!("--loads takes numbers, got {s:?}")));
+                        if !(l > 0.0 && l <= 1.0) {
+                            die(&format!("load {s} out of range: loads are fractions in (0, 1]"));
+                        }
+                        l
+                    })
+                    .collect();
+                if cli.opts.loads.is_empty() {
+                    die("--loads needs at least one load");
+                }
+                cli.loads_overridden = true;
+            }
+            "--out-dir" => cli.out_dir = PathBuf::from(take(args, &mut i, "--out-dir")),
+            "--from-dir" => cli.from_dir = Some(PathBuf::from(take(args, &mut i, "--from-dir"))),
+            "--tolerance-scale" => {
+                let v = take(args, &mut i, "--tolerance-scale");
+                let t: f64 = v.parse().unwrap_or_else(|_| {
+                    die(&format!("--tolerance-scale takes a number, got {v:?}"))
+                });
+                if t <= 0.0 || !t.is_finite() {
+                    die(&format!("--tolerance-scale must be positive, got {v}"));
+                }
+                cli.tol_scale = t;
+            }
+            other => die(&format!("unknown option {other:?} (see 'repro help')")),
         }
+        i += 1;
     }
-
-    /// Message budget per workload, chosen so event counts (~bytes) are
-    /// comparable across workloads.
-    fn msgs_for(&self, w: Workload) -> u64 {
-        let base = match w {
-            Workload::W1 => 40_000,
-            Workload::W2 => 25_000,
-            Workload::W3 => 12_000,
-            Workload::W4 => 3_000,
-            Workload::W5 => 500,
-        };
-        let full_mult = if self.full { 8 } else { 1 };
-        ((base * full_mult) as f64 * self.msgs_scale) as u64
-    }
+    cli
 }
 
 fn main() {
@@ -79,78 +146,169 @@ fn main() {
         return;
     }
     let cmd = args[0].clone();
-    let mut opts = Opts::default();
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--full" => opts.full = true,
-            "--seed" => {
-                i += 1;
-                opts.seed = args[i].parse().expect("--seed takes a u64");
-            }
-            "--scale" => {
-                i += 1;
-                opts.msgs_scale = args[i].parse().expect("--scale takes a float");
-            }
-            "--bins" => {
-                i += 1;
-                opts.bins = args[i].parse().expect("--bins takes a usize");
-            }
-            "--workloads" => {
-                i += 1;
-                opts.workloads = args[i]
-                    .split(',')
-                    .map(|s| Workload::parse(s).unwrap_or_else(|| panic!("bad workload {s}")))
-                    .collect();
-            }
-            "--loads" => {
-                i += 1;
-                opts.loads =
-                    args[i].split(',').map(|s| s.parse().expect("--loads takes floats")).collect();
-            }
-            other => panic!("unknown option {other}"),
-        }
-        i += 1;
+    let mut cli = parse_cli(&args[1..]);
+    if cli.from_dir.is_some() && cmd != "compare" {
+        die("--from-dir only applies to 'repro compare' (it would silently skip the run)");
     }
 
-    match cmd.as_str() {
-        "fig1" => fig1(),
-        "fig4" => fig4(),
-        "fig8" => fig8_9(&opts, 99.0),
-        "fig9" => fig8_9(&opts, 50.0),
-        "fig10" => fig10(&opts),
-        "fig12" => fig12_13(&opts, 99.0),
-        "fig13" => fig12_13(&opts, 50.0),
-        "fig14" => fig14(&opts),
-        "fig15" => fig15(&opts),
-        "fig16" => fig16(&opts),
-        "fig17" => fig17(&opts),
-        "fig18" => fig18(&opts),
-        "fig19" => fig19(&opts),
-        "fig20" => fig20(&opts),
-        "fig21" => fig21(&opts),
-        "table1" => table1(&opts),
-        "all" => {
-            fig1();
-            fig4();
-            fig8_9(&opts, 99.0);
-            fig10(&opts);
-            fig12_13(&opts, 99.0);
-            fig14(&opts);
-            fig15(&opts);
-            fig16(&opts);
-            fig17(&opts);
-            fig18(&opts);
-            fig19(&opts);
-            fig20(&opts);
-            fig21(&opts);
-            table1(&opts);
+    // The reference curves are digitized at 50% and 80% load; compare
+    // runs sweep both unless the user narrowed them explicitly.
+    if (cmd == "compare" || cli.compare_after) && !cli.loads_overridden {
+        cli.opts.loads = vec![0.5, 0.8];
+    }
+
+    let opts = &cli.opts;
+    let tables: Vec<FigTable> = match cmd.as_str() {
+        "fig1" => vec![figdata::fig1(opts)],
+        "fig4" => vec![figdata::fig4(opts)],
+        // fig8/9 and fig12/13 are two summaries of the same runs; asking
+        // for either produces (and writes) both rather than re-simulating.
+        "fig8" | "fig9" => {
+            let (t8, t9) = figdata::fig8_9(opts);
+            vec![t8, t9]
         }
-        "help" | "--help" | "-h" => help(),
+        "fig10" => vec![figdata::fig10(opts)],
+        "fig12" | "fig13" => {
+            let (t12, t13) = figdata::fig12_13(opts);
+            vec![t12, t13]
+        }
+        "fig14" => vec![figdata::fig14(opts)],
+        "fig15" => vec![figdata::fig15(opts)],
+        "fig16" => vec![figdata::fig16(opts)],
+        "fig17" => vec![figdata::fig17(opts)],
+        "fig18" => vec![figdata::fig18(opts)],
+        "fig19" => vec![figdata::fig19(opts)],
+        "fig20" => vec![figdata::fig20(opts)],
+        "fig21" => vec![figdata::fig21(opts)],
+        "table1" => vec![figdata::table1(opts)],
+        "all" => {
+            // Built in figure order so the text output reads like the
+            // paper; fig8/9 and fig12/13 share their runs.
+            let mut tables = vec![figdata::fig1(opts), figdata::fig4(opts)];
+            let (t8, t9) = figdata::fig8_9(opts);
+            tables.extend([t8, t9, figdata::fig10(opts)]);
+            let (t12, t13) = figdata::fig12_13(opts);
+            tables.extend([t12, t13]);
+            tables.extend([
+                figdata::fig14(opts),
+                figdata::fig15(opts),
+                figdata::fig16(opts),
+                figdata::fig17(opts),
+                figdata::fig18(opts),
+                figdata::fig19(opts),
+                figdata::fig20(opts),
+                figdata::fig21(opts),
+                figdata::table1(opts),
+            ]);
+            tables
+        }
+        "compare" => match &cli.from_dir {
+            Some(dir) => load_tables(dir),
+            None => run_compare_set(opts),
+        },
+        "help" | "--help" | "-h" => {
+            help();
+            return;
+        }
         other => {
             eprintln!("unknown experiment '{other}'");
             help();
-            std::process::exit(1);
+            std::process::exit(2);
+        }
+    };
+
+    // Every run emits its machine-readable tables (loaded tables are
+    // not re-written).
+    if let Err(e) = std::fs::create_dir_all(&cli.out_dir) {
+        die(&format!("cannot create --out-dir {}: {e}", cli.out_dir.display()));
+    }
+    if cli.from_dir.is_none() {
+        for t in &tables {
+            match write_table(&cli.out_dir, t) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => die(&format!(
+                    "cannot write {} to {}: {e}",
+                    t.file_name(),
+                    cli.out_dir.display()
+                )),
+            }
+        }
+    }
+
+    if cmd == "compare" || cli.compare_after {
+        std::process::exit(run_comparison(&cli, &tables));
+    }
+}
+
+/// Load the comparison figures' tables from a directory of previously
+/// written `FIG_<n>.json` files. Every comparison figure must be
+/// present — a partial directory (an interrupted earlier run) would
+/// otherwise skip gated curves and let the gate pass vacuously.
+fn load_tables(dir: &Path) -> Vec<FigTable> {
+    COMPARE_FIGURES
+        .iter()
+        .map(|fig| {
+            let path = dir.join(FigTable::new(fig, String::new()).file_name());
+            let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                die(&format!(
+                    "cannot read {}: {e} (the gate needs every comparison figure; \
+                     regenerate with 'repro all' or 'repro compare')",
+                    path.display()
+                ))
+            });
+            parse_table(&json)
+                .unwrap_or_else(|e| die(&format!("cannot parse {}: {e}", path.display())))
+        })
+        .collect()
+}
+
+/// Join measured tables against the reference curves; print the delta
+/// report, write `COMPARE.json`, and return the process exit code.
+fn run_comparison(cli: &Cli, tables: &[FigTable]) -> i32 {
+    let n_points: usize = tables.iter().map(|t| measured_points(t).len()).sum();
+    println!("\n=== repro compare: measured vs published Figures 12-16 ===");
+    println!(
+        "{} measured points from {} tables, tolerance scale {:.2}",
+        n_points,
+        tables.len(),
+        cli.tol_scale
+    );
+    let CompareOutcome { report, failures, gated_curves_joined, delta_table } =
+        compare_tables(tables, cli.tol_scale, format!("repro compare, seed {}", cli.opts.seed));
+    print!("{report}");
+    match write_table(&cli.out_dir, &delta_table) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => die(&format!("cannot write COMPARE.json: {e}")),
+    }
+    match failures {
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            1
+        }
+        Ok(fails) if !fails.is_empty() => {
+            for f in &fails {
+                eprintln!("FAIL: {f}");
+            }
+            eprintln!(
+                "figure accuracy drifted on {} curve(s); if the change is an intentional \
+                 fidelity improvement, update homa_harness::figures and EXPERIMENTS.md",
+                fails.len()
+            );
+            1
+        }
+        Ok(_) if gated_curves_joined == 0 => {
+            // A verdict with no gated curve joined is vacuous, not a pass
+            // (e.g. the run was narrowed to workloads/loads the reference
+            // doesn't cover).
+            eprintln!(
+                "FAIL: no gated reference curve was covered by this run; \
+                 use the default workloads/loads so the gate checks something"
+            );
+            1
+        }
+        Ok(_) => {
+            println!("OK: all {gated_curves_joined} gated curves joined and within tolerance");
+            0
         }
     }
 }
@@ -160,603 +318,20 @@ fn help() {
         "repro — regenerate the figures/tables of the Homa paper (SIGCOMM 2018)\n\
          usage: repro <experiment> [options]\n\
          experiments: fig1 fig4 fig8 fig9 fig10 fig12 fig13 fig14 fig15 fig16\n\
-         \x20            fig17 fig18 fig19 fig20 fig21 table1 all\n\
-         options: --full            paper-scale topology and message counts\n\
-         \x20        --workloads LIST  e.g. W1,W3,W5 (default W2,W4)\n\
-         \x20        --loads LIST      e.g. 0.5,0.8 (default 0.8)\n\
-         \x20        --scale F         multiply message budgets by F\n\
-         \x20        --seed N          RNG seed (default 1)\n\
-         \x20        --bins N          size bins in slowdown tables (default 10)"
+         \x20            fig17 fig18 fig19 fig20 fig21 table1 all compare\n\
+         options: --full              paper-scale topology and message counts\n\
+         \x20        --workloads LIST    e.g. W1,W3,W5 (default W2,W4)\n\
+         \x20        --loads LIST        e.g. 0.5,0.8; fractions in (0,1] (default 0.8)\n\
+         \x20        --scale F           multiply message budgets by F\n\
+         \x20        --seed N            RNG seed (default 1)\n\
+         \x20        --bins N            size bins in slowdown tables (default 10)\n\
+         \x20        --out-dir DIR       where FIG_<n>.json files go (default .)\n\
+         every subcommand writes machine-readable FIG_<n>.json alongside the text\n\
+         \n\
+         repro compare [--from-dir DIR] [--tolerance-scale F]\n\
+         \x20   re-run (or load from DIR) Figures 12-16, diff against the digitized\n\
+         \x20   published curves, write COMPARE.json, exit 1 on gated drift\n\
+         repro all --compare\n\
+         \x20   regenerate everything, then run the comparison on the fresh tables"
     );
-}
-
-/// Figure 1: the workload CDFs (message- and byte-weighted).
-fn fig1() {
-    println!("=== Figure 1: workload message-size CDFs ===");
-    for w in Workload::ALL {
-        let d = w.dist();
-        println!("\n{w} ({}) — mean {:.0} B", w.description(), d.mean());
-        println!("{:>6} {:>12} {:>14} {:>14}", "pct", "size", "CDF(msgs)", "CDF(bytes)");
-        for p in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
-            let size = d.quantile(p);
-            println!(
-                "{:>5.0}% {:>12} {:>13.1}% {:>13.1}%",
-                p * 100.0,
-                size,
-                d.cdf(size) * 100.0,
-                d.byte_weighted_cdf(size) * 100.0
-            );
-        }
-    }
-}
-
-/// Figure 4: unscheduled priority allocation per workload.
-fn fig4() {
-    println!("\n=== Figure 4: unscheduled priority allocation (8 levels) ===");
-    let cfg = HomaConfig::default();
-    for w in Workload::ALL {
-        let map = static_map_for_workload(&w.dist(), &cfg);
-        let d = w.dist();
-        let unsched_frac = d.mean_capped(cfg.rtt_bytes) / d.mean();
-        print!(
-            "{w}: unscheduled bytes {:>4.1}% -> {} unscheduled + {} scheduled levels; cutoffs: ",
-            unsched_frac * 100.0,
-            map.unsched_levels,
-            map.sched_levels()
-        );
-        if map.cutoffs.is_empty() {
-            println!("(single unscheduled level)");
-        } else {
-            let mut prev = 1u64;
-            let top = map.num_priorities - 1;
-            for (i, &c) in map.cutoffs.iter().enumerate() {
-                print!("P{}:{}..{}B ", top - i as u8, prev, c);
-                prev = c + 1;
-            }
-            println!("P{}:{}B+", top - map.cutoffs.len() as u8, prev);
-        }
-    }
-}
-
-/// Figures 8/9: implementation echo-RPC slowdown (p99 / p50).
-fn fig8_9(opts: &Opts, pct: f64) {
-    let which = if pct > 90.0 { "Figure 8 (p99)" } else { "Figure 9 (p50)" };
-    println!("\n=== {which}: echo RPC slowdown, 16-node cluster, 80% load ===");
-    let topo = Topology::single_switch(16);
-    let workloads = if opts.workloads == Opts::default().workloads {
-        vec![Workload::W3, Workload::W4, Workload::W5]
-    } else {
-        opts.workloads.clone()
-    };
-    let protos = [
-        Protocol::Homa,
-        Protocol::HomaP(4),
-        Protocol::HomaP(2),
-        Protocol::HomaP(1),
-        Protocol::Basic,
-    ];
-    for w in workloads {
-        let dist = w.dist();
-        let n = opts.msgs_for(w);
-        println!("\n--- workload {w}, {n} RPCs ---");
-        for p in protos {
-            let res = run_protocol_rpc(p, &topo, &dist, 0.8, n, opts.seed, &RpcOpts::default());
-            let s = SlowdownSummary::from_records(&res.records, opts.bins);
-            let stat = if pct > 90.0 { s.overall_p99 } else { s.overall_p50 };
-            println!(
-                "{:<10} completed {}/{} overall {} {:>8.2}",
-                p.name(),
-                res.completed,
-                res.issued,
-                if pct > 90.0 { "p99" } else { "p50" },
-                stat
-            );
-            for b in &s.bins {
-                println!(
-                    "    {:>10}..{:<10} {:>8.2}",
-                    b.min_size,
-                    b.max_size,
-                    if pct > 90.0 { b.p99 } else { b.p50 }
-                );
-            }
-        }
-        // The streaming baseline demonstrates head-of-line blocking
-        // (one-way messages; the effect the paper's TCP/InfRC rows show).
-        let res = run_protocol_oneway(
-            Protocol::Stream,
-            &topo,
-            &dist,
-            0.8,
-            opts.msgs_for(w),
-            opts.seed,
-            &OnewayOpts::default(),
-            None,
-        );
-        let s = SlowdownSummary::from_records(&res.records, opts.bins);
-        println!(
-            "{:<10} (one-way) delivered {}/{} overall {} {:>8.2}",
-            Protocol::Stream.name(),
-            res.delivered,
-            res.injected,
-            if pct > 90.0 { "p99" } else { "p50" },
-            if pct > 90.0 { s.overall_p99 } else { s.overall_p50 }
-        );
-    }
-}
-
-/// Figure 10: incast throughput with/without incast control.
-fn fig10(opts: &Opts) {
-    println!("\n=== Figure 10: incast (10 KB responses, 15 servers) ===");
-    let topo = Topology::single_switch(16);
-    let sweep: Vec<u64> = if opts.full {
-        vec![16, 64, 128, 256, 512, 1024, 2048, 4096]
-    } else {
-        vec![16, 64, 128, 256, 512, 1024]
-    };
-    println!("{:>12} {:>32} {:>32}", "concurrent", "with control", "without control");
-    for &n in &sweep {
-        let mut row = Vec::new();
-        for enabled in [true, false] {
-            let cfg = HomaConfig {
-                incast_threshold: if enabled { 32 } else { u32::MAX },
-                ..HomaConfig::default()
-            };
-            let netcfg = NetworkConfig { seed: opts.seed, ..NetworkConfig::default() };
-            let res = run_incast(
-                &topo,
-                netcfg,
-                |h| HomaSimTransport::new(h, cfg.clone()),
-                n,
-                10_000,
-                3,
-                SimDuration::from_millis(500),
-            );
-            row.push(format!(
-                "{} ({} aborted, {} drops)",
-                fmt_bps(res.throughput_bps),
-                res.aborted,
-                res.drops
-            ));
-        }
-        println!("{n:>12} {:>32} {:>32}", row[0], row[1]);
-    }
-}
-
-/// Figures 12/13: simulation slowdown across protocols.
-fn fig12_13(opts: &Opts, pct: f64) {
-    let which = if pct > 90.0 { "Figure 12 (p99)" } else { "Figure 13 (p50)" };
-    println!("\n=== {which}: one-way slowdown on the leaf-spine fabric ===");
-    let topo = opts.fabric();
-    println!(
-        "fabric: {} hosts ({} racks x {}), {} spines",
-        topo.num_hosts(),
-        topo.racks,
-        topo.hosts_per_rack,
-        topo.spines
-    );
-    for &load in &opts.loads {
-        for &w in &opts.workloads {
-            let dist = w.dist();
-            let n = opts.msgs_for(w);
-            println!("\n--- workload {w}, load {:.0}%, {n} messages ---", load * 100.0);
-            let mut protos =
-                vec![Protocol::Homa, Protocol::Pfabric, Protocol::Phost, Protocol::Pias];
-            if w == Workload::W5 {
-                protos.push(Protocol::Ndp); // the paper runs NDP on W5 only
-            }
-            for p in protos {
-                // pHost and NDP cannot sustain 80% (Fig 12 caption): cap
-                // their load at the paper's observed limits.
-                let eff_load = match p {
-                    Protocol::Phost => load.min(0.7),
-                    Protocol::Ndp => load.min(0.7),
-                    _ => load,
-                };
-                let res = run_protocol_oneway(
-                    p,
-                    &topo,
-                    &dist,
-                    eff_load,
-                    n,
-                    opts.seed,
-                    &OnewayOpts::default(),
-                    None,
-                );
-                let s = SlowdownSummary::from_records(&res.records, opts.bins);
-                println!(
-                    "{:<10} load {:>3.0}% delivered {}/{} small-msg p99 {:>7.2}",
-                    p.name(),
-                    eff_load * 100.0,
-                    res.delivered,
-                    res.injected,
-                    SlowdownSummary::small_message_p99(&res.records, 0.5),
-                );
-                print!("{}", slowdown_table(&format!("  {} bins:", p.name()), &s));
-            }
-        }
-    }
-}
-
-/// Figure 14: sources of tail delay for short messages.
-fn fig14(opts: &Opts) {
-    println!("\n=== Figure 14: tail-delay attribution for short messages (80% load) ===");
-    let topo = opts.fabric();
-    let workloads = if opts.workloads == Opts::default().workloads {
-        Workload::ALL.to_vec()
-    } else {
-        opts.workloads.clone()
-    };
-    println!("{:>4} {:>16} {:>16} {:>10}", "wl", "queueing(us)", "preempt-lag(us)", "samples");
-    for w in workloads {
-        let dist = w.dist();
-        let res = run_protocol_oneway(
-            Protocol::Homa,
-            &topo,
-            &dist,
-            0.8,
-            opts.msgs_for(w),
-            opts.seed,
-            &OnewayOpts { track_delay: true, ..OnewayOpts::default() },
-            None,
-        );
-        // Short messages: smallest 20% (W5: single-packet messages).
-        let mut recs = res.records.clone();
-        recs.sort_by_key(|r| r.size);
-        let cut = match w {
-            Workload::W5 => recs.iter().filter(|r| r.size <= 1_400).count().max(1),
-            _ => (recs.len() / 5).max(1),
-        };
-        let short = &recs[..cut.min(recs.len())];
-        // Near-p99 selection: slowdowns between p97 and p99.9.
-        let mut by_slow = short.to_vec();
-        by_slow.sort_by(|a, b| a.slowdown().partial_cmp(&b.slowdown()).expect("no NaN"));
-        let lo = (by_slow.len() as f64 * 0.97) as usize;
-        let hi = ((by_slow.len() as f64 * 0.999) as usize).max(lo + 1).min(by_slow.len());
-        let sel = &by_slow[lo..hi];
-        let n = sel.len().max(1) as f64;
-        let q: f64 = sel.iter().map(|r| r.delay.queueing.as_micros_f64()).sum::<f64>() / n;
-        let l: f64 = sel.iter().map(|r| r.delay.preemption_lag.as_micros_f64()).sum::<f64>() / n;
-        println!("{:>4} {q:>16.3} {l:>16.3} {:>10}", w.name(), sel.len());
-    }
-}
-
-/// Figure 15: maximum sustainable network load per protocol.
-fn fig15(opts: &Opts) {
-    println!("\n=== Figure 15: maximum sustainable load ===");
-    let topo = opts.fabric();
-    let protos = if opts.full {
-        vec![Protocol::Homa, Protocol::Pfabric, Protocol::Phost, Protocol::Pias]
-    } else {
-        vec![Protocol::Homa, Protocol::Phost]
-    };
-    println!("{:>4} {:<10} {:>10} {:>14}", "wl", "protocol", "max load", "goodput frac");
-    for &w in &opts.workloads {
-        let dist = w.dist();
-        let n = opts.msgs_for(w) / 2;
-        for &p in &protos {
-            let netcfg = NetworkConfig { seed: opts.seed, ..NetworkConfig::default() };
-            let cap = match p {
-                Protocol::Homa => {
-                    let cfg = HomaConfig::default();
-                    let map = static_map_for_workload(&dist, &cfg);
-                    max_sustainable_load(
-                        &topo,
-                        &netcfg,
-                        |h| HomaSimTransport::new(h, cfg.clone()).with_static_map(map.clone()),
-                        &dist,
-                        n,
-                        opts.seed,
-                        0.5,
-                        0.98,
-                        0.03,
-                    )
-                    .0
-                }
-                _ => {
-                    // Generic path: manual bisection over the dispatcher.
-                    // A short drain budget makes the criterion meaningful
-                    // at reduced message counts: an over-capacity run
-                    // cannot catch up within it.
-                    let mut lo = 0.3;
-                    let mut hi = 0.98;
-                    let probe_opts =
-                        OnewayOpts { drain: SimDuration::from_millis(20), ..OnewayOpts::default() };
-                    let ok = |load: f64| {
-                        let res = run_protocol_oneway(
-                            p,
-                            &topo,
-                            &dist,
-                            load,
-                            n,
-                            opts.seed,
-                            &probe_opts,
-                            None,
-                        );
-                        res.delivered as f64 / res.injected.max(1) as f64 >= 0.995
-                    };
-                    if !ok(lo) {
-                        0.0
-                    } else if ok(hi) {
-                        hi
-                    } else {
-                        while hi - lo > 0.03 {
-                            let mid = (lo + hi) / 2.0;
-                            if ok(mid) {
-                                lo = mid;
-                            } else {
-                                hi = mid;
-                            }
-                        }
-                        lo
-                    }
-                }
-            };
-            // Application-goodput fraction at the capacity point.
-            let res = run_protocol_oneway(
-                p,
-                &topo,
-                &dist,
-                (cap - 0.02).max(0.1),
-                n,
-                opts.seed,
-                &OnewayOpts::default(),
-                None,
-            );
-            let frac = if res.stats.tor_down_wire_bytes > 0 {
-                res.stats.tor_down_goodput_bytes as f64 / res.stats.tor_down_wire_bytes as f64
-            } else {
-                0.0
-            };
-            println!(
-                "{:>4} {:<10} {:>9.0}% {:>13.0}%",
-                w.name(),
-                p.name(),
-                cap * 100.0,
-                cap * frac * 100.0
-            );
-        }
-    }
-}
-
-/// Figure 16: wasted bandwidth vs load for different overcommitment.
-fn fig16(opts: &Opts) {
-    println!("\n=== Figure 16: wasted bandwidth vs load (W4) ===");
-    let topo = opts.fabric();
-    let dist = Workload::W4.dist();
-    let scheds: Vec<u8> = if opts.full { vec![1, 2, 3, 4, 5, 7] } else { vec![1, 3, 7] };
-    let loads: Vec<f64> =
-        if opts.full { vec![0.5, 0.6, 0.7, 0.8, 0.85, 0.9] } else { vec![0.5, 0.7, 0.85] };
-    let n = opts.msgs_for(Workload::W4);
-    println!("{:>12} {:>8} {:>16} {:>16}", "sched prios", "load", "wasted bw", "delivered");
-    for &s in &scheds {
-        for &load in &loads {
-            let cfg = HomaConfig {
-                num_priorities: s + 1,
-                unsched_levels_override: Some(1),
-                ..HomaConfig::default()
-            };
-            let res = run_protocol_oneway(
-                Protocol::Homa,
-                &topo,
-                &dist,
-                load,
-                n,
-                opts.seed,
-                &OnewayOpts { sample_wasted: true, ..OnewayOpts::default() },
-                Some(cfg),
-            );
-            println!(
-                "{s:>12} {:>7.0}% {:>15.1}% {:>11}/{}",
-                load * 100.0,
-                res.wasted_fraction * 100.0,
-                res.delivered,
-                res.injected
-            );
-        }
-    }
-}
-
-/// Figure 17: number of unscheduled priority levels (W1).
-fn fig17(opts: &Opts) {
-    println!("\n=== Figure 17: unscheduled priority levels (W1, 80% load, 1 sched) ===");
-    let topo = opts.fabric();
-    let dist = Workload::W1.dist();
-    let n = opts.msgs_for(Workload::W1);
-    for u in [1u8, 2, 3, 7] {
-        let cfg = HomaConfig {
-            num_priorities: u + 1,
-            unsched_levels_override: Some(u),
-            ..HomaConfig::default()
-        };
-        let res = run_protocol_oneway(
-            Protocol::Homa,
-            &topo,
-            &dist,
-            0.8,
-            n,
-            opts.seed,
-            &OnewayOpts::default(),
-            Some(cfg),
-        );
-        let s = SlowdownSummary::from_records(&res.records, opts.bins);
-        println!(
-            "unsched={u}: overall p99 {:>7.2}  small-msg p99 {:>7.2}  delivered {}/{}",
-            s.overall_p99,
-            SlowdownSummary::small_message_p99(&res.records, 0.5),
-            res.delivered,
-            res.injected
-        );
-    }
-}
-
-/// Figure 18: cutoff point between two unscheduled priorities (W3).
-fn fig18(opts: &Opts) {
-    println!("\n=== Figure 18: unscheduled cutoff sweep (W3, 80% load, 2 unsched) ===");
-    let topo = opts.fabric();
-    let dist = Workload::W3.dist();
-    let n = opts.msgs_for(Workload::W3);
-    // Homa's own equal-bytes choice, for reference.
-    let auto = static_map_for_workload(
-        &dist,
-        &HomaConfig { unsched_levels_override: Some(2), ..HomaConfig::default() },
-    );
-    println!("Homa's equal-bytes algorithm picks cutoff {:?}", auto.cutoffs);
-    for cutoff in [100u64, 400, 1_000, 2_000, 4_000] {
-        let cfg = HomaConfig {
-            unsched_levels_override: Some(2),
-            cutoff_override: Some(vec![cutoff]),
-            ..HomaConfig::default()
-        };
-        let res = run_protocol_oneway(
-            Protocol::Homa,
-            &topo,
-            &dist,
-            0.8,
-            n,
-            opts.seed,
-            &OnewayOpts::default(),
-            Some(cfg),
-        );
-        let s = SlowdownSummary::from_records(&res.records, opts.bins);
-        println!(
-            "cutoff={cutoff:>5}B: overall p99 {:>7.2}  small-msg p99 {:>7.2}",
-            s.overall_p99,
-            SlowdownSummary::small_message_p99(&res.records, 0.5)
-        );
-    }
-}
-
-/// Figure 19: number of scheduled priority levels (W4).
-fn fig19(opts: &Opts) {
-    println!("\n=== Figure 19: scheduled priority levels (W4, 80% load, 1 unsched) ===");
-    let topo = opts.fabric();
-    let dist = Workload::W4.dist();
-    let n = opts.msgs_for(Workload::W4);
-    for s in [4u8, 7] {
-        let cfg = HomaConfig {
-            num_priorities: s + 1,
-            unsched_levels_override: Some(1),
-            ..HomaConfig::default()
-        };
-        let res = run_protocol_oneway(
-            Protocol::Homa,
-            &topo,
-            &dist,
-            0.8,
-            n,
-            opts.seed,
-            &OnewayOpts::default(),
-            Some(cfg),
-        );
-        let sm = SlowdownSummary::from_records(&res.records, opts.bins);
-        println!(
-            "sched={s}: overall p99 {:>7.2}  delivered {}/{}",
-            sm.overall_p99, res.delivered, res.injected
-        );
-    }
-}
-
-/// Figure 20: unscheduled-bytes limit (W4).
-fn fig20(opts: &Opts) {
-    println!("\n=== Figure 20: unscheduled byte limit (W4, 80% load) ===");
-    let topo = opts.fabric();
-    let dist = Workload::W4.dist();
-    let n = opts.msgs_for(Workload::W4);
-    let rtt = HomaConfig::default().rtt_bytes;
-    for (label, limit) in
-        [("1B", 1u64), ("500B", 500), ("1000B", 1_000), ("RTTbytes", rtt), ("2xRTTbytes", 2 * rtt)]
-    {
-        let cfg = HomaConfig { unsched_limit: limit, ..HomaConfig::default() };
-        let res = run_protocol_oneway(
-            Protocol::Homa,
-            &topo,
-            &dist,
-            0.8,
-            n,
-            opts.seed,
-            &OnewayOpts::default(),
-            Some(cfg),
-        );
-        let s = SlowdownSummary::from_records(&res.records, opts.bins);
-        println!(
-            "unsched_limit={label:>10}: overall p99 {:>7.2}  small-msg p99 {:>7.2}",
-            s.overall_p99,
-            SlowdownSummary::small_message_p99(&res.records, 0.5)
-        );
-    }
-}
-
-/// Figure 21: traffic per priority level vs load (W3).
-fn fig21(opts: &Opts) {
-    println!("\n=== Figure 21: priority level usage (W3) ===");
-    let topo = opts.fabric();
-    let dist = Workload::W3.dist();
-    let n = opts.msgs_for(Workload::W3);
-    println!(
-        "{:>6} {}",
-        "load",
-        (0..8).map(|i| format!("{:>8}", format!("P{i}"))).collect::<String>()
-    );
-    for load in [0.5, 0.8, 0.9] {
-        let res = run_protocol_oneway(
-            Protocol::Homa,
-            &topo,
-            &dist,
-            load,
-            n,
-            opts.seed,
-            &OnewayOpts::default(),
-            None,
-        );
-        // Fraction of total available uplink bandwidth per priority.
-        let capacity_bytes =
-            topo.num_hosts() as f64 * topo.host_link_bps as f64 / 8.0 * res.duration.as_secs_f64();
-        let row: String = res
-            .prio_bytes
-            .iter()
-            .map(|&b| format!("{:>7.1}%", b as f64 / capacity_bytes * 100.0))
-            .collect();
-        println!("{:>5.0}% {row}", load * 100.0);
-    }
-}
-
-/// Table 1: queue lengths at the three fabric levels.
-fn table1(opts: &Opts) {
-    println!("\n=== Table 1: switch queue lengths at 80% load (mean/max) ===");
-    let topo = opts.fabric();
-    let workloads = if opts.workloads == Opts::default().workloads {
-        Workload::ALL.to_vec()
-    } else {
-        opts.workloads.clone()
-    };
-    println!(
-        "{:<12} {}",
-        "queue",
-        workloads.iter().map(|w| format!("{:>20}", w.name())).collect::<String>()
-    );
-    let mut rows: BTreeMap<&str, Vec<String>> = BTreeMap::new();
-    for &w in &workloads {
-        let res = run_protocol_oneway(
-            Protocol::Homa,
-            &topo,
-            &w.dist(),
-            0.8,
-            opts.msgs_for(w),
-            opts.seed,
-            &OnewayOpts::default(),
-            None,
-        );
-        for class in [PortClass::TorUp, PortClass::SpineDown, PortClass::TorDown] {
-            let mean = res.stats.mean_queue_bytes(class).unwrap_or(0.0);
-            let max = res.stats.max_queue_bytes(class).unwrap_or(0) as f64;
-            rows.entry(class.label()).or_default().push(format!(
-                "{:>8}/{:>8}",
-                fmt_bytes(mean),
-                fmt_bytes(max)
-            ));
-        }
-    }
-    for (label, cells) in rows {
-        println!("{label:<12} {}", cells.iter().map(|c| format!("{c:>20}")).collect::<String>());
-    }
 }

@@ -6,10 +6,21 @@
 //! experiment to the right transport/fabric combination (each protocol
 //! needs its own queue discipline in the switches, per its original
 //! design).
+//!
+//! ## Paper map
+//!
+//! | module | paper section |
+//! |---|---|
+//! | [`Protocol`] dispatch | §5.1–§5.2 transport comparison |
+//! | [`figdata`] | every §5 figure/table as data (+ the Figures 12–16 accuracy gate) |
+//! | [`perfjson`] | machine-readable results (`BENCH_*.json`, `FIG_*.json`) |
+//! | `bin/repro` | the §5 evaluation, regenerated |
+//! | `bin/perf-smoke` | CI performance-regression gate (not in the paper) |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod figdata;
 pub mod perfjson;
 
 use homa::HomaConfig;

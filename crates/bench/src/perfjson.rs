@@ -1,14 +1,183 @@
-//! Minimal JSON writer/reader for the `perf-smoke` report format.
+//! Minimal JSON writer/reader for the machine-readable report formats.
 //!
 //! The workspace builds offline (the `serde` dependency is a no-op shim),
-//! so the perf gate carries its own serializer for the one schema it
-//! needs: a flat object per scenario inside a `"scenarios"` array. The
-//! parser accepts exactly what [`render_report`] emits (plus whitespace
-//! variations) — it is a reader for our own files, not a general JSON
-//! parser.
+//! so the perf gate and the `repro` binary carry their own serializer for
+//! the two schemas they need:
+//!
+//! * [`Report`] — the `perf-smoke` format: a flat object per scenario
+//!   inside a `"scenarios"` array.
+//! * [`FigTable`] — the `repro` figure format (`FIG_<n>.json`): a flat
+//!   object per data row inside a `"rows"` array, with free-form columns
+//!   ([`Field`]: string or number) so every figure can carry its own
+//!   shape while the comparison gate reads the canonical columns it
+//!   needs.
+//!
+//! The parsers accept exactly what the renderers emit (plus whitespace
+//! variations) — they are readers for our own files, not general JSON
+//! parsers.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// One cell of a [`FigTable`] row: a string or a (finite) number.
+///
+/// There is no bool/null; figure rows don't need them, and keeping the
+/// domain tiny keeps the round-trip rule honest: on parse, any cell that
+/// parses as `f64` comes back as [`Field::Num`], everything else as
+/// [`Field::Text`] — so text columns must not hold purely numeric
+/// strings (ours are workload/protocol/metric names, which never are).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// A string cell.
+    Text(String),
+    /// A numeric cell.
+    Num(f64),
+}
+
+impl Field {
+    /// The cell as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Field::Num(n) => Some(*n),
+            Field::Text(_) => None,
+        }
+    }
+
+    /// The cell as text, if it is text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Field::Text(s) => Some(s),
+            Field::Num(_) => None,
+        }
+    }
+}
+
+/// One row of figure data: column name → cell. Columns are free-form;
+/// the `repro compare` gate looks for the canonical ones
+/// (`workload`/`protocol`/`variant`/`load`/`metric`/`x`/`value`).
+pub type FigRow = BTreeMap<String, Field>;
+
+/// Machine-readable data for one figure/table of the paper, written as
+/// `FIG_<n>.json` next to the text output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigTable {
+    /// Schema version (bump when the canonical columns change meaning).
+    pub schema: u32,
+    /// Which figure this is (`"fig12"`, `"table1"`, ...).
+    pub figure: String,
+    /// Free-form description of what produced the table (deterministic:
+    /// no timestamps, so golden tests can pin whole files).
+    pub produced_by: String,
+    /// Data rows in presentation order.
+    pub rows: Vec<FigRow>,
+}
+
+impl FigTable {
+    /// New empty table for `figure`.
+    pub fn new(figure: &str, produced_by: String) -> FigTable {
+        FigTable { schema: 1, figure: figure.to_string(), produced_by, rows: Vec::new() }
+    }
+
+    /// The `FIG_12.json`-style file name for this table.
+    pub fn file_name(&self) -> String {
+        let f = &self.figure;
+        let upper = match f.strip_prefix("fig") {
+            Some(n) => format!("FIG_{n}"),
+            None => match f.strip_prefix("table") {
+                Some(n) => format!("TABLE_{n}"),
+                None => f.to_ascii_uppercase(),
+            },
+        };
+        format!("{upper}.json")
+    }
+}
+
+/// Canonical number formatting for [`Field::Num`]: integers print bare,
+/// everything else with six decimals, trailing zeros trimmed. The format
+/// is deterministic (golden tests pin it) and survives the parse rule
+/// (`f64` round-trip at six decimals is what the comparisons need).
+pub fn fmt_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{n:.0}")
+    } else {
+        let s = format!("{n:.6}");
+        let s = s.trim_end_matches('0');
+        let s = s.strip_suffix('.').unwrap_or(s);
+        s.to_string()
+    }
+}
+
+/// Serialize a figure table as pretty-printed JSON.
+pub fn render_table(t: &FigTable) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", t.schema);
+    let _ = writeln!(out, "  \"figure\": \"{}\",", escape(&t.figure));
+    let _ = writeln!(out, "  \"produced_by\": \"{}\",", escape(&t.produced_by));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in t.rows.iter().enumerate() {
+        out.push_str("    {");
+        for (j, (k, v)) in row.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            match v {
+                Field::Text(s) => {
+                    let _ = write!(out, "\"{}\": \"{}\"", escape(k), escape(s));
+                }
+                Field::Num(n) => {
+                    let _ = write!(out, "\"{}\": {}", escape(k), fmt_num(*n));
+                }
+            }
+        }
+        out.push_str(if i + 1 < t.rows.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse a figure table produced by [`render_table`]. Cells that parse
+/// as `f64` come back numeric, the rest as text (see [`Field`]).
+///
+/// The top-level object is recognized by carrying both `figure` and
+/// `schema`; the `schema`/`produced_by` column names are therefore
+/// reserved and must not appear in data rows (a row column named
+/// `figure` alone is fine — `COMPARE.json` uses one).
+pub fn parse_table(json: &str) -> Result<FigTable, String> {
+    let objects = flat_objects(json)?;
+    let mut table = FigTable::new("", String::new());
+    let mut saw_header = false;
+    let mut rows = Vec::new();
+    for obj in objects {
+        if obj.contains_key("figure") && obj.contains_key("schema") {
+            // The top-level object (it closes last, but order among rows
+            // is preserved either way).
+            saw_header = true;
+            table.figure = obj.get("figure").cloned().unwrap_or_default();
+            table.produced_by = obj.get("produced_by").cloned().unwrap_or_default();
+            if let Some(s) = obj.get("schema") {
+                table.schema = s.parse().map_err(|e| format!("bad schema: {e}"))?;
+            }
+        } else {
+            let row: FigRow = obj
+                .into_iter()
+                .map(|(k, v)| {
+                    let field = match v.parse::<f64>() {
+                        Ok(n) if n.is_finite() => Field::Num(n),
+                        _ => Field::Text(v),
+                    };
+                    (k, field)
+                })
+                .collect();
+            rows.push(row);
+        }
+    }
+    if !saw_header {
+        return Err("not a figure table: no top-level \"schema\"/\"produced_by\" header".into());
+    }
+    table.rows = rows;
+    Ok(table)
+}
 
 /// Measurements for one scenario of a perf-smoke run.
 #[derive(Debug, Clone, PartialEq)]
@@ -239,5 +408,73 @@ mod tests {
         assert!(parse_report("{").is_err());
         assert!(parse_report("{}").is_err());
         assert!(parse_report(r#"{"scenarios":[{"name":"a"}]}"#).is_err());
+    }
+
+    fn fig_sample() -> FigTable {
+        let mut t = FigTable::new("fig12", "repro fig12, seed 42".into());
+        let mut row = FigRow::new();
+        row.insert("workload".into(), Field::Text("W4".into()));
+        row.insert("protocol".into(), Field::Text("Homa".into()));
+        row.insert("load".into(), Field::Num(0.8));
+        row.insert("metric".into(), Field::Text("p99_slowdown".into()));
+        row.insert("x".into(), Field::Num(10.0));
+        row.insert("value".into(), Field::Num(2.25));
+        t.rows.push(row);
+        let mut row = FigRow::new();
+        row.insert("workload".into(), Field::Text("W4".into()));
+        row.insert("count".into(), Field::Num(300.0));
+        t.rows.push(row);
+        t
+    }
+
+    #[test]
+    fn fig_table_round_trips() {
+        let t = fig_sample();
+        let json = render_table(&t);
+        let back = parse_table(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn fig_table_file_names() {
+        assert_eq!(FigTable::new("fig12", String::new()).file_name(), "FIG_12.json");
+        assert_eq!(FigTable::new("table1", String::new()).file_name(), "TABLE_1.json");
+        assert_eq!(FigTable::new("compare", String::new()).file_name(), "COMPARE.json");
+    }
+
+    #[test]
+    fn rows_with_a_figure_column_are_not_mistaken_for_the_header() {
+        // COMPARE.json rows carry a "figure" column; they must parse as
+        // rows, not clobber the table header.
+        let mut t = FigTable::new("compare", "repro compare, seed 42".into());
+        for fig in ["fig12", "fig15"] {
+            let mut row = FigRow::new();
+            row.insert("figure".into(), Field::Text(fig.into()));
+            row.insert("reference".into(), Field::Num(2.2));
+            row.insert("value".into(), Field::Num(1.7));
+            t.rows.push(row);
+        }
+        let back = parse_table(&render_table(&t)).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.figure, "compare");
+        assert_eq!(back.rows.len(), 2);
+    }
+
+    #[test]
+    fn fig_table_rejects_non_tables() {
+        assert!(parse_table(r#"{"rows":[{"x":1}]}"#).is_err());
+        assert!(parse_table("{").is_err());
+        // A perf-smoke report is not a figure table.
+        assert!(parse_table(&render_report(&sample())).is_err());
+    }
+
+    #[test]
+    fn num_formatting_is_canonical() {
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(-2.0), "-2");
+        assert_eq!(fmt_num(0.8), "0.8");
+        assert_eq!(fmt_num(2.25), "2.25");
+        assert_eq!(fmt_num(1.0 / 3.0), "0.333333");
+        assert_eq!(fmt_num(0.0), "0");
     }
 }

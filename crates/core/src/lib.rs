@@ -38,6 +38,18 @@
 //! with time passed in as integer nanoseconds ([`Nanos`]). The same
 //! endpoint runs packet-accurately inside the `homa-sim` discrete-event
 //! simulator and over real UDP sockets in `homa-udp`.
+//!
+//! ## Paper map
+//!
+//! | module | paper section |
+//! |---|---|
+//! | [`packets`] | §3.1 packet types (DATA/GRANT/RESEND/BUSY) and RPC keys |
+//! | [`config`] | §3 protocol parameters (RTTbytes, priority counts, overcommitment) |
+//! | [`unsched`] | §3.4 unscheduled priority allocation: cutoffs from the observed traffic mix |
+//! | [`sender`] | §3.2 blind transmission + sender-side SRPT |
+//! | [`receiver`] | §3.3–§3.6 grant scheduling, priority assignment, overcommitment, incast control |
+//! | [`messages`] | §3.1/§3.8 message reassembly and RPC lifetimes |
+//! | [`endpoint`] | the assembled protocol machine (§3, §3.7 loss recovery) |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

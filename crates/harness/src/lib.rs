@@ -15,14 +15,29 @@
 //!   load, seed, event engine) that the drivers consume; the vocabulary of
 //!   the `perf-smoke` CI gate and the determinism tests.
 //! * [`capacity`] — the highest-sustainable-load search behind Figure 15.
+//! * [`figures`] — digitized reference curves from the published
+//!   Figures 12–16 and the delta machinery of the `repro compare`
+//!   figure-accuracy gate.
 //! * [`render`] — plain-text table/series renderers used by the `repro`
 //!   binary and recorded in `EXPERIMENTS.md`.
+//!
+//! ## Paper map
+//!
+//! | module | paper section |
+//! |---|---|
+//! | [`driver`] | §5.1–§5.2 experiment setups |
+//! | [`slowdown`] | §5.1 slowdown metric, Figures 8/9/12/13 binning |
+//! | [`scenario`] | §5.2 simulation configurations as values |
+//! | [`capacity`] | Figure 15 capacity search |
+//! | [`figures`] | Figures 12–16 published curves |
+//! | [`render`] | the figures' text form |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod capacity;
 pub mod driver;
+pub mod figures;
 pub mod render;
 pub mod scenario;
 pub mod slowdown;
@@ -32,6 +47,7 @@ pub use driver::{
     run_incast, run_oneway, run_rpc_echo, IncastResult, OnewayOpts, OnewayResult, RpcOpts,
     RpcResult,
 };
+pub use figures::{compare_curves, CurveDelta, MeasuredPoint, PointDelta, RefCurve};
 pub use scenario::{
     run_incast_scenario, run_oneway_scenario, run_rpc_echo_scenario, FabricSpec, ScenarioSpec,
 };

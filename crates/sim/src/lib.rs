@@ -36,6 +36,19 @@
 //! Determinism: all events are ordered by `(time, sequence)` and all
 //! randomness derives from one seeded RNG, so a run is a pure function of
 //! its configuration.
+//!
+//! ## Paper map
+//!
+//! | module | paper section |
+//! |---|---|
+//! | [`topology`] | §5.2 two-level leaf–spine fabric (Figure 11's 144 hosts) |
+//! | [`queues`] | §5.2 switch models: strict priority (Homa/PIAS/pHost), pFabric, NDP trimming, ECN |
+//! | [`network`] / [`events`] | the discrete-event substrate standing in for OMNeT++ |
+//! | [`transport`] | the protocol-facing driver API (pull-model NICs, §5.2 host model) |
+//! | [`delay`] | Figure 14's per-packet delay attribution |
+//! | [`stats`] | Table 1 queue statistics, §5 run accounting |
+//! | [`faults`] | beyond-paper: link flaps, receiver pauses, rate limits (scenario stress) |
+//! | [`packet`] / [`time`] | shared vocabulary types |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -32,6 +32,12 @@
 //!     other => panic!("unexpected {other:?}"),
 //! }
 //! ```
+//!
+//! ## Paper map
+//!
+//! | module | paper section |
+//! |---|---|
+//! | [`node`] | §4's implementation layer: socket I/O threads, pacing, DSCP priority mapping, RPC surface |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -22,6 +22,13 @@
 //! | type-specific fields ...                               |
 //! +--------------------------------------------------------+
 //! ```
+//!
+//! ## Paper map
+//!
+//! | module | paper section |
+//! |---|---|
+//! | [`codec`] | §4's packet formats, reduced to an explicit byte layout for UDP transport |
+//! | [`error`] | parse-failure taxonomy (no paper analogue; the paper's DPDK driver trusts its NIC) |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

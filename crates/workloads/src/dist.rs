@@ -184,6 +184,17 @@ impl MessageSizeDist {
     pub fn anchors(&self) -> &[(u64, f64)] {
         &self.anchors
     }
+
+    /// The message-count deciles of the distribution: `(percentile,
+    /// size)` at 10%, 20%, ..., 100%. These are the x-axis tick marks of
+    /// Figures 8/9/12/13 (each tick covers 10% of messages), and the
+    /// points the `repro compare` gate joins reference curves on.
+    pub fn decile_points(&self) -> [(f64, u64); 10] {
+        std::array::from_fn(|i| {
+            let p = (i + 1) as f64 / 10.0;
+            (p * 100.0, self.quantile(p))
+        })
+    }
 }
 
 #[cfg(test)]

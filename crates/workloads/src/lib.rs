@@ -23,6 +23,15 @@
 //!
 //! The crate also supplies the Poisson open-loop arrival machinery and the
 //! load arithmetic used by every experiment.
+//!
+//! ## Paper map
+//!
+//! | module | paper section |
+//! |---|---|
+//! | [`workload`] | Figure 1's W1–W5 definitions (+ the decile points the figure-accuracy gate joins on) |
+//! | [`dist`] | the piecewise log-linear CDF reconstruction behind Figure 1 |
+//! | [`arrivals`] | §5.1/§5.2 open-loop Poisson traffic at a target load |
+//! | [`traffic`] | beyond-paper: incast/permutation/shuffle/hotspot patterns, victim overlays, mixes |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

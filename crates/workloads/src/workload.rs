@@ -129,6 +129,14 @@ impl Workload {
         }
     }
 
+    /// Message sizes at the distribution's count deciles (10%..100%),
+    /// i.e. the published x-axis tick labels of Figures 8/12. The
+    /// figure-accuracy gate (`repro compare`) uses these to annotate
+    /// reference percentiles with concrete sizes.
+    pub fn decile_sizes(self) -> [u64; 10] {
+        self.dist().decile_points().map(|(_, size)| size)
+    }
+
     /// Parse "W1".."W5" (case-insensitive).
     pub fn parse(s: &str) -> Option<Workload> {
         match s.to_ascii_uppercase().as_str() {
@@ -192,6 +200,23 @@ mod tests {
         assert_eq!(d.quantile(0.5), 268);
         assert_eq!(d.quantile(0.9), 1_755);
         assert_eq!(d.quantile(1.0), 5_114_695);
+    }
+
+    #[test]
+    fn decile_sizes_match_quantiles() {
+        for w in Workload::ALL {
+            let d = w.dist();
+            let deciles = w.decile_sizes();
+            assert_eq!(deciles.len(), 10);
+            for (i, &size) in deciles.iter().enumerate() {
+                assert_eq!(size, d.quantile((i + 1) as f64 / 10.0));
+            }
+            // Deciles are non-decreasing and end at the support maximum.
+            for pair in deciles.windows(2) {
+                assert!(pair[0] <= pair[1]);
+            }
+            assert_eq!(deciles[9], d.max_size());
+        }
     }
 
     #[test]

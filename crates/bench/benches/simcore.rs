@@ -24,67 +24,73 @@ fn bench_event_queue(c: &mut Criterion) {
     g.finish();
 }
 
-/// Sustained event churn shaped like a 100-host fabric: 113 lanes (100
-/// hosts + 10 TORs + 3 spines), near-monotone per-lane times (the TxDone /
-/// SwitchArrive pattern — each lane's next event is almost always later
-/// than its last), a deep steady state, and one pop + one push per step.
-/// Run on both engines over the *identical* operation sequence.
-fn bench_engine_churn(c: &mut Criterion) {
-    const LANES: u32 = 113;
-    const STEADY: usize = 20_000;
-    const STEPS: usize = 100_000;
-
-    // Pre-generate the op sequence — absolute times included — so both
-    // engines replay identical operations and the timed loop contains
-    // nothing but engine work. Each lane's times advance near-monotonically
-    // (the TxDone / SwitchArrive pattern); 3% of arrivals are slightly out
-    // of order.
+/// The operation sequence of a sustained churn benchmark: near-monotone
+/// per-lane times (the TxDone / SwitchArrive pattern — each lane's next
+/// event is almost always later than its last), with ~3% of arrivals
+/// slightly out of order. Pre-generated — absolute times included — so
+/// every engine replays identical operations and the timed loop contains
+/// nothing but engine work.
+fn churn_ops(lanes: u32, n: usize) -> Vec<(u32, u64)> {
     let mut lcg = 0x1234_5678_9abc_def0u64;
     let mut next = move || {
         lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         lcg >> 33
     };
-    let mut lane_clock = vec![0i64; LANES as usize];
-    let ops: Vec<(u32, u64)> = (0..STEADY + STEPS)
+    let mut lane_clock = vec![0i64; lanes as usize];
+    (0..n)
         .map(|_| {
-            let lane = (next() % LANES as u64) as u32;
+            let lane = (next() % lanes as u64) as u32;
             let r = next();
             let delta = if r % 33 == 0 { -((r % 500) as i64) } else { (r % 2_000) as i64 };
             let t = (lane_clock[lane as usize] + delta).max(0);
             lane_clock[lane as usize] = t.max(lane_clock[lane as usize]);
             (lane, t as u64)
         })
-        .collect();
+        .collect()
+}
 
-    let run = |kind: EngineKind| {
-        let mut q: EventEngine<u64> = EventEngine::new(kind, LANES);
-        for (i, &(lane, t)) in ops[..STEADY].iter().enumerate() {
-            q.schedule(LaneId(lane), SimTime::from_nanos(t), i as u64);
-        }
-        let mut acc = 0u64;
-        for (i, &(lane, t)) in ops[STEADY..].iter().enumerate() {
-            let (_, v) = q.pop().expect("steady state");
-            acc = acc.wrapping_add(v);
-            q.schedule(LaneId(lane), SimTime::from_nanos(t), i as u64);
-        }
-        acc
-    };
+/// Sustained event churn shaped like the multi-TOR fabrics the perf gate
+/// runs (40 hosts → 47 lanes, 100 → 113, 160 → 179): a deep steady
+/// state, then one pop + one push per step. Run on both engines over the
+/// *identical* operation sequence — this pair is the ROADMAP's "2x churn"
+/// measurement (see EXPERIMENTS.md).
+fn bench_engine_churn(c: &mut Criterion) {
+    const STEADY: usize = 20_000;
+    const STEPS: usize = 100_000;
 
-    let mut g = c.benchmark_group("simcore");
-    g.sample_size(10);
-    g.bench_function("engine_churn_100host_hier", |b| {
-        b.iter(|| black_box(run(EngineKind::Hierarchical)))
-    });
-    g.bench_function("engine_churn_100host_flat", |b| {
-        b.iter(|| black_box(run(EngineKind::LegacyHeap)))
-    });
-    g.finish();
+    // (host count, lanes = hosts + TORs + spines) per Topology::multi_tor.
+    for (hosts, lanes) in [(40u32, 47u32), (100, 113), (160, 179)] {
+        let ops = churn_ops(lanes, STEADY + STEPS);
+        let run = |kind: EngineKind| {
+            let mut q: EventEngine<u64> = EventEngine::new(kind, lanes);
+            for (i, &(lane, t)) in ops[..STEADY].iter().enumerate() {
+                q.schedule(LaneId(lane), SimTime::from_nanos(t), i as u64);
+            }
+            let mut acc = 0u64;
+            for (i, &(lane, t)) in ops[STEADY..].iter().enumerate() {
+                let (_, v) = q.pop().expect("steady state");
+                acc = acc.wrapping_add(v);
+                q.schedule(LaneId(lane), SimTime::from_nanos(t), i as u64);
+            }
+            acc
+        };
+        let mut g = c.benchmark_group("simcore");
+        g.sample_size(10);
+        g.bench_function(format!("engine_churn_{hosts}host_hier"), |b| {
+            b.iter(|| black_box(run(EngineKind::Hierarchical)))
+        });
+        g.bench_function(format!("engine_churn_{hosts}host_flat"), |b| {
+            b.iter(|| black_box(run(EngineKind::LegacyHeap)))
+        });
+        g.finish();
+    }
 
     // The `event_queue_push_pop_1k` pattern at 100-host scale: fill 100k
     // events across the fabric's lanes, then drain completely.
+    let ops = churn_ops(113, 100_000);
     let fill_drain = move |kind: EngineKind| {
-        let mut q: EventEngine<u64> = EventEngine::new(kind, LANES);
-        for (i, &(lane, t)) in ops.iter().take(100_000).enumerate() {
+        let mut q: EventEngine<u64> = EventEngine::new(kind, 113);
+        for (i, &(lane, t)) in ops.iter().enumerate() {
             q.schedule(LaneId(lane), SimTime::from_nanos(t), i as u64);
         }
         let mut acc = 0u64;

@@ -7,9 +7,12 @@
 //! >25% regression — so event-engine speed never silently erodes.
 //!
 //! ```text
-//! perf-smoke [--out PATH] [--engine hier|legacy] [--quick]
+//! perf-smoke [--out PATH] [--engine hier|legacy|parallel] [--threads N]
+//!            [--quick]
 //!     run the scenarios, print the JSON report, write it to PATH
-//!     (default BENCH_PR.json)
+//!     (default BENCH_PR.json); `--engine parallel` uses
+//!     conservative-window dispatch with N worker threads (default:
+//!     HOMA_SIM_THREADS or auto)
 //!
 //! perf-smoke --compare BASELINE CURRENT [--tolerance 0.25]
 //!     exit nonzero if CURRENT regressed from BASELINE: wall-clock or
@@ -30,7 +33,9 @@ use homa_workloads::{TrafficSpec, Workload};
 use std::time::Instant;
 
 /// Fixed seed for every gate scenario: the runs are deterministic, so
-/// the baseline's event counts must reproduce exactly.
+/// the baseline's event counts must reproduce exactly — on every engine,
+/// including the parallel dispatcher (events counts are engine-invariant
+/// by the determinism contract).
 const SEED: u64 = 42;
 
 /// One gate scenario plus the minimum delivered fraction it must reach.
@@ -66,6 +71,21 @@ fn gate_scenarios(engine: EngineKind, quick: bool) -> Vec<GateScenario> {
                 Workload::W4,
                 0.8,
                 3_000 / scale,
+                SEED,
+            )
+            .with_engine(engine),
+            min_delivered_frac: 0.99,
+        },
+        // The churn scenario the calendar + parallel work targets: the
+        // largest multi-TOR fabric the ROADMAP names (160 hosts, 16
+        // racks), same W4 @ 80% shape as the smaller rows.
+        GateScenario {
+            spec: ScenarioSpec::new(
+                "w4_80_160h",
+                FabricSpec::MultiTor { hosts: 160 },
+                Workload::W4,
+                0.8,
+                4_800 / scale,
                 SEED,
             )
             .with_engine(engine),
@@ -238,7 +258,8 @@ fn compare(base_path: &str, cur_path: &str, tolerance: f64) -> i32 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = String::from("BENCH_PR.json");
-    let mut engine = EngineKind::Hierarchical;
+    let mut engine: Option<EngineKind> = None;
+    let mut threads_flag: Option<u32> = None;
     let mut quick = false;
     let mut compare_paths: Option<(String, String)> = None;
     let mut tolerance = std::env::var("PERF_SMOKE_TOLERANCE")
@@ -255,11 +276,20 @@ fn main() {
             }
             "--engine" => {
                 i += 1;
-                engine = match args.get(i).map(String::as_str) {
+                engine = Some(match args.get(i).map(String::as_str) {
                     Some("hier") | Some("hierarchical") => EngineKind::Hierarchical,
                     Some("legacy") => EngineKind::LegacyHeap,
-                    _ => usage("--engine takes 'hier' or 'legacy'"),
-                };
+                    Some("parallel") => EngineKind::parallel_from_env(),
+                    _ => usage("--engine takes 'hier', 'legacy' or 'parallel'"),
+                });
+            }
+            "--threads" => {
+                i += 1;
+                let n: u32 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads takes a count (0 = auto)"));
+                threads_flag = Some(n);
             }
             "--quick" => quick = true,
             "--compare" => {
@@ -281,6 +311,19 @@ fn main() {
         i += 1;
     }
 
+    // Resolve engine selection: --threads implies the parallel engine
+    // (and overrides its env/auto count), but combining it with an
+    // explicit non-parallel --engine is a labeling mistake, not a run.
+    let engine = match (engine, threads_flag) {
+        (None, None) => EngineKind::Hierarchical,
+        (None, Some(n)) => EngineKind::ParallelHier { threads: n },
+        (Some(EngineKind::ParallelHier { threads }), n) => {
+            EngineKind::ParallelHier { threads: n.unwrap_or(threads) }
+        }
+        (Some(e), None) => e,
+        (Some(_), Some(_)) => usage("--threads requires --engine parallel"),
+    };
+
     if let Some((base, cur)) = compare_paths {
         std::process::exit(compare(&base, &cur, tolerance));
     }
@@ -300,7 +343,7 @@ fn usage(err: &str) -> ! {
         eprintln!("perf-smoke: {err}");
     }
     eprintln!(
-        "usage: perf-smoke [--out PATH] [--engine hier|legacy] [--quick]\n\
+        "usage: perf-smoke [--out PATH] [--engine hier|legacy|parallel] [--threads N] [--quick]\n\
          \x20      perf-smoke --compare BASELINE CURRENT [--tolerance FRAC]"
     );
     std::process::exit(2);

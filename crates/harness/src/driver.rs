@@ -279,14 +279,13 @@ where
     }
     let inject_end = net.now();
 
-    // Drain phase.
+    // Drain phase. `run_next_before` advances through one event batch
+    // per iteration with a single queue probe (no peek-then-pop pair).
     let deadline = inject_end + opts.drain;
     while !pending.is_empty() && net.now() < deadline {
-        let step = match net.next_event_time() {
-            Some(t) if t <= deadline => t,
-            _ => break,
-        };
-        net.run_until(step);
+        if net.run_next_before(deadline).is_none() {
+            break;
+        }
         handle_events(
             &mut net,
             &mut pending,
@@ -476,11 +475,9 @@ where
     }
     let deadline = net.now() + opts.drain;
     while !pending.is_empty() && net.now() < deadline {
-        let step = match net.next_event_time() {
-            Some(t) if t <= deadline => t,
-            _ => break,
-        };
-        net.run_until(step);
+        if net.run_next_before(deadline).is_none() {
+            break;
+        }
         process(&mut net, &mut pending, &mut records, &mut completed, &mut aborted);
     }
 
@@ -541,11 +538,9 @@ where
         }
         let deadline = net.now() + per_round_timeout;
         while !outstanding.is_empty() && net.now() < deadline {
-            let step = match net.next_event_time() {
-                Some(t) if t <= deadline => t,
-                _ => break,
-            };
-            net.run_until(step);
+            if net.run_next_before(deadline).is_none() {
+                break;
+            }
             for (_, host, ev) in net.take_app_events() {
                 match ev {
                     AppEvent::RpcRequestArrived { client, rpc, .. } => {

@@ -1,32 +1,51 @@
 //! The discrete-event engines.
 //!
-//! Two engines share one contract: events are totally ordered by
+//! All engines share one contract: events are totally ordered by
 //! `(time, sequence)`, where the sequence number is assigned globally at
 //! insertion. Events scheduled for the same instant therefore fire in
 //! insertion order, which makes runs fully deterministic — the test suite
 //! and the reproducibility goals of the repository depend on it.
 //!
 //! * [`EventQueue`] — the original monolithic binary heap. Simple, and
-//!   still what small simulations use via
-//!   [`EngineKind::LegacyHeap`].
-//! * [`HierEventQueue`] — the hierarchical engine that makes 100+ host
-//!   fabrics affordable. Events are routed to per-lane queues (the
-//!   network assigns one lane per host plus one per fabric switch); each
-//!   lane stores its events as a sorted *run* (a `VecDeque` absorbing the
-//!   overwhelmingly common in-order appends in O(1)) plus a small *spill*
-//!   heap for out-of-order arrivals. A top-level *ladder* — a small heap
-//!   over the current lane heads, keyed on the same `(time, seq)` — picks
-//!   the global minimum. Stale ladder entries (heads superseded by an
-//!   earlier arrival, or already popped) are skipped lazily.
+//!   still what small simulations use via [`EngineKind::LegacyHeap`].
+//! * [`HierEventQueue`] — the calendar-bucketed lane engine that makes
+//!   100+ host fabrics affordable. Time is divided into fixed-width
+//!   *epochs* (the width is sized from the fabric's minimum link delay,
+//!   rounded to a power of two so the epoch of a timestamp is one shift).
+//!   Pending events live in one of four places:
 //!
-//! Because both engines order by the same globally-assigned
+//!   1. a ring of *buckets*, one per near-future epoch, absorbing the
+//!      overwhelmingly common insert in O(1) (unsorted append);
+//!   2. a *far* spill heap for timers beyond the ring horizon
+//!      (`RING_EPOCHS` × width ahead — retransmission timers, mostly);
+//!   3. the *current run*: when an epoch becomes current, its bucket is
+//!      sorted once by `(time, seq)` — the bucket-synchronized merge —
+//!      and then served by popping from the end of the run in O(1);
+//!   4. a small *late* heap for events that land at or below the
+//!      current epoch after its merge (same-instant timers, back-to-back
+//!      `TxDone`s), compared against the run head on every pop.
+//!
+//!   `pop_if_before` on the hot dispatch path is therefore O(1)
+//!   amortized — a comparison against the run tail plus the one-time
+//!   sort share of each event — where the previous design paid a ladder
+//!   heap probe per pop and the legacy heap pays `O(log n)` of the
+//!   *total* pending population.
+//!
+//! Events carry a [`LaneId`] naming the fabric node whose state their
+//! dispatch touches. The calendar itself is global (lanes no longer need
+//! their own queues to make inserts cheap); the lane tag is what lets
+//! [`crate::Network`] group events by rack for conservative-window
+//! parallel dispatch (see `network.rs`), which is also why entries keep
+//! their lane through the queue.
+//!
+//! Because all engines order by the same globally-assigned
 //! `(time, seq)` key, a simulation pops the *bit-identical* event
-//! sequence from either; `tests/determinism.rs` in the workspace root
-//! proves this end-to-end.
+//! sequence from any of them; `tests/determinism.rs` in the workspace
+//! root proves this end-to-end, including for the parallel dispatcher.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 /// Opaque token identifying a timer registered by a transport or the
 /// experiment driver. The meaning of the value is private to whoever
@@ -36,15 +55,24 @@ pub struct TimerToken(pub u64);
 
 /// Identifies one event lane of a [`HierEventQueue`]. Lanes are dense
 /// indices assigned by whoever builds the engine (the network maps hosts,
-/// TORs and spines to consecutive lanes); events within a lane tend to be
-/// scheduled in non-decreasing time order, which is the property the
-/// hierarchical engine exploits.
+/// TORs and spines to consecutive lanes). The engine itself only stores
+/// the tag; the network uses it to group events by rack when dispatching
+/// conservative windows in parallel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LaneId(pub u32);
+
+/// Number of near-future epochs the calendar ring covers. Events beyond
+/// `RING_EPOCHS * width` nanoseconds ahead spill to the far heap until
+/// their epoch comes within reach of becoming current. Sized so a deep
+/// steady state on a *small* fabric (fewer lanes → a wider pending-time
+/// span per event population) still fits in the ring: 4096 × 256 ns ≈
+/// 1 ms of horizon, while the ring's empty slots cost only pointers.
+const RING_EPOCHS: u64 = 4096;
 
 struct Entry<E> {
     at: SimTime,
     seq: u64,
+    lane: u32,
     payload: E,
 }
 
@@ -91,7 +119,7 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
+        self.heap.push(Entry { at, seq, lane: 0, payload });
     }
 
     /// Remove and return the earliest event.
@@ -125,224 +153,291 @@ impl<E> EventQueue<E> {
     }
 }
 
-/// Counters describing how the hierarchical engine behaved over a run;
-/// exposed for `perf-smoke` output and engine tuning.
+/// Counters describing how the calendar engine (and, when enabled, the
+/// parallel window dispatcher) behaved over a run; exposed for
+/// `perf-smoke` output and engine tuning.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Number of lanes the engine was built with (1 for the legacy heap).
+    /// Number of event lanes the engine was built with (1 for the legacy
+    /// heap).
     pub lanes: u32,
-    /// Deepest any single lane ever got.
-    pub max_lane_depth: usize,
-    /// Events appended to a lane's sorted run in order (the O(1) path).
-    pub inorder_events: u64,
-    /// Events that arrived out of order and went to a lane's spill heap.
-    pub spilled_events: u64,
-    /// Stale ladder heads skipped during merges.
-    pub stale_skips: u64,
+    /// Calendar bucket width in nanoseconds (0 for the legacy heap).
+    pub bucket_width_ns: u64,
+    /// Events inserted into a near-future ring bucket (the O(1) path).
+    pub bucket_events: u64,
+    /// Events that landed at or below the already-merged current epoch
+    /// and went to the late heap (same-instant timers, back-to-back
+    /// transmissions).
+    pub late_events: u64,
+    /// Events beyond the ring horizon that spilled to the far heap
+    /// (far-future timers).
+    pub far_events: u64,
+    /// Epochs merged into a current run (bucket sort + reverse).
+    pub epochs_merged: u64,
+    /// Largest single merged epoch population.
+    pub max_epoch_events: u64,
+    /// Conservative windows dispatched (0 unless the network ran with
+    /// [`EngineKind::ParallelHier`]).
+    pub windows: u64,
+    /// Events dispatched through conservative windows.
+    pub window_events: u64,
+    /// Largest single conservative window, in events.
+    pub max_window_events: u64,
 }
 
-/// One lane: a sorted run absorbing in-order appends plus a spill heap
-/// for the rare out-of-order arrival.
-struct Lane<E> {
-    run: VecDeque<Entry<E>>,
-    spill: BinaryHeap<Entry<E>>,
-}
-
-impl<E> Lane<E> {
-    fn new() -> Self {
-        Lane { run: VecDeque::new(), spill: BinaryHeap::new() }
-    }
-
-    fn len(&self) -> usize {
-        self.run.len() + self.spill.len()
-    }
-
-    /// The `(time, seq)` key of this lane's earliest event.
-    fn min_key(&self) -> Option<(SimTime, u64)> {
-        let r = self.run.front().map(|e| (e.at, e.seq));
-        let s = self.spill.peek().map(|e| (e.at, e.seq));
-        match (r, s) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
-    }
-
-    fn pop_min(&mut self) -> Option<Entry<E>> {
-        let take_run = match (self.run.front(), self.spill.peek()) {
-            (Some(r), Some(s)) => (r.at, r.seq) <= (s.at, s.seq),
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (None, None) => return None,
-        };
-        if take_run {
-            self.run.pop_front()
-        } else {
-            self.spill.pop()
-        }
-    }
-}
-
-/// A lane head recorded in the ladder: the `(time, seq)` key of what was,
-/// at push time, some lane's earliest event. Lazily invalidated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct HeadKey {
-    at: SimTime,
-    seq: u64,
-    lane: u32,
-}
-
-impl PartialOrd for HeadKey {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for HeadKey {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Inverted: BinaryHeap pops the earliest head first. `seq` is
-        // globally unique, so the lane never decides the order.
-        (other.at, other.seq, other.lane).cmp(&(self.at, self.seq, self.lane))
-    }
-}
-
-/// The hierarchical event engine: per-lane queues merged through a small
-/// ladder of lane heads. Same `(time, seq)` total order as
-/// [`EventQueue`], but push/pop touch a short sorted run and a heap of
-/// ~`lanes` entries instead of one heap over every pending event.
+/// The calendar-bucketed event engine: a ring of epoch buckets merged one
+/// epoch at a time, with a late heap for intra-epoch arrivals and a far
+/// heap for timers beyond the ring horizon. Same `(time, seq)` total
+/// order as [`EventQueue`], but the hot pop is a tail comparison instead
+/// of a heap probe over every pending event.
 pub struct HierEventQueue<E> {
-    lanes: Vec<Lane<E>>,
-    ladder: BinaryHeap<HeadKey>,
+    /// Epoch width is `1 << shift` nanoseconds.
+    shift: u32,
+    /// The epoch currently merged into `current`/served by `late`.
+    cur_epoch: u64,
+    /// The current epoch's events, sorted *descending* by `(time, seq)`
+    /// so the minimum pops from the back in O(1).
+    current: Vec<Entry<E>>,
+    /// Events at or below the current epoch that arrived after its merge.
+    late: BinaryHeap<Entry<E>>,
+    /// Near-future buckets, indexed by `epoch % RING_EPOCHS`. A slot is
+    /// owned by exactly one epoch at a time (`slot_epoch`).
+    ring: Vec<Vec<Entry<E>>>,
+    slot_epoch: Vec<u64>,
+    /// Nonempty ring epochs, min first. An epoch is pushed exactly once
+    /// (when its slot turns nonempty) and popped exactly once (when it is
+    /// merged), so there are no stale entries to skip.
+    active: BinaryHeap<std::cmp::Reverse<u64>>,
+    /// Events beyond the ring horizon; merged directly when their epoch
+    /// becomes current.
+    far: BinaryHeap<Entry<E>>,
     next_seq: u64,
     len: usize,
-    /// Number of stale entries currently in the ladder. Staleness is only
-    /// created when a spilled arrival supersedes a lane's head, so while
-    /// this is zero (the overwhelmingly common case) the merge can skip
-    /// validity checks entirely.
-    stale_debt: usize,
     stats: EngineStats,
 }
 
 impl<E> HierEventQueue<E> {
-    /// An empty engine with `lanes` event lanes.
+    /// An empty engine with `lanes` event lanes and the default 256 ns
+    /// bucket width.
     pub fn new(lanes: u32) -> Self {
+        Self::with_bucket_width(lanes, 256)
+    }
+
+    /// An empty engine with `lanes` lanes and epoch buckets of
+    /// `width_ns` nanoseconds, rounded up to a power of two (fabrics pass
+    /// their minimum link delay here — 250 ns on the paper fabric, so
+    /// buckets are 256 ns wide).
+    pub fn with_bucket_width(lanes: u32, width_ns: u64) -> Self {
         assert!(lanes >= 1, "need at least one lane");
+        let shift = width_ns.max(1).next_power_of_two().trailing_zeros().min(30);
         HierEventQueue {
-            lanes: (0..lanes).map(|_| Lane::new()).collect(),
-            ladder: BinaryHeap::with_capacity(lanes as usize + 8),
+            shift,
+            cur_epoch: 0,
+            current: Vec::new(),
+            late: BinaryHeap::new(),
+            ring: (0..RING_EPOCHS).map(|_| Vec::new()).collect(),
+            slot_epoch: vec![0; RING_EPOCHS as usize],
+            active: BinaryHeap::new(),
+            far: BinaryHeap::new(),
             next_seq: 0,
             len: 0,
-            stale_debt: 0,
-            stats: EngineStats { lanes, ..EngineStats::default() },
+            stats: EngineStats { lanes, bucket_width_ns: 1 << shift, ..EngineStats::default() },
         }
+    }
+
+    fn epoch_of(&self, at: SimTime) -> u64 {
+        at.as_nanos() >> self.shift
     }
 
     /// Schedule `payload` on `lane` at `at`. Events at equal times fire in
     /// the order they were scheduled, across all lanes.
+    ///
+    /// # Panics
+    /// If `lane` is out of range for this engine — catching the mistake
+    /// at the call site instead of deep inside a later group dispatch.
     pub fn schedule(&mut self, lane: LaneId, at: SimTime, payload: E) {
-        let li = lane.0 as usize;
-        assert!(li < self.lanes.len(), "lane {} out of range ({} lanes)", lane.0, self.lanes.len());
+        assert!(
+            lane.0 < self.stats.lanes,
+            "lane {} out of range ({} lanes)",
+            lane.0,
+            self.stats.lanes
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
-        let l = &mut self.lanes[li];
-        // Only a new lane minimum needs a ladder entry — and an in-order
-        // append to a non-empty lane can never be one (the lane minimum is
-        // at most the run back it was appended behind), so the common case
-        // touches no heap at all.
-        match l.run.back() {
-            Some(back) if at >= back.at => {
-                l.run.push_back(Entry { at, seq, payload });
-                self.stats.inorder_events += 1;
+        self.insert(Entry { at, seq, lane: lane.0, payload });
+    }
+
+    #[inline]
+    fn insert(&mut self, entry: Entry<E>) {
+        let e = self.epoch_of(entry.at);
+        // Hot path first: one wrapping compare covers the whole ring
+        // window `cur_epoch < e < cur_epoch + RING_EPOCHS` (an epoch at
+        // or below `cur_epoch` wraps to a huge value and falls through).
+        if e.wrapping_sub(self.cur_epoch.wrapping_add(1)) < RING_EPOCHS - 1 {
+            let slot = (e % RING_EPOCHS) as usize;
+            if self.ring[slot].is_empty() {
+                self.slot_epoch[slot] = e;
+                self.active.push(std::cmp::Reverse(e));
             }
-            Some(_) => {
-                // Out-of-order arrival: spill, and supersede the lane head
-                // if this is the new minimum.
-                let old = l.min_key().expect("run nonempty");
-                l.spill.push(Entry { at, seq, payload });
-                self.stats.spilled_events += 1;
-                if (at, seq) < old {
-                    self.stale_debt += 1;
-                    self.ladder.push(HeadKey { at, seq, lane: lane.0 });
-                }
-            }
-            None => {
-                let old = l.spill.peek().map(|e| (e.at, e.seq));
-                l.run.push_back(Entry { at, seq, payload });
-                self.stats.inorder_events += 1;
-                match old {
-                    // Lane was empty: it has no ladder entry yet.
-                    None => self.ladder.push(HeadKey { at, seq, lane: lane.0 }),
-                    Some(m) if (at, seq) < m => {
-                        self.stale_debt += 1;
-                        self.ladder.push(HeadKey { at, seq, lane: lane.0 });
-                    }
-                    Some(_) => {}
-                }
-            }
+            debug_assert_eq!(self.slot_epoch[slot], e, "ring slot epoch collision");
+            self.ring[slot].push(entry);
+            self.stats.bucket_events += 1;
+        } else if e <= self.cur_epoch {
+            // At or below the merged epoch: joins the late heap and is
+            // compared against the current run head on every pop, so
+            // ordering stays exact even for "past" inserts.
+            self.late.push(entry);
+            self.stats.late_events += 1;
+        } else {
+            self.far.push(entry);
+            self.stats.far_events += 1;
         }
-        self.stats.max_lane_depth = self.stats.max_lane_depth.max(l.len());
         self.len += 1;
     }
 
-    /// Drop stale ladder heads so the top, if any, names a lane whose
-    /// current minimum it matches. Called after every mutation, so
-    /// `peek_time` stays exact on `&self`. While `stale_debt` is zero no
-    /// stale entry exists anywhere and this is a single branch.
-    fn settle(&mut self) {
-        while self.stale_debt > 0 {
-            let Some(&top) = self.ladder.peek() else { break };
-            if self.lanes[top.lane as usize].min_key() == Some((top.at, top.seq)) {
-                break;
+    /// Advance to the next nonempty epoch and merge its bucket (plus any
+    /// far events that fall in it) into the current run. No-op while the
+    /// current epoch still has events to serve, and — crucially — never
+    /// advances *past* `bound_epoch`: a bounded pop that finds only a
+    /// far-future timer must not drag `cur_epoch` forward, or every
+    /// near-term insert until simulated time caught up would land in the
+    /// O(log n) late heap instead of an O(1) ring bucket.
+    #[inline]
+    fn ensure_current(&mut self, bound_epoch: Option<u64>) {
+        if !self.current.is_empty() || !self.late.is_empty() || self.len == 0 {
+            return;
+        }
+        self.advance_epoch(bound_epoch);
+    }
+
+    #[cold]
+    fn advance_epoch(&mut self, bound_epoch: Option<u64>) {
+        while self.current.is_empty() && self.late.is_empty() && self.len > 0 {
+            let ring_next = self.active.peek().map(|r| r.0);
+            let far_next = self.far.peek().map(|e| self.epoch_of(e.at));
+            let next = match (ring_next, far_next) {
+                (Some(a), Some(f)) => a.min(f),
+                (Some(a), None) => a,
+                (None, Some(f)) => f,
+                (None, None) => unreachable!("len > 0 with every store empty"),
+            };
+            // Every event in epoch `next` fires strictly after the bound;
+            // leave the merge point where it is and let the pop miss.
+            if bound_epoch.is_some_and(|b| next > b) {
+                return;
             }
-            self.ladder.pop();
-            self.stale_debt -= 1;
-            self.stats.stale_skips += 1;
+            self.cur_epoch = next;
+            if ring_next == Some(next) {
+                self.active.pop();
+                // Swap the (empty, capacity-bearing) current run into the
+                // slot so bucket buffers are recycled instead of
+                // reallocated every epoch.
+                std::mem::swap(&mut self.current, &mut self.ring[(next % RING_EPOCHS) as usize]);
+            }
+            while self.far.peek().is_some_and(|e| self.epoch_of(e.at) == next) {
+                self.current.push(self.far.pop().expect("peeked"));
+            }
+            // The bucket-synchronized merge: one sort per epoch, then
+            // every pop within the epoch is O(1) off the back.
+            self.current.sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+            self.stats.epochs_merged += 1;
+            self.stats.max_epoch_events =
+                self.stats.max_epoch_events.max(self.current.len() as u64);
+        }
+    }
+
+    /// One-pass conditional pop: advance the merge point, check the head
+    /// against `bound`, and take it — the hot dispatch-path primitive
+    /// every public pop variant builds on.
+    #[inline]
+    fn pop_entry_bounded(&mut self, bound: Option<SimTime>) -> Option<Entry<E>> {
+        self.ensure_current(bound.map(|t| self.epoch_of(t)));
+        let take_run = match (self.current.last(), self.late.peek()) {
+            (Some(r), Some(l)) => (r.at, r.seq) <= (l.at, l.seq),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        let head_at = if take_run {
+            self.current.last().expect("matched").at
+        } else {
+            self.late.peek().expect("matched").at
+        };
+        if bound.is_some_and(|t| head_at > t) {
+            return None;
+        }
+        self.len -= 1;
+        if take_run {
+            self.current.pop()
+        } else {
+            self.late.pop()
         }
     }
 
     /// Remove and return the earliest event across all lanes.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Self { lanes, ladder, len, .. } = self;
-        let mut head = ladder.peek_mut()?;
-        let top = *head;
-        let lane = &mut lanes[top.lane as usize];
-        // Fast path: no spill — the head is the run front and the next
-        // minimum is right behind it.
-        let (e, next) = if lane.spill.is_empty() {
-            let e = lane.run.pop_front().expect("valid ladder head");
-            let next = lane.run.front().map(|f| (f.at, f.seq));
-            (e, next)
-        } else {
-            let e = lane.pop_min().expect("valid ladder head");
-            (e, lane.min_key())
-        };
-        debug_assert_eq!((e.at, e.seq), (top.at, top.seq));
-        match next {
-            // Replace the top in place: one sift instead of a pop + push.
-            Some((at, seq)) => {
-                *head = HeadKey { at, seq, lane: top.lane };
-                drop(head);
-            }
-            None => {
-                std::collections::binary_heap::PeekMut::pop(head);
-            }
-        }
-        *len -= 1;
-        self.settle();
-        Some((e.at, e.payload))
+        self.pop_entry_bounded(None).map(|e| (e.at, e.payload))
     }
 
     /// Remove and return the earliest event if it fires at or before `t`.
     pub fn pop_if_before(&mut self, t: SimTime) -> Option<(SimTime, E)> {
-        if self.peek_time()? > t {
-            return None;
-        }
-        self.pop()
+        self.pop_entry_bounded(Some(t)).map(|e| (e.at, e.payload))
+    }
+
+    /// Like [`pop_if_before`](Self::pop_if_before) but keeps the lane tag
+    /// and global sequence number — the conservative-window dispatcher
+    /// needs both to partition a window by rack group and to merge the
+    /// groups' emissions back in the exact sequential order.
+    pub(crate) fn pop_entry_if_before(&mut self, t: SimTime) -> Option<(LaneId, SimTime, u64, E)> {
+        self.pop_entry_bounded(Some(t)).map(|e| (LaneId(e.lane), e.at, e.seq, e.payload))
+    }
+
+    /// The sequence number the next scheduled event would get. Window
+    /// dispatch uses this as the provisional-numbering base: every
+    /// pending event's sequence is below it.
+    pub(crate) fn seq_floor(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Consume and return the next global sequence number without
+    /// scheduling anything (the window merge assigns sequence numbers in
+    /// merged emission order, exactly as sequential dispatch would have).
+    pub(crate) fn assign_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Insert an event whose sequence number was pre-assigned by
+    /// [`assign_seq`](Self::assign_seq) during a window merge.
+    pub(crate) fn schedule_with_seq(&mut self, lane: LaneId, at: SimTime, seq: u64, payload: E) {
+        debug_assert!(seq < self.next_seq, "sequence not pre-assigned");
+        self.insert(Entry { at, seq, lane: lane.0, payload });
     }
 
     /// The time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        // `settle` ran after the last mutation, so the top head is valid.
-        self.ladder.peek().map(|h| h.at)
+        let run = self.current.last().map(|e| e.at);
+        let late = self.late.peek().map(|e| e.at);
+        let near = match (run, late) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if near.is_some() {
+            // Anything in the ring or far heap lives in a later epoch.
+            return near;
+        }
+        // Cold path (current epoch exhausted, merge not yet advanced):
+        // scan the next nonempty bucket for its minimum.
+        let ring_min = self
+            .active
+            .peek()
+            .and_then(|r| self.ring[(r.0 % RING_EPOCHS) as usize].iter().map(|e| e.at).min());
+        let far_min = self.far.peek().map(|e| e.at);
+        match (ring_min, far_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Number of pending events across all lanes.
@@ -362,15 +457,28 @@ impl<E> HierEventQueue<E> {
 }
 
 /// Which event engine a [`crate::Network`] runs on. The default is the
-/// hierarchical engine; the `legacy-engine` cargo feature flips the
-/// default back to the monolithic heap so the whole test suite can be
+/// (sequential) calendar engine; the `legacy-engine` cargo feature flips
+/// the default back to the monolithic heap so the whole test suite can be
 /// A/B-d against it (`cargo test --features homa-sim/legacy-engine`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
-    /// Per-lane queues merged through a ladder ([`HierEventQueue`]).
+    /// The calendar-bucketed lane engine ([`HierEventQueue`]), dispatched
+    /// sequentially.
     Hierarchical,
     /// The original single binary heap ([`EventQueue`]).
     LegacyHeap,
+    /// The calendar engine with conservative-window parallel dispatch:
+    /// the network groups lanes by rack and dispatches each group's
+    /// sub-window on worker threads, merging emissions back in exact
+    /// `(time, seq)` order — runs stay bit-identical to the other
+    /// engines. Requires the `parallel` cargo feature (on by default);
+    /// without it, dispatch falls back to the sequential calendar engine.
+    ParallelHier {
+        /// Worker threads for window dispatch. `0` = auto (the machine's
+        /// available parallelism); `1` runs the window machinery inline
+        /// (useful for determinism tests with no thread overhead).
+        threads: u32,
+    },
 }
 
 impl Default for EngineKind {
@@ -383,21 +491,52 @@ impl Default for EngineKind {
     }
 }
 
-/// A runtime-selectable event engine. Both variants order events by the
+impl EngineKind {
+    /// The parallel engine with its thread count taken from the
+    /// `HOMA_SIM_THREADS` environment variable (`0`/unset = auto).
+    pub fn parallel_from_env() -> EngineKind {
+        Self::parallel_from_threads_str(std::env::var("HOMA_SIM_THREADS").ok().as_deref())
+    }
+
+    /// [`parallel_from_env`](Self::parallel_from_env)'s parsing, split
+    /// out so it can be tested without mutating the live process
+    /// environment: `None`/unparseable/`"0"` all mean auto.
+    pub fn parallel_from_threads_str(threads: Option<&str>) -> EngineKind {
+        let threads = threads.and_then(|v| v.parse::<u32>().ok()).unwrap_or(0);
+        EngineKind::ParallelHier { threads }
+    }
+}
+
+/// A runtime-selectable event engine. All variants order events by the
 /// same globally-assigned `(time, seq)` key, so a simulation is
-/// bit-identical on either; the legacy variant simply ignores lanes.
+/// bit-identical on any of them; the legacy variant simply ignores lanes.
+/// [`EngineKind::ParallelHier`] stores its events in the same calendar
+/// structure — the parallelism lives in the network's dispatch loop, not
+/// in the queue.
 pub enum EventEngine<E> {
-    /// The hierarchical lane engine.
-    Hierarchical(HierEventQueue<E>),
+    /// The calendar-bucketed lane engine (boxed: the calendar ring makes
+    /// it much larger than the plain heap variant).
+    Hierarchical(Box<HierEventQueue<E>>),
     /// The monolithic heap, kept for A/B determinism and perf checks.
     Legacy(EventQueue<E>),
 }
 
 impl<E> EventEngine<E> {
-    /// Build an engine of `kind` over `lanes` lanes.
+    /// Build an engine of `kind` over `lanes` lanes with the default
+    /// bucket width.
     pub fn new(kind: EngineKind, lanes: u32) -> Self {
+        Self::with_bucket_width(kind, lanes, 256)
+    }
+
+    /// Build an engine of `kind` over `lanes` lanes with `width_ns`-wide
+    /// calendar buckets (ignored by the legacy heap).
+    pub fn with_bucket_width(kind: EngineKind, lanes: u32, width_ns: u64) -> Self {
         match kind {
-            EngineKind::Hierarchical => EventEngine::Hierarchical(HierEventQueue::new(lanes)),
+            EngineKind::Hierarchical | EngineKind::ParallelHier { .. } => {
+                EventEngine::Hierarchical(Box::new(HierEventQueue::with_bucket_width(
+                    lanes, width_ns,
+                )))
+            }
             EngineKind::LegacyHeap => EventEngine::Legacy(EventQueue::new()),
         }
     }
@@ -564,15 +703,38 @@ mod tests {
     }
 
     #[test]
-    fn hier_out_of_order_within_lane_spills_correctly() {
-        let mut q = HierEventQueue::new(1);
-        q.schedule(LaneId(0), SimTime::from_nanos(100), "late");
-        q.schedule(LaneId(0), SimTime::from_nanos(50), "early");
-        q.schedule(LaneId(0), SimTime::from_nanos(75), "mid");
-        assert_eq!(q.stats().spilled_events, 2);
-        assert_eq!(q.pop().unwrap().1, "early");
-        assert_eq!(q.pop().unwrap().1, "mid");
-        assert_eq!(q.pop().unwrap().1, "late");
+    fn hier_late_arrivals_into_current_epoch_order_correctly() {
+        // Pop once (merging the first epoch), then schedule into it: the
+        // late heap must interleave exactly by (time, seq).
+        let mut q = HierEventQueue::with_bucket_width(1, 1024);
+        q.schedule(LaneId(0), SimTime::from_nanos(100), "a");
+        q.schedule(LaneId(0), SimTime::from_nanos(500), "d");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.schedule(LaneId(0), SimTime::from_nanos(200), "b");
+        q.schedule(LaneId(0), SimTime::from_nanos(300), "c");
+        assert!(q.stats().late_events >= 2, "{:?}", q.stats());
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "d");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn hier_far_future_events_beyond_ring_horizon() {
+        // Horizon = RING_EPOCHS * width; schedule far beyond it, plus a
+        // near event, and check ordering and the far counter.
+        let mut q = HierEventQueue::with_bucket_width(2, 256);
+        let horizon = RING_EPOCHS * 256;
+        q.schedule(LaneId(0), SimTime::from_nanos(horizon * 5), "far");
+        q.schedule(LaneId(1), SimTime::from_nanos(10), "near");
+        q.schedule(LaneId(0), SimTime::from_nanos(horizon * 5 + 1), "far2");
+        assert_eq!(q.stats().far_events, 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(10)));
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(horizon * 5)));
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.pop().unwrap().1, "far2");
+        assert_eq!(q.pop(), None);
     }
 
     #[test]
@@ -585,7 +747,7 @@ mod tests {
             lcg >> 33
         };
         let mut flat: EventQueue<u64> = EventQueue::new();
-        let mut hier: HierEventQueue<u64> = HierEventQueue::new(7);
+        let mut hier: HierEventQueue<u64> = HierEventQueue::with_bucket_width(7, 64);
         let mut popped = 0u64;
         for i in 0..5_000u64 {
             let r = next();
@@ -613,16 +775,38 @@ mod tests {
     }
 
     #[test]
-    fn hier_stats_track_fast_path() {
-        let mut q = HierEventQueue::new(2);
+    fn hier_stats_track_bucket_population() {
+        let mut q = HierEventQueue::with_bucket_width(2, 256);
         for i in 0..10u64 {
-            q.schedule(LaneId(0), SimTime::from_nanos(i * 10), i);
+            q.schedule(LaneId(0), SimTime::from_nanos(300 + i * 10), i);
         }
         let s = q.stats();
         assert_eq!(s.lanes, 2);
-        assert_eq!(s.inorder_events, 10);
-        assert_eq!(s.spilled_events, 0);
-        assert_eq!(s.max_lane_depth, 10);
+        assert_eq!(s.bucket_width_ns, 256);
+        assert_eq!(s.bucket_events, 10);
+        assert_eq!(s.far_events, 0);
+        // Draining merges the (single) epoch bucket once.
+        while q.pop().is_some() {}
+        let s = q.stats();
+        assert_eq!(s.epochs_merged, 1);
+        assert_eq!(s.max_epoch_events, 10);
+    }
+
+    #[test]
+    fn hier_preassigned_seq_insert_orders_like_sequential() {
+        // The window merge schedules emissions with pre-assigned sequence
+        // numbers; they must interleave exactly as if scheduled normally.
+        let mut q: HierEventQueue<&str> = HierEventQueue::new(2);
+        q.schedule(LaneId(0), SimTime::from_nanos(1_000), "a");
+        let s1 = q.assign_seq();
+        let s2 = q.assign_seq();
+        // Insert in reverse assignment order: ordering must follow seq.
+        q.schedule_with_seq(LaneId(1), SimTime::from_nanos(1_000), s2, "c");
+        q.schedule_with_seq(LaneId(0), SimTime::from_nanos(1_000), s1, "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.seq_floor() >= 3);
     }
 
     #[test]
@@ -644,6 +828,19 @@ mod tests {
             out
         };
         assert_eq!(run(EngineKind::Hierarchical), run(EngineKind::LegacyHeap));
+        assert_eq!(run(EngineKind::ParallelHier { threads: 2 }), run(EngineKind::LegacyHeap));
         assert_eq!(run(EngineKind::Hierarchical), vec![1, 4, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_thread_count_parsing() {
+        // The pure parsing contract behind HOMA_SIM_THREADS, tested
+        // without touching the live process environment (set_var races
+        // with concurrent getenv in a threaded test harness).
+        let parse = EngineKind::parallel_from_threads_str;
+        assert_eq!(parse(Some("3")), EngineKind::ParallelHier { threads: 3 });
+        assert_eq!(parse(Some("0")), EngineKind::ParallelHier { threads: 0 });
+        assert_eq!(parse(Some("lots")), EngineKind::ParallelHier { threads: 0 });
+        assert_eq!(parse(None), EngineKind::ParallelHier { threads: 0 });
     }
 }

@@ -76,6 +76,34 @@ pub enum Fault {
     PauseReceiver(HostId),
     /// Resume delivery; buffered packets are handed over in order.
     ResumeReceiver(HostId),
+    /// Correlated failure: every link touching rack `rack` goes down as
+    /// one fault event — each member host's uplink and downlink, the
+    /// TOR's uplinks, and the spine downlinks into the rack. The network
+    /// expands the composite into per-link actions at the same instant
+    /// (in a fixed canonical order), so runs stay bit-identical across
+    /// engines; `RunStats::faults_applied` counts each member link.
+    RackOutage {
+        /// The rack that loses power.
+        rack: u32,
+    },
+    /// Restore every link a [`Fault::RackOutage`] of the same rack took
+    /// down, together.
+    RackRestore {
+        /// The rack to restore.
+        rack: u32,
+    },
+    /// Correlated failure: spine switch `spine` goes dark — its downlinks
+    /// and every TOR's uplink to it go down as one fault event.
+    SpineOutage {
+        /// The spine switch that fails.
+        spine: u32,
+    },
+    /// Restore every link a [`Fault::SpineOutage`] of the same spine took
+    /// down, together.
+    SpineRestore {
+        /// The spine switch to restore.
+        spine: u32,
+    },
 }
 
 /// A time-stamped fault schedule. Times are absolute simulation
@@ -131,6 +159,23 @@ impl FaultPlan {
         assert!(resume_ns > at_ns, "resume must follow pause");
         self.events.push((at_ns, Fault::PauseReceiver(host)));
         self.events.push((resume_ns, Fault::ResumeReceiver(host)));
+        self
+    }
+
+    /// Take all of rack `rack`'s links down at `at_ns` and restore them
+    /// together at `restore_ns` (a whole-rack power event).
+    pub fn rack_outage(mut self, rack: u32, at_ns: u64, restore_ns: u64) -> Self {
+        assert!(restore_ns > at_ns, "restore must follow the outage");
+        self.events.push((at_ns, Fault::RackOutage { rack }));
+        self.events.push((restore_ns, Fault::RackRestore { rack }));
+        self
+    }
+
+    /// Take spine `spine` dark at `at_ns` and restore it at `restore_ns`.
+    pub fn spine_outage(mut self, spine: u32, at_ns: u64, restore_ns: u64) -> Self {
+        assert!(restore_ns > at_ns, "restore must follow the outage");
+        self.events.push((at_ns, Fault::SpineOutage { spine }));
+        self.events.push((restore_ns, Fault::SpineRestore { spine }));
         self
     }
 
@@ -190,5 +235,21 @@ mod tests {
     #[should_panic(expected = "within its period")]
     fn flap_rejects_overlapping_period() {
         let _ = FaultPlan::new().link_flaps(LinkId::HostUplink(HostId(0)), 0, 500, 500, 2);
+    }
+
+    #[test]
+    fn outage_builders_pair_down_with_restore() {
+        let plan = FaultPlan::new().rack_outage(2, 1_000, 9_000).spine_outage(1, 3_000, 4_000);
+        let sorted = plan.sorted_events();
+        assert_eq!(sorted[0], (SimTime::from_nanos(1_000), Fault::RackOutage { rack: 2 }));
+        assert_eq!(sorted[1], (SimTime::from_nanos(3_000), Fault::SpineOutage { spine: 1 }));
+        assert_eq!(sorted[2], (SimTime::from_nanos(4_000), Fault::SpineRestore { spine: 1 }));
+        assert_eq!(sorted[3], (SimTime::from_nanos(9_000), Fault::RackRestore { rack: 2 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "restore must follow")]
+    fn outage_rejects_inverted_interval() {
+        let _ = FaultPlan::new().rack_outage(0, 500, 500);
     }
 }

@@ -144,6 +144,16 @@ impl Topology {
         self.hosts_per_rack + self.spines
     }
 
+    /// The minimum delay for a transmitted packet to *arrive* at the next
+    /// switch: propagation plus the switch's internal delay (250 ns on
+    /// the paper fabric). This is the smallest latency by which any event
+    /// in one rack group can influence another group, which makes it both
+    /// the conservative-window lookahead of the parallel dispatcher and
+    /// the natural calendar bucket width of the event engine.
+    pub fn min_forward_delay(&self) -> SimDuration {
+        self.prop_delay + self.switch_delay
+    }
+
     /// All hosts in the fabric.
     pub fn hosts(&self) -> impl Iterator<Item = HostId> {
         (0..self.num_hosts()).map(HostId)

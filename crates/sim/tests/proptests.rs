@@ -1,7 +1,10 @@
 //! Property-based tests for the simulation kernel.
 
 use homa_sim::queues::PortQueue;
-use homa_sim::{EventQueue, Packet, PacketMeta, QueueDiscipline, QueueKind, SimDuration, SimTime};
+use homa_sim::{
+    EngineKind, EventQueue, HierEventQueue, LaneId, NetworkConfig, Packet, PacketMeta,
+    QueueDiscipline, QueueKind, SimDuration, SimTime,
+};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -133,6 +136,157 @@ proptest! {
             out += 1;
         }
         prop_assert_eq!(out, n);
+    }
+
+    #[test]
+    fn calendar_matches_heap_with_far_future_timers(
+        // Bimodal times: hot near-term events plus timers far beyond the
+        // calendar's ring horizon (4096 buckets x 256ns ≈ 1.05ms; the
+        // far mode reaches a full second), interleaved with pops. The calendar
+        // engine must stay in (time, seq) lockstep with the plain heap
+        // through ring, late-heap and far-heap migrations alike.
+        ops in proptest::collection::vec(
+            (0u8..4, 0u64..200_000, any::<bool>(), 0u32..5), 1..300),
+    ) {
+        let mut flat: EventQueue<usize> = EventQueue::new();
+        let mut hier: HierEventQueue<usize> = HierEventQueue::with_bucket_width(5, 256);
+        for (i, &(kind, t, far, lane)) in ops.iter().enumerate() {
+            match kind {
+                0 | 1 => {
+                    let at = if far {
+                        SimTime::from_nanos(1_000_000_000 + t * 37)
+                    } else {
+                        SimTime::from_nanos(t)
+                    };
+                    flat.schedule(at, i);
+                    hier.schedule(LaneId(lane), at, i);
+                }
+                2 => prop_assert_eq!(flat.pop(), hier.pop()),
+                _ => prop_assert_eq!(
+                    flat.pop_if_before(SimTime::from_nanos(t)),
+                    hier.pop_if_before(SimTime::from_nanos(t))
+                ),
+            }
+            prop_assert_eq!(flat.len(), hier.len());
+            prop_assert_eq!(flat.peek_time(), hier.peek_time());
+        }
+        loop {
+            let (a, b) = (flat.pop(), hier.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn simultaneous_ties_across_lanes_fire_in_insertion_order(
+        // Many events at a handful of distinct instants spread across
+        // lanes (and hence across window groups): (time, seq) ties must
+        // resolve purely by insertion order, never by lane.
+        lanes in proptest::collection::vec((0u32..7, 0u64..3), 1..200),
+    ) {
+        let mut flat: EventQueue<usize> = EventQueue::new();
+        let mut hier: HierEventQueue<usize> = HierEventQueue::with_bucket_width(7, 256);
+        for (i, &(lane, slot)) in lanes.iter().enumerate() {
+            let at = SimTime::from_nanos(1_000 * slot);
+            flat.schedule(at, i);
+            hier.schedule(LaneId(lane), at, i);
+        }
+        let mut prev: Option<(SimTime, usize)> = None;
+        while let Some(got) = hier.pop() {
+            prop_assert_eq!(Some(got), flat.pop());
+            if let Some((pt, pi)) = prev {
+                prop_assert!(got.0 > pt || got.1 > pi, "insertion order violated");
+            }
+            prev = Some(got);
+        }
+        prop_assert_eq!(flat.pop(), None);
+    }
+
+    #[test]
+    fn empty_group_windows_keep_parallel_bit_identical(
+        // Traffic confined to rack 0 of a two-rack fabric: rack 1 and
+        // the spine boundary group see empty windows throughout. The
+        // parallel dispatcher must handle all-idle groups and still
+        // replay the legacy heap bit-for-bit.
+        msgs in proptest::collection::vec((0u32..8, 0u32..8, 100u64..5_000, 0u64..30), 1..40),
+    ) {
+        use homa_sim::{AppEvent, HostId, Network, TimerToken, Topology, Transport, TransportActions};
+
+        #[derive(Debug, Clone)]
+        struct Meta(u32);
+        impl PacketMeta for Meta {
+            fn wire_bytes(&self) -> u32 {
+                self.0
+            }
+            fn priority(&self) -> u8 {
+                0
+            }
+            fn is_control(&self) -> bool {
+                false
+            }
+            fn goodput_bytes(&self) -> u32 {
+                self.0
+            }
+        }
+
+        struct OneShot {
+            me: HostId,
+            outbox: std::collections::VecDeque<Packet<Meta>>,
+        }
+        impl Transport<Meta> for OneShot {
+            fn on_packet(&mut self, _now: SimTime, pkt: Packet<Meta>, act: &mut TransportActions) {
+                act.event(AppEvent::MessageDelivered {
+                    src: pkt.src,
+                    tag: pkt.meta.0 as u64,
+                    len: pkt.meta.goodput_bytes() as u64,
+                });
+            }
+            fn on_timer(&mut self, _n: SimTime, _t: TimerToken, _a: &mut TransportActions) {}
+            fn next_packet(&mut self, _now: SimTime) -> Option<Packet<Meta>> {
+                self.outbox.pop_front()
+            }
+            fn inject_message(
+                &mut self,
+                _now: SimTime,
+                dst: HostId,
+                len: u64,
+                _tag: u64,
+                act: &mut TransportActions,
+            ) {
+                self.outbox.push_back(Packet::new(self.me, dst, Meta(len as u32 + 60)));
+                act.kick_tx();
+            }
+        }
+
+        let run = |engine: EngineKind| {
+            let topo = Topology::multi_tor(16); // 2 racks x 8 hosts
+            let cfg = NetworkConfig::default().with_engine(engine);
+            let mut net =
+                Network::new(topo, cfg, |h| OneShot { me: h, outbox: Default::default() });
+            for &(src, dst, len, gap_us) in &msgs {
+                // Rack 0 only (hosts 0..8); skip degenerate self-sends.
+                if src == dst {
+                    continue;
+                }
+                net.run_until(net.now() + SimDuration::from_micros(gap_us));
+                net.inject_message(HostId(src), HostId(dst), len, len);
+            }
+            net.run_until(net.now() + SimDuration::from_millis(2));
+            let evs: Vec<_> = net
+                .take_app_events()
+                .into_iter()
+                .map(|(t, h, _)| (t.as_nanos(), h.0))
+                .collect();
+            (evs, net.events_processed())
+        };
+        let legacy = run(EngineKind::LegacyHeap);
+        let par1 = run(EngineKind::ParallelHier { threads: 1 });
+        let par2 = run(EngineKind::ParallelHier { threads: 2 });
+        prop_assert_eq!(&par1, &legacy);
+        prop_assert_eq!(&par2, &legacy);
+        prop_assert!(legacy.1 > 0 || msgs.iter().all(|&(s, d, _, _)| s == d));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The threaded UDP driver around [`HomaEndpoint`].
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use homa::packets::{Dir, HomaPacket, MsgKey, PeerId};
 use homa::{HomaConfig, HomaEndpoint, HomaEvent};
 use parking_lot::Mutex;
@@ -21,6 +21,17 @@ pub struct UdpConfig {
     /// Maximum packets transmitted per driver-loop turn (keeps the
     /// effective NIC queue short, mirroring §4's two-packet cap).
     pub tx_burst: usize,
+    /// Bound on the application event channel. An application that stops
+    /// consuming [`UdpEvent`]s no longer grows the queue without limit:
+    /// once `event_channel_cap` events are queued, further events are
+    /// dropped with a `WouldBlock`-style signal counted in
+    /// [`HomaUdpNode::events_dropped`]. Note the drop is at the
+    /// *application* boundary: the protocol may already have
+    /// acknowledged a message whose `Message` event is shed, so a
+    /// latency-insensitive consumer that cannot tolerate shedding
+    /// should poll `events_dropped` (or set `0` = unbounded, the
+    /// pre-backpressure behavior).
+    pub event_channel_cap: usize,
 }
 
 impl Default for UdpConfig {
@@ -35,6 +46,7 @@ impl Default for UdpConfig {
             },
             poll_interval: Duration::from_micros(500),
             tx_burst: 64,
+            event_channel_cap: 1024,
         }
     }
 }
@@ -111,6 +123,9 @@ pub struct HomaUdpNode {
     shared: Mutex<Shared>,
     events_tx: Sender<UdpEvent>,
     events_rx: Receiver<UdpEvent>,
+    /// Events dropped because the bounded event channel was full (the
+    /// driver's `WouldBlock` backpressure signal).
+    events_dropped: std::sync::atomic::AtomicU64,
     stop: AtomicBool,
 }
 
@@ -120,7 +135,8 @@ impl HomaUdpNode {
     pub fn bind<A: ToSocketAddrs>(me: PeerId, addr: A, cfg: UdpConfig) -> io::Result<Arc<Self>> {
         let socket = UdpSocket::bind(addr)?;
         socket.set_read_timeout(Some(cfg.poll_interval))?;
-        let (events_tx, events_rx) = unbounded();
+        let (events_tx, events_rx) =
+            if cfg.event_channel_cap > 0 { bounded(cfg.event_channel_cap) } else { unbounded() };
         let node = Arc::new(HomaUdpNode {
             me,
             socket,
@@ -134,6 +150,7 @@ impl HomaUdpNode {
             }),
             events_tx,
             events_rx,
+            events_dropped: std::sync::atomic::AtomicU64::new(0),
             stop: AtomicBool::new(false),
         });
         let driver = Arc::clone(&node);
@@ -204,6 +221,14 @@ impl HomaUdpNode {
     /// The application event channel.
     pub fn events(&self) -> &Receiver<UdpEvent> {
         &self.events_rx
+    }
+
+    /// Number of application events dropped because the bounded event
+    /// channel was full when the driver tried to deliver them (see
+    /// [`UdpConfig::event_channel_cap`]). A growing value is the signal
+    /// to drain [`events`](Self::events) faster or raise the bound.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped.load(Ordering::Relaxed)
     }
 
     /// Number of outbound payload buffers currently retained (shrinks to
@@ -341,7 +366,16 @@ impl HomaUdpNode {
                 HomaEvent::InboundAborted { .. } => None,
             };
             if let Some(ev) = out {
-                let _ = self.events_tx.send(ev);
+                // Non-blocking delivery: a full bounded channel signals
+                // `WouldBlock`; the event is dropped and counted rather
+                // than growing the queue (or stalling the socket thread)
+                // without bound.
+                match self.events_tx.try_send(ev) {
+                    Ok(()) | Err(TrySendError::Disconnected(_)) => {}
+                    Err(TrySendError::Full(_)) => {
+                        self.events_dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
         }
     }
@@ -511,6 +545,55 @@ mod tests {
                 b.out_payload_count()
             );
             std::thread::sleep(Duration::from_millis(10));
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn bounded_event_channel_fills_then_drains() {
+        // Cap the event channel at 3 and deliver 8 messages without the
+        // application consuming any: exactly 3 queue, the rest are
+        // dropped with the backpressure counter ticking. Draining the
+        // bound restores delivery.
+        let cfg = UdpConfig { event_channel_cap: 3, ..UdpConfig::default() };
+        let a = HomaUdpNode::bind(PeerId(0), ("127.0.0.1", 0), cfg.clone()).unwrap();
+        let b = HomaUdpNode::bind(PeerId(1), ("127.0.0.1", 0), cfg).unwrap();
+        a.add_peer(PeerId(1), b.local_addr().unwrap());
+        b.add_peer(PeerId(0), a.local_addr().unwrap());
+
+        for i in 0..8u64 {
+            a.send_message(PeerId(1), vec![i as u8; 64], i).unwrap();
+        }
+        // Wait until every message has been delivered or dropped at the
+        // event channel (3 queued + 5 dropped).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while b.events().len() < 3 || b.events_dropped() < 5 {
+            assert!(
+                Instant::now() < deadline,
+                "backpressure never engaged: {} queued, {} dropped",
+                b.events().len(),
+                b.events_dropped()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(b.events().len(), 3, "bound exceeded");
+        assert_eq!(b.events_dropped(), 5);
+
+        // Drain the bound; the channel is usable again afterwards.
+        for _ in 0..3 {
+            match b.events().recv_timeout(Duration::from_secs(5)).unwrap() {
+                UdpEvent::Message { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        a.send_message(PeerId(1), b"after-drain".to_vec(), 99).unwrap();
+        match b.events().recv_timeout(Duration::from_secs(5)).unwrap() {
+            UdpEvent::Message { tag, data, .. } => {
+                assert_eq!(tag, 99);
+                assert_eq!(data, b"after-drain");
+            }
+            other => panic!("unexpected {other:?}"),
         }
         a.shutdown();
         b.shutdown();

@@ -10,7 +10,7 @@
 
 use homa::HomaConfig;
 use homa_baselines::{HomaMeta, HomaSimTransport};
-use homa_sim::{AppEvent, HostId, Network, NetworkConfig, Topology};
+use homa_sim::{AppEvent, HostId, Network, NetworkConfig, SimTime, Topology};
 
 fn main() {
     // A 16-host, single-switch cluster with the paper's timing constants
@@ -33,8 +33,7 @@ fn main() {
         // back as the server application.
         let mut done = false;
         while !done {
-            let t = net.next_event_time().expect("events pending");
-            net.run_until(t);
+            net.run_next_before(SimTime::MAX).expect("events pending");
             for (at, host, ev) in net.take_app_events() {
                 match ev {
                     AppEvent::RpcRequestArrived { client, rpc, request_len } => {

@@ -15,17 +15,46 @@ use std::time::{Duration, Instant};
 struct Inner<T> {
     queue: Mutex<ChannelState<T>>,
     ready: Condvar,
+    /// Signalled when a receiver frees a slot in a bounded channel.
+    space: Condvar,
 }
 
 struct ChannelState<T> {
     items: VecDeque<T>,
     senders: usize,
     receivers: usize,
+    /// Capacity bound for `bounded` channels (`None` = unbounded).
+    cap: Option<usize>,
 }
 
 /// Error returned by [`Sender::send`] when all receivers are gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity (`WouldBlock`-style backpressure
+    /// signal); the value is handed back to the caller.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recover the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+
+    /// Whether the failure was a full channel (backpressure) rather than
+    /// disconnection.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
 
 /// Error returned by [`Receiver::recv`] when the channel is empty and
 /// all senders are gone.
@@ -70,26 +99,80 @@ pub struct Receiver<T> {
     inner: Arc<Inner<T>>,
 }
 
-/// Create an unbounded channel.
-pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+fn channel_with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let inner = Arc::new(Inner {
-        queue: Mutex::new(ChannelState { items: VecDeque::new(), senders: 1, receivers: 1 }),
+        queue: Mutex::new(ChannelState { items: VecDeque::new(), senders: 1, receivers: 1, cap }),
         ready: Condvar::new(),
+        space: Condvar::new(),
     });
     (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
 }
 
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel_with_cap(None)
+}
+
+/// Create a bounded channel holding at most `cap` queued values.
+/// [`Sender::send`] on a full bounded channel blocks until a receiver
+/// frees a slot (matching the real crate); [`Sender::try_send`] is the
+/// non-blocking form that surfaces `TrySendError::Full` instead.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel_with_cap(Some(cap))
+}
+
 impl<T> Sender<T> {
     /// Enqueue `value`; fails only if every receiver has been dropped.
+    /// On a [`bounded`] channel this blocks (like the real crate) until a
+    /// receiver frees a slot — use [`try_send`](Self::try_send) for the
+    /// non-blocking `WouldBlock`-style form.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
-        if q.receivers == 0 {
-            return Err(SendError(value));
+        loop {
+            if q.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match q.cap {
+                Some(cap) if q.items.len() >= cap => {
+                    q = self.inner.space.wait(q).unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => break,
+            }
         }
         q.items.push_back(value);
         drop(q);
         self.inner.ready.notify_one();
         Ok(())
+    }
+
+    /// Enqueue `value` without blocking: fails with
+    /// [`TrySendError::Full`] when a bounded channel is at capacity
+    /// (the `WouldBlock`-style backpressure signal) and
+    /// [`TrySendError::Disconnected`] when every receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = q.cap {
+            if q.items.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        q.items.push_back(value);
+        drop(q);
+        self.inner.ready.notify_one();
+        Ok(())
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner).items.len()
+    }
+
+    /// Whether the channel is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -120,6 +203,8 @@ impl<T> Receiver<T> {
         let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(v) = q.items.pop_front() {
+                drop(q);
+                self.inner.space.notify_one();
                 return Ok(v);
             }
             if q.senders == 0 {
@@ -135,6 +220,8 @@ impl<T> Receiver<T> {
         let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(v) = q.items.pop_front() {
+                drop(q);
+                self.inner.space.notify_one();
                 return Ok(v);
             }
             if q.senders == 0 {
@@ -155,7 +242,21 @@ impl<T> Receiver<T> {
 
     /// Take a value only if one is already queued.
     pub fn try_recv(&self) -> Option<T> {
-        self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner).items.pop_front()
+        let v = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner).items.pop_front();
+        if v.is_some() {
+            self.inner.space.notify_one();
+        }
+        v
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner).items.len()
+    }
+
+    /// Whether the channel is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -172,6 +273,11 @@ impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
         let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
         q.receivers -= 1;
+        let gone = q.receivers == 0;
+        drop(q);
+        if gone {
+            self.inner.space.notify_all();
+        }
     }
 }
 
@@ -194,6 +300,47 @@ mod tests {
         t.join().unwrap();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the receiver drains
+            42u32
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(t.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn bounded_send_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(t.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn bounded_try_send_signals_full_then_drains() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        match tx.try_send(3) {
+            Err(e) if e.is_full() => assert_eq!(e.into_inner(), 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        drop(rx);
+        assert!(matches!(tx.try_send(9), Err(TrySendError::Disconnected(9))));
     }
 
     #[test]

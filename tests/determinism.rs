@@ -1,11 +1,14 @@
-//! Cross-engine determinism: the hierarchical event engine must replay
-//! the legacy single-heap engine bit-for-bit.
+//! Cross-engine determinism: the calendar event engine — sequential
+//! *and* under conservative-window parallel dispatch — must replay the
+//! legacy single-heap engine bit-for-bit.
 //!
-//! Both engines order events by the same globally-assigned `(time, seq)`
-//! key, so for one [`ScenarioSpec`] + seed the full `MsgRecord` stream
-//! and the harvested `RunStats` must be identical — not statistically
-//! close, *identical*. This is the contract that lets the perf gate pin
-//! deterministic event counts in `BENCH_BASELINE.json`.
+//! All engines order events by the same globally-assigned `(time, seq)`
+//! key (the parallel dispatcher reassigns exactly the sequence numbers
+//! sequential dispatch would have during its merge stage), so for one
+//! [`ScenarioSpec`] + seed the full `MsgRecord` stream and the harvested
+//! `RunStats` must be identical — not statistically close, *identical*.
+//! This is the contract that lets the perf gate pin deterministic event
+//! counts in `BENCH_BASELINE.json`.
 
 use homa_bench::{run_protocol_scenario, Protocol};
 use homa_harness::driver::OnewayOpts;
@@ -45,6 +48,17 @@ fn assert_engines_agree(p: Protocol, spec: ScenarioSpec) {
     assert_eq!(hier.2, legacy.2, "{}: delivered counts diverged", spec.name);
     assert_eq!(hier.0, legacy.0, "{}: MsgRecord streams diverged", spec.name);
     assert_eq!(hier.1, legacy.1, "{}: RunStats diverged", spec.name);
+
+    // Conservative-window parallel dispatch, on two worker threads, must
+    // replay the same run bit-for-bit (and so must the degenerate inline
+    // window mode, exercising the window machinery without threads).
+    for threads in [1u32, 2] {
+        let par = run_signature(p, &spec.clone().with_engine(EngineKind::ParallelHier { threads }));
+        assert_eq!(par.3, legacy.3, "{}: ParallelHier x{threads} event count diverged", spec.name);
+        assert_eq!(par.2, legacy.2, "{}: ParallelHier x{threads} delivered diverged", spec.name);
+        assert_eq!(par.0, legacy.0, "{}: ParallelHier x{threads} MsgRecords diverged", spec.name);
+        assert_eq!(par.1, legacy.1, "{}: ParallelHier x{threads} RunStats diverged", spec.name);
+    }
 
     // And the hierarchical engine agrees with itself across runs.
     let again = run_signature(p, &spec.clone().with_engine(EngineKind::Hierarchical));
@@ -147,6 +161,40 @@ fn phost_engines_agree_under_link_flaps() {
         3,
     ));
     assert_engines_agree(Protocol::Phost, spec);
+}
+
+#[test]
+fn homa_engines_agree_under_rack_outage() {
+    // Correlated failure: a whole rack goes dark mid-run and comes back.
+    // The composite fault expands to one event per member link at the
+    // same instant; every engine — including the parallel dispatcher,
+    // whose rack groups are exactly the outage's blast radius — must
+    // replay identical records, loss accounting and fault counters.
+    let spec = ScenarioSpec::new(
+        "det_rack_outage",
+        FabricSpec::MultiTor { hosts: 16 },
+        Workload::W2,
+        0.45,
+        600,
+        17,
+    )
+    .with_faults(FaultPlan::new().rack_outage(1, 400_000, 1_200_000));
+    assert_engines_agree(Protocol::Homa, spec);
+}
+
+#[test]
+fn homa_engines_agree_under_spine_outage() {
+    let spec = ScenarioSpec::new(
+        "det_spine_outage",
+        FabricSpec::LeafSpine { racks: 2, hosts_per_rack: 6, spines: 2 },
+        Workload::W2,
+        0.5,
+        500,
+        29,
+    )
+    .with_traffic(TrafficSpec::shuffle())
+    .with_faults(FaultPlan::new().spine_outage(0, 300_000, 900_000));
+    assert_engines_agree(Protocol::Homa, spec);
 }
 
 #[test]

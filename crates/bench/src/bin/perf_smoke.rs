@@ -8,17 +8,20 @@
 //!
 //! ```text
 //! perf-smoke [--out PATH] [--engine hier|legacy|parallel] [--threads N]
-//!            [--quick]
+//!            [--quick] [--rss]
 //!     run the scenarios, print the JSON report, write it to PATH
 //!     (default BENCH_PR.json); `--engine parallel` uses
 //!     conservative-window dispatch with N worker threads (default:
-//!     HOMA_SIM_THREADS or auto)
+//!     HOMA_SIM_THREADS or auto); `--rss` samples per-scenario peak
+//!     resident set (VmHWM, Linux) into the report's `peak_rss_kb`
+//!     column
 //!
 //! perf-smoke --compare BASELINE CURRENT [--tolerance 0.25]
-//!     exit nonzero if CURRENT regressed from BASELINE: wall-clock or
-//!     events/sec off by more than the tolerance, or a changed
-//!     deterministic event count (which means the simulation itself
-//!     changed — refresh the baseline deliberately if intended)
+//!     exit nonzero if CURRENT regressed from BASELINE: wall-clock,
+//!     events/sec or peak RSS off by more than the tolerance, or a
+//!     changed deterministic event count (which means the simulation
+//!     itself changed — refresh the baseline deliberately if intended).
+//!     The RSS check is skipped when either report lacks the column.
 //! ```
 //!
 //! To refresh the baseline after an intentional change:
@@ -116,16 +119,60 @@ fn gate_scenarios(engine: EngineKind, quick: bool) -> Vec<GateScenario> {
             )),
             min_delivered_frac: 0.90,
         },
+        // The memory-lean scale target: 1024 hosts on a k=16 fat tree,
+        // same W4 @ 80% shape, with a message budget (~30 msgs/host)
+        // that makes retained-per-message state visible in peak RSS.
+        // Runs with streaming sketches only (no per-message records), so
+        // its `peak_rss_kb` column is the arena/sketch regression gate.
+        GateScenario {
+            spec: ScenarioSpec::new(
+                "w4_80_1kh",
+                FabricSpec::FatTree { k: 16 },
+                Workload::W4,
+                0.8,
+                30_720 / scale,
+                SEED,
+            )
+            .with_engine(engine),
+            min_delivered_frac: 0.99,
+        },
     ]
 }
 
-fn run_gate(engine: EngineKind, quick: bool) -> Report {
+/// Peak resident set (VmHWM) of this process in KiB, from
+/// `/proc/self/status`; 0 when unavailable (non-Linux).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Reset the VmHWM peak to the current RSS (write `5` to
+/// `/proc/self/clear_refs`), so each scenario's peak is its own.
+/// Best-effort: on kernels/filesystems that refuse the write, peaks
+/// accumulate monotonically across scenarios — still a valid upper
+/// bound, just a coarser one.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+fn run_gate(engine: EngineKind, quick: bool, rss: bool) -> Report {
     let mut scenarios = Vec::new();
     for GateScenario { spec, min_delivered_frac } in gate_scenarios(engine, quick) {
         eprintln!("running {} ({:?} engine) ...", spec.name, spec.engine);
+        if rss {
+            reset_peak_rss();
+        }
         let start = Instant::now();
         let res = run_protocol_scenario(Protocol::Homa, &spec, &OnewayOpts::default(), None);
         let wall = start.elapsed();
+        let peak_kb = if rss { peak_rss_kb() } else { 0 };
         let events = res.stats.events_processed;
         let wall_ms = wall.as_secs_f64() * 1e3;
         assert!(
@@ -144,13 +191,15 @@ fn run_gate(engine: EngineKind, quick: bool) -> Report {
             sim_ns: res.duration.as_nanos(),
             wall_ms,
             events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+            peak_rss_kb: peak_kb,
         });
         eprintln!(
-            "  {}: {:.0} ms, {} events, {:.0} events/s",
+            "  {}: {:.0} ms, {} events, {:.0} events/s{}",
             spec.name,
             wall_ms,
             events,
-            events as f64 / wall.as_secs_f64().max(1e-9)
+            events as f64 / wall.as_secs_f64().max(1e-9),
+            if peak_kb > 0 { format!(", peak RSS {peak_kb} KiB") } else { String::new() }
         );
     }
     Report {
@@ -213,6 +262,21 @@ fn regressions(base: &Report, cur: &Report, tolerance: f64) -> Vec<String> {
                 tolerance * 100.0
             ));
         }
+        // Peak-RSS gate: only when both sides actually sampled it (a 0
+        // means --rss was off, the platform lacks VmHWM, or the report
+        // predates the column).
+        if b.peak_rss_kb > 0
+            && c.peak_rss_kb > 0
+            && c.peak_rss_kb as f64 > b.peak_rss_kb as f64 * (1.0 + tolerance)
+        {
+            fails.push(format!(
+                "{}: peak RSS regressed {} KiB -> {} KiB (> {:.0}% tolerance)",
+                b.name,
+                b.peak_rss_kb,
+                c.peak_rss_kb,
+                tolerance * 100.0
+            ));
+        }
     }
     fails
 }
@@ -232,14 +296,23 @@ fn compare(base_path: &str, cur_path: &str, tolerance: f64) -> i32 {
     let cur = load(cur_path);
     println!("perf-smoke comparison (tolerance {:.0}%):", tolerance * 100.0);
     println!(
-        "{:<14} {:>12} {:>12} {:>14} {:>14}",
-        "scenario", "base ms", "cur ms", "base ev/s", "cur ev/s"
+        "{:<14} {:>12} {:>12} {:>14} {:>14} {:>12} {:>12}",
+        "scenario", "base ms", "cur ms", "base ev/s", "cur ev/s", "base rss", "cur rss"
     );
+    let rss_col = |kb: u64| {
+        if kb > 0 { format!("{:.1} MiB", kb as f64 / 1024.0) } else { "-".to_string() }
+    };
     for b in &base.scenarios {
         if let Some(c) = cur.scenarios.iter().find(|s| s.name == b.name) {
             println!(
-                "{:<14} {:>12.1} {:>12.1} {:>14.0} {:>14.0}",
-                b.name, b.wall_ms, c.wall_ms, b.events_per_sec, c.events_per_sec
+                "{:<14} {:>12.1} {:>12.1} {:>14.0} {:>14.0} {:>12} {:>12}",
+                b.name,
+                b.wall_ms,
+                c.wall_ms,
+                b.events_per_sec,
+                c.events_per_sec,
+                rss_col(b.peak_rss_kb),
+                rss_col(c.peak_rss_kb)
             );
         }
     }
@@ -261,6 +334,7 @@ fn main() {
     let mut engine: Option<EngineKind> = None;
     let mut threads_flag: Option<u32> = None;
     let mut quick = false;
+    let mut rss = false;
     let mut compare_paths: Option<(String, String)> = None;
     let mut tolerance = std::env::var("PERF_SMOKE_TOLERANCE")
         .ok()
@@ -292,6 +366,7 @@ fn main() {
                 threads_flag = Some(n);
             }
             "--quick" => quick = true,
+            "--rss" => rss = true,
             "--compare" => {
                 let b = args.get(i + 1).cloned().unwrap_or_else(|| usage("--compare BASE CUR"));
                 let c = args.get(i + 2).cloned().unwrap_or_else(|| usage("--compare BASE CUR"));
@@ -328,7 +403,7 @@ fn main() {
         std::process::exit(compare(&base, &cur, tolerance));
     }
 
-    let report = run_gate(engine, quick);
+    let report = run_gate(engine, quick, rss);
     let json = render_report(&report);
     print!("{json}");
     if let Err(e) = std::fs::write(&out, &json) {
@@ -343,7 +418,7 @@ fn usage(err: &str) -> ! {
         eprintln!("perf-smoke: {err}");
     }
     eprintln!(
-        "usage: perf-smoke [--out PATH] [--engine hier|legacy|parallel] [--threads N] [--quick]\n\
+        "usage: perf-smoke [--out PATH] [--engine hier|legacy|parallel] [--threads N] [--quick] [--rss]\n\
          \x20      perf-smoke --compare BASELINE CURRENT [--tolerance FRAC]"
     );
     std::process::exit(2);

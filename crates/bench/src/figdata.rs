@@ -324,7 +324,7 @@ pub fn fig8_9(opts: &ReproOpts) -> (FigTable, FigTable) {
             0.8,
             opts.msgs_for(w),
             opts.seed,
-            &OnewayOpts::default(),
+            &OnewayOpts::default().with_records(),
             None,
         );
         let s = SlowdownSummary::from_records(&res.records, opts.bins);
@@ -454,7 +454,7 @@ pub fn fig12_13(opts: &ReproOpts) -> (FigTable, FigTable) {
                     eff_load,
                     n,
                     opts.seed,
-                    &OnewayOpts::default(),
+                    &OnewayOpts::default().with_records(),
                     None,
                 );
                 let s = SlowdownSummary::from_records(&res.records, opts.bins);
@@ -516,7 +516,7 @@ pub fn fig14(opts: &ReproOpts) -> FigTable {
             0.8,
             opts.msgs_for(w),
             opts.seed,
-            &OnewayOpts { track_delay: true, ..OnewayOpts::default() },
+            &OnewayOpts { track_delay: true, ..OnewayOpts::default() }.with_records(),
             None,
         );
         // Short messages: smallest 20% (W5: single-packet messages).
@@ -729,7 +729,7 @@ pub fn fig17(opts: &ReproOpts) -> FigTable {
             0.8,
             n,
             opts.seed,
-            &OnewayOpts::default(),
+            &OnewayOpts::default().with_records(),
             Some(cfg),
         );
         let s = SlowdownSummary::from_records(&res.records, opts.bins);
@@ -774,7 +774,7 @@ pub fn fig18(opts: &ReproOpts) -> FigTable {
             0.8,
             n,
             opts.seed,
-            &OnewayOpts::default(),
+            &OnewayOpts::default().with_records(),
             Some(cfg),
         );
         let s = SlowdownSummary::from_records(&res.records, opts.bins);
@@ -819,7 +819,7 @@ pub fn fig19(opts: &ReproOpts) -> FigTable {
             0.8,
             n,
             opts.seed,
-            &OnewayOpts::default(),
+            &OnewayOpts::default().with_records(),
             Some(cfg),
         );
         let sm = SlowdownSummary::from_records(&res.records, opts.bins);
@@ -855,7 +855,7 @@ pub fn fig20(opts: &ReproOpts) -> FigTable {
             0.8,
             n,
             opts.seed,
-            &OnewayOpts::default(),
+            &OnewayOpts::default().with_records(),
             Some(cfg),
         );
         let s = SlowdownSummary::from_records(&res.records, opts.bins);

@@ -199,6 +199,12 @@ pub struct ScenarioReport {
     pub wall_ms: f64,
     /// Events processed per wall-clock second.
     pub events_per_sec: f64,
+    /// Peak resident set (VmHWM) observed for the run, in KiB; 0 when
+    /// RSS sampling was off or unavailable (non-Linux), and absent from
+    /// reports written before the column existed — the parser defaults
+    /// those to 0, and the gate skips the RSS comparison when either
+    /// side is 0.
+    pub peak_rss_kb: u64,
 }
 
 /// A whole perf-smoke report.
@@ -228,7 +234,8 @@ pub fn render_report(r: &Report) -> String {
         let _ = writeln!(out, "      \"events\": {},", s.events);
         let _ = writeln!(out, "      \"sim_ns\": {},", s.sim_ns);
         let _ = writeln!(out, "      \"wall_ms\": {:.3},", s.wall_ms);
-        let _ = writeln!(out, "      \"events_per_sec\": {:.1}", s.events_per_sec);
+        let _ = writeln!(out, "      \"events_per_sec\": {:.1},", s.events_per_sec);
+        let _ = writeln!(out, "      \"peak_rss_kb\": {}", s.peak_rss_kb);
         out.push_str(if i + 1 < r.scenarios.len() { "    },\n" } else { "    }\n" });
     }
     out.push_str("  ]\n}\n");
@@ -263,6 +270,11 @@ pub fn parse_report(json: &str) -> Result<Report, String> {
                 sim_ns: get("sim_ns")? as u64,
                 wall_ms: get("wall_ms")?,
                 events_per_sec: get("events_per_sec")?,
+                // Optional: pre-RSS-era reports lack the column.
+                peak_rss_kb: obj
+                    .get("peak_rss_kb")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0),
             });
         } else {
             // The top-level object (fields outside any scenario).
@@ -365,6 +377,7 @@ mod tests {
                     sim_ns: 7_000_000,
                     wall_ms: 321.5,
                     events_per_sec: 383_999.9,
+                    peak_rss_kb: 51_200,
                 },
                 ScenarioReport {
                     name: "w4_80_100h".into(),
@@ -375,6 +388,7 @@ mod tests {
                     sim_ns: 9_000_000,
                     wall_ms: 1000.0,
                     events_per_sec: 999_999.0,
+                    peak_rss_kb: 0,
                 },
             ],
         }
@@ -391,6 +405,8 @@ mod tests {
         assert_eq!(back.scenarios[0], r.scenarios[0]);
         assert_eq!(back.scenarios[1].delivered, 3999);
         assert!((back.scenarios[1].wall_ms - 1000.0).abs() < 1e-9);
+        assert_eq!(back.scenarios[0].peak_rss_kb, 51_200);
+        assert_eq!(back.scenarios[1].peak_rss_kb, 0);
     }
 
     #[test]
@@ -401,6 +417,9 @@ mod tests {
         let r = parse_report(json).unwrap();
         assert_eq!(r.scenarios[0].name, "a");
         assert_eq!(r.scenarios[0].events, 10);
+        // The sample predates the RSS column: it must parse, defaulting
+        // peak_rss_kb to 0 (which disables the gate's RSS comparison).
+        assert_eq!(r.scenarios[0].peak_rss_kb, 0);
     }
 
     #[test]

@@ -14,10 +14,10 @@
 //! [`crate::scenario`] wraps the same entry points behind a declarative
 //! [`crate::ScenarioSpec`] so whole experiments are nameable values.
 
-use crate::slowdown::MsgRecord;
+use crate::slowdown::{MsgRecord, SlowdownSketch};
 use homa_sim::{
-    AppEvent, FaultPlan, HostId, Network, NetworkConfig, PacketMeta, RunStats, SimDuration,
-    SimTime, Topology, Transport,
+    AppEvent, FaultPlan, HostId, Network, NetworkConfig, PacketMeta, PathClass, RunStats,
+    SimDuration, SimTime, Topology, Transport,
 };
 use homa_workloads::{LoadPlan, MessageSizeDist, PoissonArrivals, TrafficMatrix, TrafficSpec};
 use std::collections::HashMap;
@@ -55,6 +55,12 @@ pub struct OnewayOpts {
     /// default empty plan schedules nothing. Overridden by
     /// [`crate::ScenarioSpec::faults`] in the scenario wrappers.
     pub faults: FaultPlan,
+    /// Retain every per-message [`MsgRecord`] in the result (O(messages)
+    /// memory). Off by default: the always-on [`SlowdownSketch`] covers
+    /// slowdown summaries in O(sketch bins), which is what keeps 1k-host
+    /// runs memory-flat. Figure pipelines and tests that read
+    /// `records`/`victim_records` opt in.
+    pub keep_records: bool,
 }
 
 impl Default for OnewayOpts {
@@ -67,7 +73,17 @@ impl Default for OnewayOpts {
             warmup_msgs: 0,
             traffic: TrafficSpec::default(),
             faults: FaultPlan::default(),
+            keep_records: false,
         }
+    }
+}
+
+impl OnewayOpts {
+    /// Opt in to exact per-message records (`records`/`victim_records`
+    /// populated); memory grows with message count.
+    pub fn with_records(mut self) -> Self {
+        self.keep_records = true;
+        self
     }
 }
 
@@ -76,10 +92,17 @@ impl Default for OnewayOpts {
 pub struct OnewayResult {
     /// Per-message observations (post-warmup, delivered only; the victim
     /// overlay's messages are reported in `victim_records` instead).
+    /// Empty unless [`OnewayOpts::keep_records`] is set — the streaming
+    /// [`sketch`](OnewayResult::sketch) is the default summary channel.
     pub records: Vec<MsgRecord>,
     /// Observations for the victim-flow overlay, if the traffic spec has
-    /// one (empty otherwise).
+    /// one (empty otherwise, and empty unless
+    /// [`OnewayOpts::keep_records`] is set).
     pub victim_records: Vec<MsgRecord>,
+    /// Always-on streaming slowdown summary over the same non-victim,
+    /// post-warmup messages `records` would hold; O(sketch bins) memory
+    /// regardless of message count.
+    pub sketch: SlowdownSketch,
     /// Messages injected.
     pub injected: u64,
     /// Messages delivered.
@@ -109,7 +132,7 @@ pub struct OnewayResult {
 }
 
 /// Memoized unloaded-latency lookup passed through the event handler.
-type UnloadedCache<'a, M, T> = dyn FnMut(&Network<M, T>, u64, bool) -> u64 + 'a;
+type UnloadedCache<'a, M, T> = dyn FnMut(&Network<M, T>, u64, PathClass) -> u64 + 'a;
 
 /// Run an all-to-all one-way-message experiment at `load` (fraction of
 /// aggregate host-link bandwidth) until `n_msgs` messages have been
@@ -172,47 +195,53 @@ where
         net.install_faults(&opts.faults);
     }
 
-    // tag -> (size, injected_ns, cross_rack, victim)
-    let mut pending: HashMap<u64, (u64, u64, bool, bool)> = HashMap::new();
-    let mut unloaded_cache: HashMap<(u64, bool), u64> = HashMap::new();
-    let mut records = Vec::with_capacity(n_msgs as usize);
+    // tag -> (size, injected_ns, path_class, victim)
+    let mut pending: HashMap<u64, (u64, u64, PathClass, bool)> = HashMap::new();
+    let mut unloaded_cache: HashMap<(u64, PathClass), u64> = HashMap::new();
+    let mut records =
+        if opts.keep_records { Vec::with_capacity(n_msgs as usize) } else { Vec::new() };
     let mut victim_records = Vec::new();
+    let mut sketch = SlowdownSketch::default();
     let mut injected = 0u64;
     let mut delivered = 0u64;
     let mut aborted = 0u64;
     let mut injected_bytes = 0u64;
+    let mut delivered_goodput_bytes = 0u64;
 
     // Wasted-bandwidth sampling state.
     let mut next_sample = SimTime::ZERO + opts.sample_interval;
     let mut samples = 0u64;
     let mut wasted_hits = 0u64;
 
-    let mut unloaded_of = |net: &Network<M, T>, size: u64, cross: bool| -> u64 {
-        *unloaded_cache.entry((size, cross)).or_insert_with(|| {
-            net.topology().unloaded_one_way_path(size, PAYLOAD, OVERHEAD, cross).as_nanos()
+    let mut unloaded_of = |net: &Network<M, T>, size: u64, class: PathClass| -> u64 {
+        *unloaded_cache.entry((size, class)).or_insert_with(|| {
+            net.topology().unloaded_one_way_class(size, PAYLOAD, OVERHEAD, class).as_nanos()
         })
     };
 
     let handle_events = |net: &mut Network<M, T>,
-                         pending: &mut HashMap<u64, (u64, u64, bool, bool)>,
+                         pending: &mut HashMap<u64, (u64, u64, PathClass, bool)>,
                          records: &mut Vec<MsgRecord>,
                          victim_records: &mut Vec<MsgRecord>,
+                         sketch: &mut SlowdownSketch,
                          delivered: &mut u64,
                          aborted: &mut u64,
+                         delivered_goodput_bytes: &mut u64,
                          unloaded_cache: &mut UnloadedCache<'_, M, T>| {
         for (at, host, ev) in net.take_app_events() {
             match ev {
                 AppEvent::MessageDelivered { src, tag, len } => {
-                    if let Some((size, injected_ns, cross, victim)) = pending.remove(&tag) {
+                    if let Some((size, injected_ns, class, victim)) = pending.remove(&tag) {
                         debug_assert_eq!(size, len);
                         *delivered += 1;
                         if tag >= opts.warmup_msgs {
+                            *delivered_goodput_bytes += size;
                             let delay = if opts.track_delay {
                                 net.with_transport(host, |t, _, _| t.take_message_delay(src, tag))
                             } else {
                                 Default::default()
                             };
-                            let unloaded_ns = unloaded_cache(net, size, cross);
+                            let unloaded_ns = unloaded_cache(net, size, class);
                             let rec = MsgRecord {
                                 size,
                                 injected_ns,
@@ -220,10 +249,15 @@ where
                                 unloaded_ns,
                                 delay,
                             };
-                            if victim {
-                                victim_records.push(rec);
-                            } else {
-                                records.push(rec);
+                            if !victim {
+                                sketch.push(size, rec.slowdown());
+                            }
+                            if opts.keep_records {
+                                if victim {
+                                    victim_records.push(rec);
+                                } else {
+                                    records.push(rec);
+                                }
                             }
                         }
                     }
@@ -248,8 +282,10 @@ where
                 &mut pending,
                 &mut records,
                 &mut victim_records,
+                &mut sketch,
                 &mut delivered,
                 &mut aborted,
+                &mut delivered_goodput_bytes,
                 &mut unloaded_of,
             );
             for h in net.topology().hosts() {
@@ -266,14 +302,16 @@ where
             &mut pending,
             &mut records,
             &mut victim_records,
+            &mut sketch,
             &mut delivered,
             &mut aborted,
+            &mut delivered_goodput_bytes,
             &mut unloaded_of,
         );
         let tag = injected;
-        let cross = topo.rack_of(HostId(arrival.src)) != topo.rack_of(HostId(arrival.dst));
+        let class = topo.path_class(HostId(arrival.src), HostId(arrival.dst));
         net.inject_message(HostId(arrival.src), HostId(arrival.dst), arrival.size, tag);
-        pending.insert(tag, (arrival.size, at.as_nanos(), cross, arrival.victim));
+        pending.insert(tag, (arrival.size, at.as_nanos(), class, arrival.victim));
         injected += 1;
         injected_bytes += arrival.size;
     }
@@ -291,8 +329,10 @@ where
             &mut pending,
             &mut records,
             &mut victim_records,
+            &mut sketch,
             &mut delivered,
             &mut aborted,
+            &mut delivered_goodput_bytes,
             &mut unloaded_of,
         );
     }
@@ -305,9 +345,8 @@ where
     } else {
         0.0
     };
-    let delivered_goodput: u64 = records.iter().chain(victim_records.iter()).map(|r| r.size).sum();
     let delivered_bps = if duration.as_nanos() > 0 {
-        delivered_goodput as f64 * 8.0 / duration.as_secs_f64()
+        delivered_goodput_bytes as f64 * 8.0 / duration.as_secs_f64()
     } else {
         0.0
     };
@@ -315,6 +354,7 @@ where
     OnewayResult {
         records,
         victim_records,
+        sketch,
         injected,
         delivered,
         aborted,
@@ -587,7 +627,7 @@ mod tests {
             0.5,
             500,
             7,
-            &OnewayOpts::default(),
+            &OnewayOpts::default().with_records(),
         );
         assert_eq!(res.injected, 500);
         assert_eq!(res.delivered, 500, "all messages must complete");
@@ -597,6 +637,44 @@ mod tests {
         for r in &res.records {
             assert!(r.slowdown() > 0.9, "slowdown {} for size {}", r.slowdown(), r.size);
         }
+    }
+
+    #[test]
+    fn oneway_sketch_agrees_with_exact_records() {
+        use crate::slowdown::SlowdownSummary;
+        let topo = Topology::multi_tor(32);
+        let res = run_oneway(
+            &topo,
+            NetworkConfig::default(),
+            |h| HomaSimTransport::new(h, HomaConfig::default()),
+            &Workload::W2.dist(),
+            0.6,
+            600,
+            5,
+            &OnewayOpts::default().with_records(),
+        );
+        // The sketch runs alongside the exact records and must tell the
+        // same story within its alpha.
+        assert_eq!(res.sketch.count(), res.records.len() as u64);
+        let exact = SlowdownSummary::from_records(&res.records, 10);
+        let approx = res.sketch.summary(10);
+        let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-12);
+        assert!(
+            rel(approx.overall_p50, exact.overall_p50) < 0.011,
+            "p50 {} vs {}",
+            approx.overall_p50,
+            exact.overall_p50
+        );
+        assert!(
+            rel(approx.overall_p99, exact.overall_p99) < 0.011,
+            "p99 {} vs {}",
+            approx.overall_p99,
+            exact.overall_p99
+        );
+        // delivered_bps no longer depends on retained records.
+        let goodput: u64 = res.records.iter().map(|r| r.size).sum();
+        let expect = goodput as f64 * 8.0 / res.duration.as_secs_f64();
+        assert!((res.delivered_bps - expect).abs() < 1e-6);
     }
 
     #[test]
@@ -626,7 +704,8 @@ mod tests {
         let opts = OnewayOpts {
             traffic: TrafficSpec::incast(8).with_victim(VictimSpec::new(9, 10, 5_000, 50_000)),
             ..OnewayOpts::default()
-        };
+        }
+        .with_records();
         let res = run_oneway(
             &topo,
             NetworkConfig::default(),

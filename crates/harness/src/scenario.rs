@@ -45,6 +45,12 @@ pub enum FabricSpec {
     },
     /// The paper's Figure 11 fabric: 144 hosts, 9 racks, 4 spines.
     Paper,
+    /// A three-tier k-ary fat tree ([`Topology::fat_tree`]): `k³/4`
+    /// hosts. `FatTree { k: 16 }` is the 1024-host scale fabric.
+    FatTree {
+        /// Fat-tree arity (even, ≥ 4).
+        k: u32,
+    },
 }
 
 impl FabricSpec {
@@ -57,6 +63,7 @@ impl FabricSpec {
             }
             FabricSpec::MultiTor { hosts } => Topology::multi_tor(hosts),
             FabricSpec::Paper => Topology::paper_fabric(),
+            FabricSpec::FatTree { k } => Topology::fat_tree(k),
         }
     }
 
@@ -66,6 +73,7 @@ impl FabricSpec {
             FabricSpec::SingleSwitch { hosts } | FabricSpec::MultiTor { hosts } => hosts,
             FabricSpec::LeafSpine { racks, hosts_per_rack, .. } => racks * hosts_per_rack,
             FabricSpec::Paper => 144,
+            FabricSpec::FatTree { k } => k * k * k / 4,
         }
     }
 }
@@ -263,6 +271,10 @@ mod tests {
         assert_eq!(ls.topology().num_hosts(), 24);
         assert_eq!(ls.hosts(), 24);
         assert_eq!(FabricSpec::Paper.hosts(), 144);
+        let ft = FabricSpec::FatTree { k: 4 };
+        assert_eq!(ft.topology().num_hosts(), 16);
+        assert_eq!(ft.hosts(), 16);
+        assert_eq!(FabricSpec::FatTree { k: 16 }.hosts(), 1024);
     }
 
     #[test]
@@ -334,6 +346,29 @@ mod tests {
     }
 
     #[test]
+    fn fat_tree_spec_drives_oneway_run_on_all_engines() {
+        let run = |engine| {
+            let spec =
+                ScenarioSpec::new("ft", FabricSpec::FatTree { k: 4 }, Workload::W2, 0.5, 150, 13)
+                    .with_engine(engine);
+            let res = run_oneway_scenario(
+                &spec,
+                None,
+                |h| HomaSimTransport::new(h, HomaConfig::default()),
+                &OnewayOpts::default(),
+            );
+            assert_eq!(res.injected, 150);
+            assert_eq!(res.delivered, 150);
+            assert!(res.records.is_empty(), "records retained without opt-in");
+            assert_eq!(res.sketch.count(), 150);
+            (res.duration.as_nanos(), res.sketch.summary(10).overall_p99.to_bits())
+        };
+        let base = run(EngineKind::Hierarchical);
+        assert_eq!(run(EngineKind::LegacyHeap), base);
+        assert_eq!(run(EngineKind::ParallelHier { threads: 2 }), base);
+    }
+
+    #[test]
     fn spec_engine_selection_is_invisible_in_results() {
         let run = |engine| {
             let spec = ScenarioSpec::new(
@@ -349,7 +384,7 @@ mod tests {
                 &spec,
                 None,
                 |h| HomaSimTransport::new(h, HomaConfig::default()),
-                &OnewayOpts::default(),
+                &OnewayOpts::default().with_records(),
             );
             res.records.iter().map(|r| (r.size, r.completed_ns)).collect::<Vec<_>>()
         };

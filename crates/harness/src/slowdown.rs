@@ -9,7 +9,7 @@
 //! equal-count bins.
 
 use homa_sim::stats::percentile;
-use homa_sim::DelayBreakdown;
+use homa_sim::{DelayBreakdown, QuantileSketch};
 use serde::{Deserialize, Serialize};
 
 /// One delivered message/RPC observation.
@@ -68,29 +68,42 @@ pub struct SlowdownSummary {
     pub overall_p50: f64,
 }
 
+/// One size-ordered pass over `records`: `(size, slowdown)` pairs sorted
+/// by size (stable, so equal sizes keep injection order). Shared by
+/// [`SlowdownSummary::from_records`] and
+/// [`SlowdownSummary::small_message_p99`] so each computes every
+/// slowdown exactly once and sorts by size exactly once.
+fn sorted_size_slowdowns(records: &[MsgRecord]) -> Vec<(u64, f64)> {
+    let mut v: Vec<(u64, f64)> = records.iter().map(|r| (r.size, r.slowdown())).collect();
+    v.sort_by_key(|e| e.0);
+    v
+}
+
 impl SlowdownSummary {
     /// Summarize `records` into `nbins` equal-count size bins.
     pub fn from_records(records: &[MsgRecord], nbins: usize) -> SlowdownSummary {
         assert!(nbins >= 1);
-        let mut sorted: Vec<&MsgRecord> = records.iter().collect();
-        sorted.sort_by_key(|r| r.size);
-        let mut all: Vec<f64> = sorted.iter().map(|r| r.slowdown()).collect();
+        let by_size = sorted_size_slowdowns(records);
         let mut bins = Vec::with_capacity(nbins);
-        if !sorted.is_empty() {
-            let per = sorted.len().div_ceil(nbins);
-            for chunk in sorted.chunks(per) {
-                let mut s: Vec<f64> = chunk.iter().map(|r| r.slowdown()).collect();
-                s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN slowdowns"));
+        let mut scratch: Vec<f64> = Vec::new();
+        if !by_size.is_empty() {
+            let per = by_size.len().div_ceil(nbins);
+            scratch.reserve(per);
+            for chunk in by_size.chunks(per) {
+                scratch.clear();
+                scratch.extend(chunk.iter().map(|&(_, s)| s));
+                scratch.sort_by(|a, b| a.partial_cmp(b).expect("no NaN slowdowns"));
                 bins.push(SlowdownBin {
-                    min_size: chunk.first().expect("nonempty").size,
-                    max_size: chunk.last().expect("nonempty").size,
+                    min_size: chunk.first().expect("nonempty").0,
+                    max_size: chunk.last().expect("nonempty").0,
                     count: chunk.len(),
-                    p50: percentile(&s, 50.0),
-                    p99: percentile(&s, 99.0),
-                    mean: s.iter().sum::<f64>() / s.len() as f64,
+                    p50: percentile(&scratch, 50.0),
+                    p99: percentile(&scratch, 99.0),
+                    mean: scratch.iter().sum::<f64>() / scratch.len() as f64,
                 });
             }
         }
+        let mut all: Vec<f64> = by_size.into_iter().map(|(_, s)| s).collect();
         all.sort_by(|a, b| a.partial_cmp(b).expect("no NaN slowdowns"));
         SlowdownSummary {
             bins,
@@ -103,12 +116,167 @@ impl SlowdownSummary {
     /// paper's "shortest 50% of messages" style statements, and the
     /// Figure 14 short-message selection).
     pub fn small_message_p99(records: &[MsgRecord], frac: f64) -> f64 {
-        let mut sorted: Vec<&MsgRecord> = records.iter().collect();
-        sorted.sort_by_key(|r| r.size);
-        let take = ((sorted.len() as f64 * frac).ceil() as usize).max(1).min(sorted.len());
-        let mut s: Vec<f64> = sorted[..take].iter().map(|r| r.slowdown()).collect();
+        let by_size = sorted_size_slowdowns(records);
+        let take = ((by_size.len() as f64 * frac).ceil() as usize).max(1).min(by_size.len());
+        let mut s: Vec<f64> = by_size[..take].iter().map(|&(_, s)| s).collect();
         s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         percentile(&s, 99.0)
+    }
+}
+
+/// Per-size-bucket slowdown state inside a [`SlowdownSketch`].
+#[derive(Debug, Clone)]
+struct SizeBucket {
+    min_size: u64,
+    max_size: u64,
+    slowdowns: QuantileSketch,
+}
+
+/// Streaming replacement for retaining every [`MsgRecord`]: memory is
+/// O(occupied sketch bins), not O(messages), which is what lets a
+/// 1k-host run with tens of thousands of messages keep a flat footprint.
+///
+/// Sizes are hashed into logarithmic buckets (relative width `alpha`)
+/// and each bucket carries a [`QuantileSketch`] of slowdowns, so
+/// [`summary`](SlowdownSketch::summary) can rebuild the paper's
+/// equal-message-count size bins after the fact by walking buckets in
+/// ascending size order. Quantiles carry the sketch's `alpha` relative
+/// error; bin *edges* land on size-bucket boundaries, so each bin holds
+/// its target message count only to within one bucket's population.
+/// Counts, means, and size extrema are exact.
+#[derive(Debug, Clone)]
+pub struct SlowdownSketch {
+    alpha: f64,
+    ln_gamma: f64,
+    by_size: std::collections::BTreeMap<i32, SizeBucket>,
+    overall: QuantileSketch,
+}
+
+impl SlowdownSketch {
+    /// A sketch with relative quantile error at most `alpha`.
+    pub fn new(alpha: f64) -> SlowdownSketch {
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        SlowdownSketch {
+            alpha,
+            ln_gamma: gamma.ln(),
+            by_size: Default::default(),
+            overall: QuantileSketch::new(alpha),
+        }
+    }
+
+    fn size_key(&self, size: u64) -> i32 {
+        if size <= 1 {
+            0
+        } else {
+            ((size as f64).ln() / self.ln_gamma).ceil() as i32
+        }
+    }
+
+    /// Record one delivered message of `size` bytes with the given
+    /// slowdown ratio.
+    pub fn push(&mut self, size: u64, slowdown: f64) {
+        self.overall.push(slowdown);
+        let b = self.by_size.entry(self.size_key(size)).or_insert_with(|| SizeBucket {
+            min_size: size,
+            max_size: size,
+            slowdowns: QuantileSketch::new(self.alpha),
+        });
+        b.min_size = b.min_size.min(size);
+        b.max_size = b.max_size.max(size);
+        b.slowdowns.push(slowdown);
+    }
+
+    /// Messages recorded so far (exact).
+    pub fn count(&self) -> u64 {
+        self.overall.count()
+    }
+
+    /// Fold another sketch into this one (same `alpha` required).
+    pub fn merge(&mut self, other: &SlowdownSketch) {
+        self.overall.merge(&other.overall);
+        for (&key, ob) in &other.by_size {
+            let b = self.by_size.entry(key).or_insert_with(|| SizeBucket {
+                min_size: ob.min_size,
+                max_size: ob.max_size,
+                slowdowns: QuantileSketch::new(self.alpha),
+            });
+            b.min_size = b.min_size.min(ob.min_size);
+            b.max_size = b.max_size.max(ob.max_size);
+            b.slowdowns.merge(&ob.slowdowns);
+        }
+    }
+
+    /// Rebuild the equal-count size-bin summary from the sketch.
+    pub fn summary(&self, nbins: usize) -> SlowdownSummary {
+        assert!(nbins >= 1);
+        let total = self.count();
+        let mut bins = Vec::new();
+        if total > 0 {
+            let per = total.div_ceil(nbins as u64);
+            let mut cur: Option<SizeBucket> = None;
+            for b in self.by_size.values() {
+                match &mut cur {
+                    None => cur = Some(b.clone()),
+                    Some(c) => {
+                        c.min_size = c.min_size.min(b.min_size);
+                        c.max_size = c.max_size.max(b.max_size);
+                        c.slowdowns.merge(&b.slowdowns);
+                    }
+                }
+                let filled = cur.as_ref().expect("just set").slowdowns.count() >= per;
+                if filled {
+                    bins.push(Self::finish_bin(cur.take().expect("nonempty")));
+                }
+            }
+            if let Some(c) = cur {
+                bins.push(Self::finish_bin(c));
+            }
+        }
+        SlowdownSummary {
+            bins,
+            overall_p99: self.overall.percentile(99.0),
+            overall_p50: self.overall.percentile(50.0),
+        }
+    }
+
+    fn finish_bin(b: SizeBucket) -> SlowdownBin {
+        SlowdownBin {
+            min_size: b.min_size,
+            max_size: b.max_size,
+            count: b.slowdowns.count() as usize,
+            p50: b.slowdowns.percentile(50.0),
+            p99: b.slowdowns.percentile(99.0),
+            mean: b.slowdowns.mean(),
+        }
+    }
+
+    /// p99 slowdown over (approximately) the smallest `frac` of
+    /// messages; the cut lands on a size-bucket boundary.
+    pub fn small_p99(&self, frac: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let want = ((total as f64 * frac).ceil() as u64).max(1);
+        let mut merged: Option<QuantileSketch> = None;
+        for b in self.by_size.values() {
+            match &mut merged {
+                None => merged = Some(b.slowdowns.clone()),
+                Some(m) => m.merge(&b.slowdowns),
+            }
+            if merged.as_ref().expect("just set").count() >= want {
+                break;
+            }
+        }
+        merged.map(|m| m.percentile(99.0)).unwrap_or(0.0)
+    }
+}
+
+impl Default for SlowdownSketch {
+    /// 1% relative quantile error — well inside the repro-gate
+    /// tolerances used by `repro compare`.
+    fn default() -> Self {
+        SlowdownSketch::new(0.01)
     }
 }
 
@@ -169,5 +337,70 @@ mod tests {
         let s = SlowdownSummary::from_records(&[], 10);
         assert!(s.bins.is_empty());
         assert_eq!(s.overall_p99, 0.0);
+    }
+
+    /// Pins the exact percentile outputs of the shared single-sort path,
+    /// so any future refactor of `from_records`/`small_message_p99` that
+    /// shifts interpolation or bin boundaries trips here.
+    #[test]
+    fn summary_percentiles_are_pinned() {
+        // Slowdown of record i is exactly i (i = 1..=100); sizes ascend
+        // with i so size bins are slowdown bins.
+        let records: Vec<MsgRecord> = (1..=100).map(|i| rec(i * 10, 1_000 * i, 1_000)).collect();
+        let s = SlowdownSummary::from_records(&records, 10);
+        // Bin 0 holds slowdowns 1..=10: linear-interpolated nearest ranks.
+        assert!((s.bins[0].p50 - 5.5).abs() < 1e-9);
+        assert!((s.bins[0].p99 - 9.91).abs() < 1e-9);
+        assert!((s.bins[0].mean - 5.5).abs() < 1e-9);
+        // Overall: slowdowns 1..=100.
+        assert!((s.overall_p50 - 50.5).abs() < 1e-9);
+        assert!((s.overall_p99 - 99.01).abs() < 1e-9);
+        // Smallest 20%: slowdowns 1..=20.
+        let small = SlowdownSummary::small_message_p99(&records, 0.2);
+        assert!((small - 19.81).abs() < 1e-9, "got {small}");
+    }
+
+    #[test]
+    fn sketch_tracks_exact_summary_within_alpha() {
+        let records: Vec<MsgRecord> =
+            (1..=2000).map(|i| rec(i * 7 % 9_000 + 1, 900 + (i * 37) % 4_000, 1_000)).collect();
+        let exact = SlowdownSummary::from_records(&records, 10);
+        let mut sk = SlowdownSketch::default();
+        for r in &records {
+            sk.push(r.size, r.slowdown());
+        }
+        assert_eq!(sk.count(), 2000);
+        let approx = sk.summary(10);
+        let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-12);
+        // Overall quantiles carry only the sketch's alpha error.
+        assert!(rel(approx.overall_p50, exact.overall_p50) < 0.011);
+        assert!(rel(approx.overall_p99, exact.overall_p99) < 0.011);
+        // Binned views also agree coarsely despite bucket-edge binning.
+        assert!(!approx.bins.is_empty() && approx.bins.len() <= 11);
+        let count: usize = approx.bins.iter().map(|b| b.count).sum();
+        assert_eq!(count, 2000, "sketch bins must partition all messages");
+        let small_exact = SlowdownSummary::small_message_p99(&records, 0.5);
+        let small_approx = sk.small_p99(0.5);
+        assert!(
+            rel(small_approx, small_exact) < 0.15,
+            "small p99: sketch {small_approx} vs exact {small_exact}"
+        );
+    }
+
+    #[test]
+    fn sketch_merge_matches_single_stream() {
+        let mut a = SlowdownSketch::default();
+        let mut b = SlowdownSketch::default();
+        let mut whole = SlowdownSketch::default();
+        for i in 1..=500u64 {
+            let (size, slow) = (i * 13 % 2_000 + 1, 1.0 + (i % 90) as f64 / 10.0);
+            whole.push(size, slow);
+            if i % 2 == 0 { a.push(size, slow) } else { b.push(size, slow) }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        let (sa, sw) = (a.summary(10), whole.summary(10));
+        assert_eq!(sa.overall_p99, sw.overall_p99);
+        assert_eq!(sa.bins.len(), sw.bins.len());
     }
 }

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod delay;
 pub mod events;
 pub mod faults;
@@ -72,7 +73,7 @@ pub use faults::{Fault, FaultPlan, FaultSpec, LinkId};
 pub use network::{Network, NetworkConfig, StepOutput};
 pub use packet::{Packet, PacketMeta};
 pub use queues::{EcnConfig, QueueDiscipline, QueueKind};
-pub use stats::{PortClass, PortStats, RunStats, StreamingStats};
+pub use stats::{PortClass, PortStats, QuantileSketch, RunStats, StreamingStats};
 pub use time::{SimDuration, SimTime};
-pub use topology::{HostId, NodeId, Topology};
+pub use topology::{FabricKind, HostId, NodeId, PathClass, Topology, TopologyError};
 pub use transport::{AppEvent, Transport, TransportActions};

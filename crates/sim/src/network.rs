@@ -46,13 +46,14 @@
 //! window that created it. The result is *bit-identical* to both
 //! sequential engines; `tests/determinism.rs` proves it end-to-end.
 
+use crate::arena::Recycle;
 use crate::events::{EngineKind, EngineStats, EventEngine, LaneId, TimerToken};
 use crate::faults::{Fault, FaultPlan, LinkId};
 use crate::packet::{Packet, PacketMeta};
 use crate::queues::{PortQueue, QueueDiscipline};
 use crate::stats::{PortClass, PortStats, RunStats, StreamingStats};
 use crate::time::{SimDuration, SimTime};
-use crate::topology::{self, HostId, NodeId, Topology};
+use crate::topology::{self, FabricKind, HostId, NodeId, Topology};
 use crate::transport::{AppEvent, Transport, TransportActions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -171,17 +172,22 @@ impl<M: PacketMeta> Port<M> {
     }
 }
 
-struct HostNode<M, T> {
-    transport: T,
-    port: Port<M>,
-    /// Receiver-pause state and the packets buffered while paused
-    /// (delivered in order on resume).
-    paused: bool,
-    pause_buf: Vec<Packet<M>>,
-}
-
 struct SwitchNode<M> {
     ports: Vec<Port<M>>,
+    /// Deterministic-spray counter for fat-tree uplink selection: mixed
+    /// with the packet's flow key per decision (see [`GroupMut::spray_next`]).
+    /// Per-switch state, so it replays identically under window dispatch
+    /// (each switch's events are totally ordered within its group).
+    spray: u64,
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer used for
+/// deterministic ECMP-style spray.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 /// Counters accumulated inside one dispatch group (summed at harvest).
@@ -195,10 +201,22 @@ struct GroupCounters {
 /// One rack's partition of the fabric: its hosts and their TOR. All
 /// host↔TOR traffic is group-internal, which is what makes the rack a
 /// unit of parallel dispatch.
+///
+/// Host state is struct-of-arrays: the hot fields (ports in the TxDone
+/// path, transports in the delivery path) are contiguous per rack
+/// instead of interleaved in one node struct, and the cold pause state
+/// does not pad the hot cache lines.
 struct RackState<M, T> {
     /// First host id in this rack (hosts are rack-major and dense).
     base_host: u32,
-    hosts: Vec<HostNode<M, T>>,
+    /// One transport per host, indexed by [`slot`](Self::slot).
+    transports: Vec<T>,
+    /// Host NIC egress ports, parallel to `transports`.
+    host_ports: Vec<Port<M>>,
+    /// Receiver-pause flags, parallel to `transports`.
+    paused: Vec<bool>,
+    /// Packets buffered while paused (delivered in order on resume).
+    pause_bufs: Vec<Vec<Packet<M>>>,
     tor: SwitchNode<M>,
     /// Reusable transport-callback action buffer.
     scratch: TransportActions,
@@ -206,8 +224,8 @@ struct RackState<M, T> {
 }
 
 impl<M, T> RackState<M, T> {
-    fn host_mut(&mut self, h: HostId) -> &mut HostNode<M, T> {
-        &mut self.hosts[(h.0 - self.base_host) as usize]
+    fn slot(&self, h: HostId) -> usize {
+        (h.0 - self.base_host) as usize
     }
 }
 
@@ -235,13 +253,32 @@ impl<M: PacketMeta, T: Transport<M>> GroupMut<'_, M, T> {
 
     fn port_mut(&mut self, node: NodeId, port: u32) -> &mut Port<M> {
         match (self, node) {
-            (GroupMut::Rack(r), NodeId::Host(h)) => &mut r.host_mut(h).port,
+            (GroupMut::Rack(r), NodeId::Host(h)) => {
+                let i = r.slot(h);
+                &mut r.host_ports[i]
+            }
             (GroupMut::Rack(r), NodeId::Tor(_)) => &mut r.tor.ports[port as usize],
             (GroupMut::Spine(s), NodeId::Spine(sp)) => {
                 &mut s.spines[sp as usize].ports[port as usize]
             }
             _ => unreachable!("event routed to the wrong dispatch group"),
         }
+    }
+
+    /// Draw the next deterministic spray decision at switch `node` for a
+    /// `src → dst` packet: the flow key hashed with a per-switch counter,
+    /// reduced to `0..n`. Pure per-group state — no global RNG — so
+    /// window dispatch replays it bit-identically without pre-drawing.
+    fn spray_next(&mut self, node: NodeId, src: HostId, dst: HostId, n: u32) -> u32 {
+        let sw = match (self, node) {
+            (GroupMut::Rack(r), NodeId::Tor(_)) => &mut r.tor,
+            (GroupMut::Spine(s), NodeId::Spine(sp)) => &mut s.spines[sp as usize],
+            _ => unreachable!("spray at a non-switch node"),
+        };
+        let c = sw.spray;
+        sw.spray = sw.spray.wrapping_add(1);
+        let key = ((src.0 as u64) << 32) | dst.0 as u64;
+        (splitmix64(key ^ c.wrapping_mul(0xD1B54A32D192ED03)) % n as u64) as u32
     }
 }
 
@@ -365,15 +402,63 @@ enum Emit<M> {
     App { host: HostId, ev: AppEvent },
 }
 
-/// One dispatched event of a group's sub-window, in dispatch order.
-struct LogEntry<M> {
+/// One dispatched event of a group's sub-window, in dispatch order. Its
+/// emissions live in the group's shared emit buffer as the range
+/// `[previous entry's emits_end, emits_end)` — a flat cumulative index
+/// instead of a per-event `Vec`, which was the engine's hottest
+/// allocation at scale.
+struct LogEntry {
     at: SimTime,
     /// Real sequence (< the window's provisional base) or provisional.
     ord: u64,
-    emits: Vec<Emit<M>>,
+    /// Exclusive end of this entry's emissions in `GroupBufs::emits`.
+    emits_end: u32,
 }
 
-type GroupLog<M> = Vec<LogEntry<M>>;
+/// One dispatch group's recycled window buffers: the drained items, the
+/// dispatch log with its flat emit buffer, the in-window overlay heap,
+/// and the merge's provisional-sequence table. All are emptied in place
+/// between windows ([`Recycle`]) so steady state allocates nothing —
+/// in threaded mode the whole set rides the job/result channels so the
+/// same allocations serve every window.
+struct GroupBufs<M> {
+    items: Vec<WItem<M>>,
+    entries: Vec<LogEntry>,
+    emits: Vec<Emit<M>>,
+    overlay: BinaryHeap<OEntry<M>>,
+    /// Final sequence numbers of this group's provisional (in-window)
+    /// events, filled during the merge.
+    provs: Vec<u64>,
+    /// Merge cursors into `entries` / `emits`.
+    next_entry: usize,
+    next_emit: usize,
+}
+
+impl<M> Default for GroupBufs<M> {
+    fn default() -> Self {
+        GroupBufs {
+            items: Vec::new(),
+            entries: Vec::new(),
+            emits: Vec::new(),
+            overlay: BinaryHeap::new(),
+            provs: Vec::new(),
+            next_entry: 0,
+            next_emit: 0,
+        }
+    }
+}
+
+impl<M> Recycle for GroupBufs<M> {
+    fn recycle(&mut self) {
+        self.items.clear();
+        self.entries.clear();
+        self.emits.clear();
+        self.overlay.clear();
+        self.provs.clear();
+        self.next_entry = 0;
+        self.next_emit = 0;
+    }
+}
 
 struct WindowSink<'a, M> {
     lanes: LaneMap,
@@ -382,7 +467,7 @@ struct WindowSink<'a, M> {
     wmax: SimTime,
     nprov: &'a mut u64,
     overlay: &'a mut BinaryHeap<OEntry<M>>,
-    emits: Vec<Emit<M>>,
+    emits: &'a mut Vec<Emit<M>>,
 }
 
 impl<M: PacketMeta> EmitSink<M> for WindowSink<'_, M> {
@@ -432,9 +517,9 @@ fn dispatch_event<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
         }
         Ev::HostDeliver { host, pkt } => {
             let GroupMut::Rack(rack) = g else { unreachable!("host event in spine group") };
-            let hn = rack.host_mut(host);
-            if hn.paused {
-                hn.pause_buf.push(pkt);
+            let i = rack.slot(host);
+            if rack.paused[i] {
+                rack.pause_bufs[i].push(pkt);
                 rack.counters.deferred_deliveries += 1;
                 return;
             }
@@ -445,7 +530,8 @@ fn dispatch_event<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
             let GroupMut::Rack(rack) = g else { unreachable!("host event in spine group") };
             let mut act = std::mem::take(&mut rack.scratch);
             act.reset();
-            rack.host_mut(host).transport.on_timer(now, token, &mut act);
+            let i = rack.slot(host);
+            rack.transports[i].on_timer(now, token, &mut act);
             apply_actions(rack, topo, now, host, act, sink);
         }
     }
@@ -463,7 +549,8 @@ fn deliver_to_host<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
 ) {
     let mut act = std::mem::take(&mut rack.scratch);
     act.reset();
-    rack.host_mut(host).transport.on_packet(now, pkt, &mut act);
+    let i = rack.slot(host);
+    rack.transports[i].on_packet(now, pkt, &mut act);
     apply_actions(rack, topo, now, host, act, sink);
 }
 
@@ -498,13 +585,14 @@ fn poll_host_tx<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
     host: HostId,
     sink: &mut S,
 ) {
-    let hn = rack.host_mut(host);
-    if hn.port.busy() || !hn.port.up {
+    let i = rack.slot(host);
+    let port = &mut rack.host_ports[i];
+    if port.busy() || !port.up {
         return;
     }
-    if let Some(pkt) = hn.transport.next_packet(now) {
+    if let Some(pkt) = rack.transports[i].next_packet(now) {
         debug_assert_eq!(pkt.src, host, "transport emitted packet with wrong source");
-        let done_at = begin_tx(now, &mut hn.port, pkt);
+        let done_at = begin_tx(now, &mut rack.host_ports[i], pkt);
         sink.schedule(LaneId(host.0), done_at, Ev::TxDone { node: NodeId::Host(host), port: 0 });
     }
 }
@@ -578,30 +666,57 @@ fn on_tx_done<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
     }
 }
 
-/// Pick the egress port for `dst` at `node`. Cross-rack traffic at a TOR
-/// is sprayed across spine uplinks: sequential dispatch draws from the
-/// global RNG here; window dispatch passes the decision in as `hint`,
-/// pre-drawn during the drain in the same global order.
-fn route(
+/// Pick the egress port for a `src → dst` packet at switch `node`.
+///
+/// Leaf–spine: cross-rack traffic at a TOR is sprayed across spine
+/// uplinks from the *global* RNG — sequential dispatch draws here;
+/// window dispatch passes the decision in as `hint`, pre-drawn during
+/// the drain in the same global order.
+///
+/// Fat tree: up-facing hops (TOR → agg, agg → core) spray via the
+/// switch's own deterministic counter hash ([`GroupMut::spray_next`]);
+/// down-facing hops are fully determined by `dst`. No global RNG, so no
+/// pre-drawing is needed and the hint stays `None`.
+fn route<M: PacketMeta, T: Transport<M>>(
     topo: &Topology,
+    g: &mut GroupMut<'_, M, T>,
     hint: Option<u32>,
     rng: Option<&mut StdRng>,
     node: NodeId,
+    src: HostId,
     dst: HostId,
 ) -> u32 {
-    match node {
-        NodeId::Tor(r) => {
-            if topo.rack_of(dst) == r {
-                topo.index_in_rack(dst)
-            } else if let Some(h) = hint {
+    let dst_rack = topo.rack_of(dst);
+    match (node, topo.kind) {
+        (NodeId::Tor(r), _) if dst_rack == r => topo.index_in_rack(dst),
+        (NodeId::Tor(_), FabricKind::LeafSpine) => {
+            if let Some(h) = hint {
                 h
             } else {
                 let rng = rng.expect("window dispatch must pre-draw spray decisions");
                 topo.hosts_per_rack + rng.gen_range(0..topo.spines)
             }
         }
-        NodeId::Spine(_) => topo.rack_of(dst),
-        NodeId::Host(_) => unreachable!("hosts do not route"),
+        (NodeId::Tor(_), FabricKind::FatTree { k }) => {
+            topo.hosts_per_rack + g.spray_next(node, src, dst, k / 2)
+        }
+        (NodeId::Spine(_), FabricKind::LeafSpine) => dst_rack,
+        (NodeId::Spine(s), FabricKind::FatTree { k }) => {
+            let half = k / 2;
+            if s < topo.num_aggs() {
+                // Aggregation switch: down to the pod-local edge, or up
+                // across its core uplinks (ports half..k).
+                if topo.pod_of_rack(dst_rack) == s / half {
+                    dst_rack % half
+                } else {
+                    half + g.spray_next(node, src, dst, half)
+                }
+            } else {
+                // Core switch: one down port per pod.
+                topo.pod_of_rack(dst_rack)
+            }
+        }
+        (NodeId::Host(_), _) => unreachable!("hosts do not route"),
     }
 }
 
@@ -616,7 +731,7 @@ fn on_switch_arrive<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
     rng: Option<&mut StdRng>,
     sink: &mut S,
 ) {
-    let port_idx = route(topo, hint, rng, node, pkt.dst);
+    let port_idx = route(topo, g, hint, rng, node, pkt.src, pkt.dst);
     let lane = lane_of(topo, node);
 
     // Link-state check: packets routed to a downed egress are lost
@@ -692,18 +807,22 @@ fn apply_fault<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
         FaultAction::PauseRx => {
             let NodeId::Host(h) = node else { unreachable!("pause resolved to a host") };
             let GroupMut::Rack(rack) = g else { unreachable!("host event in spine group") };
-            rack.host_mut(h).paused = true;
+            let i = rack.slot(h);
+            rack.paused[i] = true;
         }
         FaultAction::ResumeRx => {
             let NodeId::Host(h) = node else { unreachable!("resume resolved to a host") };
             let GroupMut::Rack(rack) = g else { unreachable!("host event in spine group") };
-            let hn = rack.host_mut(h);
-            hn.paused = false;
+            let i = rack.slot(h);
+            rack.paused[i] = false;
             // Deliver everything buffered while paused, in arrival
-            // order, at the resume instant.
-            for pkt in std::mem::take(&mut hn.pause_buf) {
+            // order, at the resume instant. The buffer is swapped back
+            // after draining so its allocation is reused next pause.
+            let mut buf = std::mem::take(&mut rack.pause_bufs[i]);
+            for pkt in buf.drain(..) {
                 deliver_to_host(rack, topo, now, h, pkt, sink);
             }
+            rack.pause_bufs[i] = buf;
         }
     }
 }
@@ -720,12 +839,14 @@ struct WinCounters {
     max_window_events: u64,
 }
 
-/// One group's work for one window (threaded mode).
+/// One group's work for one window (threaded mode): the group's buffer
+/// set travels to the worker with the drained items inside and returns
+/// with the dispatch log filled, so every allocation round-trips.
 struct GroupJob<M> {
     gidx: usize,
     base: u64,
     wmax: SimTime,
-    items: Vec<WItem<M>>,
+    bufs: GroupBufs<M>,
 }
 
 /// Static window-dispatch parameters (shape of the fabric's groups plus
@@ -736,13 +857,11 @@ struct WindowCfg {
     lookahead: SimDuration,
     /// Cap each window at its first timestamp (fine-grained stepping).
     single_ts: bool,
-    ngroups: usize,
 }
 
-/// One drained window, ready for per-group dispatch.
-struct WindowDrain<M> {
-    /// Per-group event batches (empty vectors for idle groups).
-    batches: Vec<Vec<WItem<M>>>,
+/// One drained window, ready for per-group dispatch (the per-group item
+/// batches live in the caller's recycled [`GroupBufs`]).
+struct WindowDrain {
     /// Provisional-numbering base: above every pending sequence number.
     base: u64,
     /// Inclusive upper time bound of the window.
@@ -750,16 +869,18 @@ struct WindowDrain<M> {
 }
 
 /// Pop every event with `time <= wmax` (where `wmax` is the conservative
-/// window bound derived from the first pending event), partitioned by
-/// dispatch group, with spray decisions pre-drawn in global pop order.
-/// Returns `None` when no event is pending at or before `limit`.
+/// window bound derived from the first pending event), partitioned into
+/// each group's `bufs.items`, with leaf–spine spray decisions pre-drawn
+/// in global pop order. Returns `None` when no event is pending at or
+/// before `limit`.
 fn drain_window<M: PacketMeta>(
     topo: &Topology,
     queue: &mut EventEngine<Ev<M>>,
     rng: &mut StdRng,
     cfg: WindowCfg,
     limit: SimTime,
-) -> Option<WindowDrain<M>> {
+    bufs: &mut [GroupBufs<M>],
+) -> Option<WindowDrain> {
     let EventEngine::Hierarchical(q) = queue else {
         unreachable!("window dispatch requires the calendar engine")
     };
@@ -772,31 +893,36 @@ fn drain_window<M: PacketMeta>(
         limit.min(tmin + SimDuration::from_nanos(cfg.lookahead.as_nanos() - 1))
     };
     let lanes = cfg.lanes;
-    let mut batches: Vec<Vec<WItem<M>>> = (0..cfg.ngroups).map(|_| Vec::new()).collect();
     let mut push = |lane: LaneId, at: SimTime, seq: u64, ev: Ev<M>, rng: &mut StdRng| {
-        // Pre-draw the spray decision for cross-rack TOR arrivals. Drain
-        // order is global `(time, seq)` order, and a `SwitchArrive` is
-        // never dispatched inside the window that created it (its delay
-        // *is* the lookahead), so this consumes the RNG stream in exactly
-        // the order sequential dispatch would.
+        // Pre-draw the spray decision for cross-rack TOR arrivals on a
+        // leaf–spine fabric (the only kind that sprays from the global
+        // RNG). Drain order is global `(time, seq)` order, and a
+        // `SwitchArrive` is never dispatched inside the window that
+        // created it (its delay *is* the lookahead), so this consumes
+        // the RNG stream in exactly the order sequential dispatch would.
         let hint = match &ev {
-            Ev::SwitchArrive { node: NodeId::Tor(r), pkt } if topo.rack_of(pkt.dst) != *r => {
+            Ev::SwitchArrive { node: NodeId::Tor(r), pkt }
+                if matches!(topo.kind, FabricKind::LeafSpine)
+                    && topo.rack_of(pkt.dst) != *r =>
+            {
                 Some(topo.hosts_per_rack + rng.gen_range(0..topo.spines))
             }
             _ => None,
         };
-        batches[lanes.group_of_lane(lane) as usize].push(WItem { at, ord: seq, ev, hint });
+        bufs[lanes.group_of_lane(lane) as usize].items.push(WItem { at, ord: seq, ev, hint });
     };
     push(first.0, first.1, first.2, first.3, rng);
     while let Some((lane, at, seq, ev)) = q.pop_entry_if_before(wmax) {
         push(lane, at, seq, ev, rng);
     }
-    Some(WindowDrain { batches, base: q.seq_floor(), wmax })
+    Some(WindowDrain { base: q.seq_floor(), wmax })
 }
 
-/// Dispatch one group's sub-window: its drained events plus everything
-/// they spawn inside the window (served from the overlay), in exact
-/// `(time, order)` sequence. Returns the dispatch log for the merge.
+/// Dispatch one group's sub-window: its drained events (in
+/// `bufs.items`) plus everything they spawn inside the window (served
+/// from the overlay), in exact `(time, order)` sequence. The dispatch
+/// log is left in `bufs.entries`/`bufs.emits` for the merge; every
+/// buffer's allocation survives for the next window.
 fn run_group<M: PacketMeta, T: Transport<M>>(
     topo: &Topology,
     lanes: LaneMap,
@@ -804,71 +930,74 @@ fn run_group<M: PacketMeta, T: Transport<M>>(
     group: u32,
     base: u64,
     wmax: SimTime,
-    items: Vec<WItem<M>>,
-) -> GroupLog<M> {
-    let mut log = Vec::with_capacity(items.len());
-    let mut overlay: BinaryHeap<OEntry<M>> = BinaryHeap::new();
+    bufs: &mut GroupBufs<M>,
+) {
+    debug_assert!(bufs.entries.is_empty() && bufs.emits.is_empty() && bufs.overlay.is_empty());
     let mut nprov: u64 = 0;
-    let mut it = items.into_iter().peekable();
-    loop {
-        let take_item = match (it.peek(), overlay.peek()) {
-            (Some(a), Some(o)) => (a.at, a.ord) <= (o.at, o.ord),
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (None, None) => break,
-        };
-        let (at, ord, ev, hint) = if take_item {
-            let a = it.next().expect("peeked");
-            (a.at, a.ord, a.ev, a.hint)
-        } else {
-            let o = overlay.pop().expect("peeked");
-            (o.at, o.ord, o.ev, None)
-        };
-        let mut sink = WindowSink {
-            lanes,
-            group,
-            base,
-            wmax,
-            nprov: &mut nprov,
-            overlay: &mut overlay,
-            emits: Vec::new(),
-        };
-        dispatch_event(topo, g, at, ev, hint, None, &mut sink);
-        let emits = sink.emits;
-        log.push(LogEntry { at, ord, emits });
+    let mut items = std::mem::take(&mut bufs.items);
+    {
+        let mut it = items.drain(..).peekable();
+        loop {
+            let take_item = match (it.peek(), bufs.overlay.peek()) {
+                (Some(a), Some(o)) => (a.at, a.ord) <= (o.at, o.ord),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (at, ord, ev, hint) = if take_item {
+                let a = it.next().expect("peeked");
+                (a.at, a.ord, a.ev, a.hint)
+            } else {
+                let o = bufs.overlay.pop().expect("peeked");
+                (o.at, o.ord, o.ev, None)
+            };
+            let mut sink = WindowSink {
+                lanes,
+                group,
+                base,
+                wmax,
+                nprov: &mut nprov,
+                overlay: &mut bufs.overlay,
+                emits: &mut bufs.emits,
+            };
+            dispatch_event(topo, g, at, ev, hint, None, &mut sink);
+            bufs.entries.push(LogEntry { at, ord, emits_end: bufs.emits.len() as u32 });
+        }
     }
-    log
+    bufs.items = items;
 }
 
 /// Merge the groups' dispatch logs back into one global order and apply
 /// their emissions: application events append in `(time, seq)` order and
 /// deferred events receive exactly the sequence numbers sequential
-/// dispatch would have assigned. Returns `(events_merged, last_time)`.
+/// dispatch would have assigned. Consumes and recycles every group's
+/// log (idle groups have empty `entries` and fall through untouched).
+/// Returns `(events_merged, last_time)`.
 fn merge_window<M: PacketMeta>(
     queue: &mut EventEngine<Ev<M>>,
     app_events: &mut Vec<(SimTime, HostId, AppEvent)>,
-    mut logs: Vec<Option<GroupLog<M>>>,
+    bufs: &mut [GroupBufs<M>],
     base: u64,
 ) -> (u64, SimTime) {
     let EventEngine::Hierarchical(q) = queue else {
         unreachable!("window dispatch requires the calendar engine")
     };
-    let mut idx = vec![0usize; logs.len()];
-    // Final sequence numbers of each group's provisional (in-window)
-    // events, indexed by provisional slot; filled in creation order,
-    // which the merge walk visits parents-first.
-    let mut provs: Vec<Vec<u64>> = (0..logs.len()).map(|_| Vec::new()).collect();
+    // `provs[i]` (per group): final sequence number of the group's i-th
+    // provisional (in-window) event, filled in creation order, which the
+    // merge walk visits parents-first.
+    for b in bufs.iter_mut() {
+        debug_assert!(b.provs.is_empty() && b.next_entry == 0 && b.next_emit == 0);
+    }
     let mut merged = 0u64;
     let mut last_at = SimTime::ZERO;
     loop {
         let mut best: Option<(SimTime, u64, usize)> = None;
-        for (g, log) in logs.iter().enumerate() {
-            let Some(log) = log else { continue };
-            if let Some(e) = log.get(idx[g]) {
+        for (g, b) in bufs.iter().enumerate() {
+            if let Some(e) = b.entries.get(b.next_entry) {
                 let ord = if e.ord < base {
                     e.ord
                 } else {
-                    *provs[g]
+                    *b.provs
                         .get((e.ord - base) as usize)
                         .expect("provisional event merged before its parent")
                 };
@@ -878,13 +1007,16 @@ fn merge_window<M: PacketMeta>(
             }
         }
         let Some((at, _, g)) = best else { break };
-        let entry = &mut logs[g].as_mut().expect("picked from live log")[idx[g]];
-        idx[g] += 1;
-        for emit in entry.emits.drain(..) {
-            match emit {
+        let b = &mut bufs[g];
+        let emits_end = b.entries[b.next_entry].emits_end as usize;
+        b.next_entry += 1;
+        for i in b.next_emit..emits_end {
+            // Move the emission out of the flat buffer; `Local` is a
+            // payload-free placeholder, so the swap is cheap.
+            match std::mem::replace(&mut b.emits[i], Emit::Local) {
                 Emit::Local => {
                     let s = q.assign_seq();
-                    provs[g].push(s);
+                    b.provs.push(s);
                 }
                 Emit::Defer { lane, at: eat, ev } => {
                     let s = q.assign_seq();
@@ -893,8 +1025,12 @@ fn merge_window<M: PacketMeta>(
                 Emit::App { host, ev } => app_events.push((at, host, ev)),
             }
         }
+        b.next_emit = emits_end;
         merged += 1;
         last_at = at;
+    }
+    for b in bufs.iter_mut() {
+        b.recycle();
     }
     (merged, last_at)
 }
@@ -924,6 +1060,10 @@ pub struct Network<M: PacketMeta, T: Transport<M>> {
     /// Cross-group lookahead: [`Topology::min_forward_delay`].
     lookahead: SimDuration,
     win: WinCounters,
+    /// One recycled buffer set per dispatch group (racks + spine):
+    /// windows drain into, dispatch from, and merge out of these, so the
+    /// steady-state window loop performs no heap allocation.
+    window_bufs: Vec<GroupBufs<M>>,
 }
 
 impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
@@ -938,25 +1078,22 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
         let racks: Vec<RackState<M, T>> = (0..topo.racks)
             .map(|r| {
                 let base_host = r * topo.hosts_per_rack;
-                let hosts = (0..topo.hosts_per_rack)
-                    .map(|i| {
-                        let h = HostId(base_host + i);
-                        HostNode {
-                            transport: make_transport(h),
-                            port: Port::new(
-                                // Host NIC egress: the transport is the
-                                // queue (pull model); discipline here is
-                                // irrelevant but harmless.
-                                QueueDiscipline::strict8(u64::MAX),
-                                topo.host_link_bps,
-                                NodeId::Tor(r),
-                                PortClass::HostUp,
-                            ),
-                            paused: false,
-                            pause_buf: Vec::new(),
-                        }
-                    })
-                    .collect();
+                let n = topo.hosts_per_rack as usize;
+                let mut transports = Vec::with_capacity(n);
+                let mut host_ports = Vec::with_capacity(n);
+                for i in 0..topo.hosts_per_rack {
+                    let h = HostId(base_host + i);
+                    transports.push(make_transport(h));
+                    host_ports.push(Port::new(
+                        // Host NIC egress: the transport is the queue
+                        // (pull model); discipline here is irrelevant
+                        // but harmless.
+                        QueueDiscipline::strict8(u64::MAX),
+                        topo.host_link_bps,
+                        NodeId::Tor(r),
+                        PortClass::HostUp,
+                    ));
+                }
                 let mut ports = Vec::with_capacity(topo.tor_ports() as usize);
                 for i in 0..topo.hosts_per_rack {
                     let h = HostId(base_host + i);
@@ -967,39 +1104,85 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                         PortClass::TorDown,
                     ));
                 }
-                for s in 0..topo.spines {
+                for j in 0..topo.tor_uplinks() {
+                    let (spine, _) = topo.tor_uplink_peer(r, j);
                     ports.push(Port::new(
                         cfg.tor_up,
                         topo.uplink_bps,
-                        NodeId::Spine(s),
+                        NodeId::Spine(spine),
                         PortClass::TorUp,
                     ));
                 }
                 RackState {
                     base_host,
-                    hosts,
-                    tor: SwitchNode { ports },
+                    transports,
+                    host_ports,
+                    paused: vec![false; n],
+                    pause_bufs: (0..n).map(|_| Vec::new()).collect(),
+                    tor: SwitchNode { ports, spray: 0 },
                     scratch: TransportActions::new(),
                     counters: GroupCounters::default(),
                 }
             })
             .collect();
 
-        let spine = SpineState {
-            spines: (0..topo.spines)
-                .map(|_| SwitchNode {
-                    ports: (0..topo.racks)
-                        .map(|r| {
-                            Port::new(
+        // Upper-tier switches. Leaf–spine: every spine has one downlink
+        // per rack. Fat tree: aggregation switch `a` (pod `a / (k/2)`)
+        // has k/2 downlinks to its pod's edges then k/2 uplinks to its
+        // core column; core `c` has one downlink per pod, to aggregation
+        // switch `c / (k/2)` of that pod.
+        let spine_switch = |s: u32| -> SwitchNode<M> {
+            let ports = match topo.kind {
+                FabricKind::LeafSpine => (0..topo.racks)
+                    .map(|r| {
+                        Port::new(cfg.spine_down, topo.uplink_bps, NodeId::Tor(r), PortClass::SpineDown)
+                    })
+                    .collect(),
+                FabricKind::FatTree { k } => {
+                    let half = k / 2;
+                    let naggs = topo.num_aggs();
+                    if s < naggs {
+                        let pod = s / half;
+                        let col = s % half;
+                        let mut ports = Vec::with_capacity(k as usize);
+                        for i in 0..half {
+                            ports.push(Port::new(
                                 cfg.spine_down,
                                 topo.uplink_bps,
-                                NodeId::Tor(r),
+                                NodeId::Tor(pod * half + i),
                                 PortClass::SpineDown,
-                            )
-                        })
-                        .collect(),
-                })
-                .collect(),
+                            ));
+                        }
+                        for j in 0..half {
+                            // Agg → core carries the same up-facing role
+                            // (and discipline) as TOR → agg.
+                            ports.push(Port::new(
+                                cfg.tor_up,
+                                topo.uplink_bps,
+                                NodeId::Spine(naggs + col * half + j),
+                                PortClass::TorUp,
+                            ));
+                        }
+                        ports
+                    } else {
+                        let col = (s - naggs) / half;
+                        (0..k)
+                            .map(|pod| {
+                                Port::new(
+                                    cfg.spine_down,
+                                    topo.uplink_bps,
+                                    NodeId::Spine(pod * half + col),
+                                    PortClass::SpineDown,
+                                )
+                            })
+                            .collect()
+                    }
+                }
+            };
+            SwitchNode { ports, spray: 0 }
+        };
+        let spine = SpineState {
+            spines: (0..topo.spines).map(spine_switch).collect(),
             counters: GroupCounters::default(),
         };
 
@@ -1027,6 +1210,7 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
             }
             _ => None,
         };
+        let ngroups = racks.len() + 1;
         Network {
             queue,
             topo,
@@ -1040,6 +1224,7 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
             par_threads,
             lookahead,
             win: WinCounters::default(),
+            window_bufs: (0..ngroups).map(|_| GroupBufs::default()).collect(),
         }
     }
 
@@ -1061,13 +1246,10 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
         }
     }
 
-    fn host(&self, h: HostId) -> &HostNode<M, T> {
-        &self.racks[self.topo.rack_of(h) as usize].hosts[self.topo.index_in_rack(h) as usize]
-    }
-
     /// Read access to a host's transport.
     pub fn transport(&self, h: HostId) -> &T {
-        &self.host(h).transport
+        let rack = &self.racks[self.topo.rack_of(h) as usize];
+        &rack.transports[self.topo.index_in_rack(h) as usize]
     }
 
     /// Mutate a host's transport through a closure; any actions it records
@@ -1081,7 +1263,8 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
         let mut act = TransportActions::new();
         let r = {
             let rack = &mut self.racks[self.topo.rack_of(h) as usize];
-            f(&mut rack.host_mut(h).transport, now, &mut act)
+            let i = rack.slot(h);
+            f(&mut rack.transports[i], now, &mut act)
         };
         let Self { topo, racks, queue, app_events, .. } = self;
         let rack = &mut racks[topo.rack_of(h) as usize];
@@ -1129,18 +1312,15 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
     /// pending at or before `limit`.
     fn run_window_inline(&mut self, limit: SimTime, single_ts: bool) -> Option<(u64, SimTime)> {
         let lanes = self.lane_map();
-        let ngroups = self.racks.len() + 1;
-        let cfg = WindowCfg { lanes, lookahead: self.lookahead, single_ts, ngroups };
-        let WindowDrain { batches, base, wmax } = {
-            let Self { topo, queue, rng, .. } = self;
-            drain_window(topo, queue, rng, cfg, limit)?
+        let cfg = WindowCfg { lanes, lookahead: self.lookahead, single_ts };
+        let WindowDrain { base, wmax } = {
+            let Self { topo, queue, rng, window_bufs, .. } = self;
+            drain_window(topo, queue, rng, cfg, limit, window_bufs)?
         };
-        let mut logs: Vec<Option<GroupLog<M>>> = Vec::with_capacity(ngroups);
         {
-            let Self { topo, racks, spine, .. } = self;
-            for (gidx, items) in batches.into_iter().enumerate() {
-                if items.is_empty() {
-                    logs.push(None);
+            let Self { topo, racks, spine, window_bufs, .. } = self;
+            for (gidx, bufs) in window_bufs.iter_mut().enumerate() {
+                if bufs.items.is_empty() {
                     continue;
                 }
                 let mut gm = if gidx < racks.len() {
@@ -1148,12 +1328,12 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                 } else {
                     GroupMut::Spine(spine)
                 };
-                logs.push(Some(run_group(topo, lanes, &mut gm, gidx as u32, base, wmax, items)));
+                run_group(topo, lanes, &mut gm, gidx as u32, base, wmax, bufs);
             }
         }
         let (n, last_at) = {
-            let Self { queue, app_events, .. } = self;
-            merge_window(queue, app_events, logs, base)
+            let Self { queue, app_events, window_bufs, .. } = self;
+            merge_window(queue, app_events, window_bufs, base)
         };
         debug_assert!(n > 0, "window drained at least one event");
         self.note_window(n, last_at);
@@ -1181,11 +1361,11 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
         }
         let lanes = self.lane_map();
         let ngroups = self.racks.len() + 1;
-        let cfg = WindowCfg { lanes, lookahead: self.lookahead, single_ts: false, ngroups };
+        let cfg = WindowCfg { lanes, lookahead: self.lookahead, single_ts: false };
         let mut total = 0u64;
         let mut note: Vec<(u64, SimTime)> = Vec::new();
         {
-            let Self { topo, racks, spine, queue, rng, app_events, .. } = &mut *self;
+            let Self { topo, racks, spine, queue, rng, app_events, window_bufs, .. } = &mut *self;
             let topo: &Topology = topo;
             // Group g is owned by worker g % threads for the whole scope.
             let mut per_worker: Vec<Vec<(usize, GroupMut<'_, M, T>)>> =
@@ -1202,30 +1382,30 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                 // shared channel other workers keep open (the scope then
                 // propagates the original worker panic on unwind).
                 let mut job_txs: Vec<mpsc::Sender<Vec<GroupJob<M>>>> = Vec::new();
-                let mut res_rxs: Vec<mpsc::Receiver<(usize, GroupLog<M>)>> = Vec::new();
+                let mut res_rxs: Vec<mpsc::Receiver<(usize, GroupBufs<M>)>> = Vec::new();
                 for mine in per_worker {
                     let (tx, rx) = mpsc::channel::<Vec<GroupJob<M>>>();
-                    let (res_tx, res_rx) = mpsc::channel::<(usize, GroupLog<M>)>();
+                    let (res_tx, res_rx) = mpsc::channel::<(usize, GroupBufs<M>)>();
                     job_txs.push(tx);
                     res_rxs.push(res_rx);
                     let mut groups = mine;
                     s.spawn(move || {
                         while let Ok(jobs) = rx.recv() {
-                            for job in jobs {
+                            for mut job in jobs {
                                 let (_, gm) = groups
                                     .iter_mut()
                                     .find(|(g, _)| *g == job.gidx)
                                     .expect("job routed to its owning worker");
-                                let log = run_group(
+                                run_group(
                                     topo,
                                     lanes,
                                     gm,
                                     job.gidx as u32,
                                     job.base,
                                     job.wmax,
-                                    job.items,
+                                    &mut job.bufs,
                                 );
-                                if res_tx.send((job.gidx, log)).is_err() {
+                                if res_tx.send((job.gidx, job.bufs)).is_err() {
                                     return;
                                 }
                             }
@@ -1233,14 +1413,17 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                     });
                 }
 
-                while let Some(WindowDrain { batches, base, wmax }) =
-                    drain_window(topo, queue, rng, cfg, limit)
+                while let Some(WindowDrain { base, wmax }) =
+                    drain_window(topo, queue, rng, cfg, limit, window_bufs)
                 {
+                    // Ship each active group's buffer set (items inside)
+                    // to its worker; it comes back with the log filled.
                     let mut jobs: Vec<Vec<GroupJob<M>>> =
                         (0..threads).map(|_| Vec::new()).collect();
-                    for (gidx, items) in batches.into_iter().enumerate() {
-                        if !items.is_empty() {
-                            jobs[gidx % threads].push(GroupJob { gidx, base, wmax, items });
+                    for (gidx, bufs) in window_bufs.iter_mut().enumerate() {
+                        if !bufs.items.is_empty() {
+                            let bufs = std::mem::take(bufs);
+                            jobs[gidx % threads].push(GroupJob { gidx, base, wmax, bufs });
                         }
                     }
                     let per_worker_jobs: Vec<usize> = jobs.iter().map(Vec::len).collect();
@@ -1249,14 +1432,14 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                             job_txs[w].send(j).expect("window worker exited early");
                         }
                     }
-                    let mut logs: Vec<Option<GroupLog<M>>> = (0..ngroups).map(|_| None).collect();
                     for (w, &njobs) in per_worker_jobs.iter().enumerate() {
                         for _ in 0..njobs {
-                            let (gidx, log) = res_rxs[w].recv().expect("window worker panicked");
-                            logs[gidx] = Some(log);
+                            let (gidx, bufs) =
+                                res_rxs[w].recv().expect("window worker panicked");
+                            window_bufs[gidx] = bufs;
                         }
                     }
-                    let (n, last_at) = merge_window(queue, app_events, logs, base);
+                    let (n, last_at) = merge_window(queue, app_events, window_bufs, base);
                     total += n;
                     note.push((n, last_at));
                 }
@@ -1377,7 +1560,8 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
 
     /// True when host `h`'s uplink is currently serializing a packet.
     pub fn uplink_busy(&self, h: HostId) -> bool {
-        self.host(h).port.busy()
+        let rack = &self.racks[self.topo.rack_of(h) as usize];
+        rack.host_ports[self.topo.index_in_rack(h) as usize].busy()
     }
 
     /// Utilization of host `h`'s TOR→host downlink so far.
@@ -1392,8 +1576,8 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
     pub fn uplink_bytes_by_prio(&self) -> [u64; 8] {
         let mut out = [0u64; 8];
         for rack in &self.racks {
-            for h in &rack.hosts {
-                for (i, b) in h.port.stats.bytes_by_prio.iter().enumerate() {
+            for p in &rack.host_ports {
+                for (i, b) in p.stats.bytes_by_prio.iter().enumerate() {
                     out[i] += b;
                 }
             }
@@ -1418,8 +1602,8 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
     }
 
     /// Every egress port a whole-rack outage touches, in canonical order:
-    /// per host its uplink then its downlink, then per spine the TOR
-    /// uplink and the spine's downlink into the rack.
+    /// per host its uplink then its downlink, then per TOR uplink the
+    /// uplink itself and the upper switch's downlink into the rack.
     fn rack_member_ports(&self, rack: u32) -> Vec<(NodeId, u32)> {
         assert!(rack < self.topo.racks, "no such rack {rack}");
         let mut out = Vec::new();
@@ -1428,21 +1612,51 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
             out.push((NodeId::Host(h), 0));
             out.push((NodeId::Tor(rack), i));
         }
-        for s in 0..self.topo.spines {
-            out.push((NodeId::Tor(rack), self.topo.hosts_per_rack + s));
-            out.push((NodeId::Spine(s), rack));
+        for j in 0..self.topo.tor_uplinks() {
+            let (spine, down) = self.topo.tor_uplink_peer(rack, j);
+            out.push((NodeId::Tor(rack), self.topo.hosts_per_rack + j));
+            out.push((NodeId::Spine(spine), down));
         }
         out
     }
 
-    /// Every egress port a whole-spine outage touches, in canonical
-    /// order: per rack the spine's downlink then the TOR's uplink to it.
+    /// Every egress port a whole-spine (upper-switch) outage touches, in
+    /// canonical order: each of the switch's links as (its own port, the
+    /// peer's port back). On a fat tree `spine` may be an aggregation
+    /// switch (pod edge links + core uplinks) or a core (one link per
+    /// pod).
     fn spine_member_ports(&self, spine: u32) -> Vec<(NodeId, u32)> {
         assert!(spine < self.topo.spines, "no such spine {spine}");
         let mut out = Vec::new();
-        for r in 0..self.topo.racks {
-            out.push((NodeId::Spine(spine), r));
-            out.push((NodeId::Tor(r), self.topo.hosts_per_rack + spine));
+        match self.topo.kind {
+            FabricKind::LeafSpine => {
+                for r in 0..self.topo.racks {
+                    out.push((NodeId::Spine(spine), r));
+                    out.push((NodeId::Tor(r), self.topo.hosts_per_rack + spine));
+                }
+            }
+            FabricKind::FatTree { k } => {
+                let half = k / 2;
+                let naggs = self.topo.num_aggs();
+                if spine < naggs {
+                    let (pod, col) = (spine / half, spine % half);
+                    for i in 0..half {
+                        out.push((NodeId::Spine(spine), i));
+                        out.push((NodeId::Tor(pod * half + i), self.topo.hosts_per_rack + col));
+                    }
+                    for j in 0..half {
+                        out.push((NodeId::Spine(spine), half + j));
+                        out.push((NodeId::Spine(naggs + col * half + j), pod));
+                    }
+                } else {
+                    let cc = spine - naggs;
+                    let (col, j) = (cc / half, cc % half);
+                    for pod in 0..k {
+                        out.push((NodeId::Spine(spine), pod));
+                        out.push((NodeId::Spine(pod * half + col), half + j));
+                    }
+                }
+            }
         }
         out
     }
@@ -1462,11 +1676,38 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                 }
                 LinkId::TorUplink { rack, spine } => {
                     assert!(rack < self.topo.racks && spine < self.topo.spines);
-                    (NodeId::Tor(rack), self.topo.hosts_per_rack + spine)
+                    match self.topo.kind {
+                        FabricKind::LeafSpine => {
+                            (NodeId::Tor(rack), self.topo.hosts_per_rack + spine)
+                        }
+                        FabricKind::FatTree { k } => {
+                            // A TOR only uplinks to its pod's aggregation
+                            // switches.
+                            assert!(
+                                spine < self.topo.num_aggs()
+                                    && spine / (k / 2) == self.topo.pod_of_rack(rack),
+                                "agg {spine} is not in rack {rack}'s pod"
+                            );
+                            (NodeId::Tor(rack), self.topo.hosts_per_rack + spine % (k / 2))
+                        }
+                    }
                 }
                 LinkId::SpineDownlink { spine, rack } => {
                     assert!(rack < self.topo.racks && spine < self.topo.spines);
-                    (NodeId::Spine(spine), rack)
+                    match self.topo.kind {
+                        FabricKind::LeafSpine => (NodeId::Spine(spine), rack),
+                        FabricKind::FatTree { k } => {
+                            // Only pod-local aggregation switches have a
+                            // downlink to a rack's edge (cores link to
+                            // aggs, not TORs).
+                            assert!(
+                                spine < self.topo.num_aggs()
+                                    && spine / (k / 2) == self.topo.pod_of_rack(rack),
+                                "agg {spine} has no downlink into rack {rack}"
+                            );
+                            (NodeId::Spine(spine), rack % (k / 2))
+                        }
+                    }
                 }
             }
         };
@@ -1513,7 +1754,7 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
     /// Whether host `h`'s transport is withholding grants right now
     /// (Figure 16 probe; see [`Transport::withholding_grants`]).
     pub fn withholding(&self, h: HostId) -> bool {
-        self.host(h).transport.withholding_grants(self.now)
+        self.transport(h).withholding_grants(self.now)
     }
 
     /// Collect fabric-level statistics.
@@ -1561,8 +1802,8 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
         };
 
         for rack in &self.racks {
-            for h in &rack.hosts {
-                visit(&h.port);
+            for p in &rack.host_ports {
+                visit(p);
             }
             for p in &rack.tor.ports {
                 visit(p);
@@ -2048,6 +2289,160 @@ mod tests {
         assert_eq!(delivered as u64 + stats.fault_drops, 20, "packets unaccounted for");
         assert!(stats.fault_drops > 0, "no packet ever sprayed onto the dark spine");
         assert!(delivered > 0, "the healthy spine carried nothing");
+    }
+
+    #[test]
+    fn fat_tree_cross_pod_latency_matches_model() {
+        // k=4: racks of 2 hosts, pods of 2 racks. Host 0 (pod 0) to host
+        // 14 (rack 7, pod 3) crosses TOR → agg → core → agg → TOR.
+        let mut net = simple_net(Topology::fat_tree(4));
+        net.inject_message(HostId(0), HostId(14), 1000, 1);
+        net.run_until(SimTime::from_millis(1));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].1, HostId(14));
+        // Wire 1060B: 848ns host link, 4 uplink hops at 40G (212ns), 5
+        // switch delays, 848ns final host link, 1.5µs software.
+        let expect = 848 + 5 * 250 + 4 * 212 + 848 + 1500;
+        assert_eq!(evs[0].0.as_nanos(), expect);
+        // And the unloaded model agrees exactly.
+        let model = net
+            .topology()
+            .unloaded_one_way_class(1000, 1400, 60, crate::topology::PathClass::InterPod);
+        assert_eq!(evs[0].0.as_nanos(), model.as_nanos());
+    }
+
+    #[test]
+    fn fat_tree_intra_pod_latency_matches_model() {
+        // Host 0 (rack 0) to host 2 (rack 1): same pod, one agg hop.
+        let mut net = simple_net(Topology::fat_tree(4));
+        net.inject_message(HostId(0), HostId(2), 1000, 1);
+        net.run_until(SimTime::from_millis(1));
+        let evs = net.take_app_events();
+        assert_eq!(evs.len(), 1);
+        let expect = 848 + 3 * 250 + 2 * 212 + 848 + 1500;
+        assert_eq!(evs[0].0.as_nanos(), expect);
+        let model = net
+            .topology()
+            .unloaded_one_way_class(1000, 1400, 60, crate::topology::PathClass::IntraPod);
+        assert_eq!(evs[0].0.as_nanos(), model.as_nanos());
+    }
+
+    fn fat_tree_scripted(engine: EngineKind) -> (Vec<(u64, u32)>, u64, String) {
+        let topo = Topology::fat_tree(4);
+        let cfg = NetworkConfig::default().with_engine(engine);
+        let mut net = Network::new(topo, cfg, |h| Echoless {
+            me: h,
+            outbox: Default::default(),
+            delivered: 0,
+        });
+        for i in 0..200u32 {
+            net.inject_message(
+                HostId(i % 16),
+                HostId((i * 7 + 1) % 16),
+                300 + (i as u64) * 13,
+                i as u64,
+            );
+            net.run_until(SimTime::from_micros(2 * (i as u64 + 1)));
+        }
+        net.run_until(SimTime::from_millis(5));
+        let evs: Vec<_> =
+            net.take_app_events().into_iter().map(|(t, h, _)| (t.as_nanos(), h.0)).collect();
+        (evs, net.events_processed(), format!("{:?}", net.harvest_stats()))
+    }
+
+    #[test]
+    fn fat_tree_engines_agree_event_for_event() {
+        // Deterministic counter spray means no RNG pre-draw: the fat
+        // tree must still replay bit-identically on every engine.
+        let legacy = fat_tree_scripted(EngineKind::LegacyHeap);
+        assert_eq!(legacy.0.len(), 200, "fat tree lost messages");
+        let hier = fat_tree_scripted(EngineKind::Hierarchical);
+        assert_eq!(hier, legacy);
+        for threads in [1u32, 2] {
+            let par = fat_tree_scripted(EngineKind::ParallelHier { threads });
+            assert_eq!(par, legacy, "ParallelHier x{threads} diverged on fat tree");
+        }
+    }
+
+    #[test]
+    fn fat_tree_spray_uses_every_uplink() {
+        let topo = Topology::fat_tree(4);
+        let hpr = topo.hosts_per_rack as usize;
+        let mut net = simple_net(topo);
+        // One flow, many packets: the counter-mixed hash must still
+        // spread them across both of the TOR's agg uplinks (per-packet
+        // spray, not per-flow ECMP).
+        for i in 0..40u64 {
+            net.inject_message(HostId(0), HostId(15), 500, i);
+        }
+        net.run_until(SimTime::from_millis(5));
+        assert_eq!(net.take_app_events().len(), 40);
+        let up: Vec<u64> =
+            net.racks[0].tor.ports[hpr..].iter().map(|p| p.stats.packets).collect();
+        assert!(up.iter().all(|&n| n > 0), "an uplink never carried traffic: {up:?}");
+        assert_eq!(up.iter().sum::<u64>(), 40);
+    }
+
+    #[test]
+    fn fat_tree_rack_outage_expands_to_all_member_links() {
+        use crate::faults::FaultPlan;
+        // k=4 rack: 2 host links (x2 ports) + 2 uplinks (x2 ports) = 8
+        // ports down + 8 up.
+        let mut net = simple_net(Topology::fat_tree(4));
+        net.install_faults(&FaultPlan::new().rack_outage(0, 1_000, 300_000));
+        net.run_until(SimTime::from_millis(1));
+        assert_eq!(net.harvest_stats().faults_applied, 16);
+    }
+
+    #[test]
+    fn fat_tree_agg_outage_drops_sprayed_packets_only() {
+        use crate::faults::FaultPlan;
+        // Down one of pod 0's aggregation switches: cross-rack traffic
+        // sprayed onto it drops, the other agg keeps carrying.
+        let mut net = simple_net(Topology::fat_tree(4));
+        net.install_faults(&FaultPlan::new().spine_outage(0, 1_000, 2_000_000));
+        net.run_until(SimTime::from_micros(2));
+        for i in 0..20u64 {
+            net.inject_message(HostId(0), HostId(2), 300, i);
+        }
+        net.run_until(SimTime::from_millis(1));
+        let delivered = net.take_app_events().len();
+        let stats = net.harvest_stats();
+        // Agg 0: 2 edge links + 2 core links = 4 member links, down only
+        // (restore is beyond the horizon).
+        assert_eq!(stats.faults_applied, 8);
+        assert_eq!(delivered as u64 + stats.fault_drops, 20, "packets unaccounted for");
+        assert!(stats.fault_drops > 0 && delivered > 0);
+    }
+
+    #[test]
+    fn fat_tree_tor_uplink_fault_resolves_to_pod_local_port() {
+        use crate::faults::{FaultPlan, LinkId};
+        let mut net = simple_net(Topology::fat_tree(4));
+        // Rack 2 is in pod 1 (aggs 2 and 3); its uplink to agg 3 is the
+        // TOR's second uplink port.
+        net.install_faults(&FaultPlan::new().link_flaps(
+            LinkId::TorUplink { rack: 2, spine: 3 },
+            1_000,
+            1_000,
+            10_000,
+            1,
+        ));
+        net.run_until(SimTime::from_millis(1));
+        assert_eq!(net.harvest_stats().faults_applied, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pod")]
+    fn fat_tree_rejects_cross_pod_uplink_fault() {
+        use crate::faults::{Fault, FaultPlan, LinkId};
+        let mut net = simple_net(Topology::fat_tree(4));
+        // Agg 0 lives in pod 0; rack 2 is in pod 1 — no such link.
+        net.install_faults(
+            &FaultPlan::new()
+                .at(1_000, Fault::LinkDown(LinkId::TorUplink { rack: 2, spine: 0 })),
+        );
     }
 
     #[test]

@@ -13,6 +13,16 @@
 //! Both are instances of a two-level leaf–spine parameterized here. Packets
 //! travelling between racks are sprayed uniformly across spine uplinks
 //! (per-packet load balancing, §2.2 of the paper).
+//!
+//! For experiments beyond the paper's fabric size the same struct also
+//! describes a **three-tier k-ary fat tree** ([`Topology::fat_tree`]):
+//! k pods of k/2 edge (TOR) and k/2 aggregation switches plus (k/2)²
+//! cores, for k³/4 hosts. The `kind` field selects the wiring; every
+//! accessor that depends on it ([`tor_uplinks`](Topology::tor_uplinks),
+//! [`tor_uplink_peer`](Topology::tor_uplink_peer),
+//! [`path_class`](Topology::path_class)) is kind-aware so the network
+//! layer, fault resolution and the unloaded-latency model share one
+//! source of truth.
 
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -38,15 +48,74 @@ pub enum NodeId {
     Spine(u32),
 }
 
-/// A leaf–spine fabric description.
+/// How the switch layers above the TORs are wired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FabricKind {
+    /// Two tiers: every TOR has one uplink to every spine switch.
+    LeafSpine,
+    /// Three tiers: a k-ary fat tree. Racks are edge switches grouped
+    /// into pods of k/2; the `spines` field counts aggregation switches
+    /// (ids `0..k²/2`, k/2 per pod) followed by core switches
+    /// (ids `k²/2..k²/2 + k²/4`).
+    FatTree {
+        /// Fat-tree arity (even, ≥ 4): k pods, k/2 hosts per edge.
+        k: u32,
+    },
+}
+
+/// How far apart two hosts sit in the fabric — the key for the
+/// unloaded-latency model (and the slowdown denominator cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathClass {
+    /// Same rack: host → TOR → host.
+    SameRack,
+    /// Different rack, same pod (fat tree only): two uplink-speed hops
+    /// through one aggregation switch.
+    IntraPod,
+    /// Cross-pod (fat tree: through a core; leaf–spine: through a
+    /// spine — the leaf–spine fabric has a single "pod").
+    InterPod,
+}
+
+/// Why a validated topology constructor rejected its arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// `multi_tor`: no rack size of 10, 16 or 8 divides the host count
+    /// into at least two racks.
+    AwkwardHostCount(u32),
+    /// `fat_tree`: the arity must be even and at least 4.
+    BadFatTreeArity(u32),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::AwkwardHostCount(hosts) => write!(
+                f,
+                "multi_tor: pick a host count >= 16 divisible by 10, 16 or 8, got {hosts}"
+            ),
+            TopologyError::BadFatTreeArity(k) => {
+                write!(f, "fat_tree: arity must be even and >= 4, got {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A fabric description: leaf–spine or three-tier fat tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Topology {
     /// Number of racks (each with one TOR switch).
     pub racks: u32,
     /// Hosts per rack.
     pub hosts_per_rack: u32,
-    /// Number of spine switches (0 for a single-rack cluster).
+    /// Number of switches above the TOR tier (0 for a single-rack
+    /// cluster). Leaf–spine: the spine count. Fat tree: aggregation +
+    /// core switches (see [`FabricKind::FatTree`] for the id layout).
     pub spines: u32,
+    /// Wiring of the tiers above the TORs.
+    pub kind: FabricKind,
     /// Host↔TOR link speed in bits/second.
     pub host_link_bps: u64,
     /// TOR↔spine link speed in bits/second.
@@ -68,6 +137,7 @@ impl Topology {
             racks: 9,
             hosts_per_rack: 16,
             spines: 4,
+            kind: FabricKind::LeafSpine,
             host_link_bps: 10_000_000_000,
             uplink_bps: 40_000_000_000,
             switch_delay: SimDuration::from_nanos(250),
@@ -93,20 +163,59 @@ impl Topology {
     /// If no rack size of 10, 16 or 8 divides `hosts` into at least two
     /// racks (so `hosts` must be ≥ 16 and divisible by one of them;
     /// counts like 8 or 10 make a single rack — use
-    /// [`single_switch`](Self::single_switch) for those).
+    /// [`single_switch`](Self::single_switch) for those). CLI paths that
+    /// want a one-line error instead use
+    /// [`try_multi_tor`](Self::try_multi_tor).
+    #[track_caller]
     pub fn multi_tor(hosts: u32) -> Self {
+        Topology::try_multi_tor(hosts).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`multi_tor`](Self::multi_tor) that reports awkward host counts
+    /// as a [`TopologyError`] instead of panicking.
+    pub fn try_multi_tor(hosts: u32) -> Result<Self, TopologyError> {
         let hosts_per_rack = [10u32, 16, 8]
             .into_iter()
             .find(|hpr| hosts % hpr == 0 && hosts / hpr >= 2)
-            .unwrap_or_else(|| {
-                panic!("multi_tor: pick a host count >= 16 divisible by 10, 16 or 8, got {hosts}")
-            });
+            .ok_or(TopologyError::AwkwardHostCount(hosts))?;
         let racks = hosts / hosts_per_rack;
         let base = Topology::paper_fabric();
         // Enough spine bandwidth that a rack's full uplink demand fits:
         // hosts_per_rack * 10G <= spines * 40G.
         let spines = (hosts_per_rack as u64 * base.host_link_bps).div_ceil(base.uplink_bps) as u32;
-        Topology { racks, hosts_per_rack, spines, ..base }
+        Ok(Topology { racks, hosts_per_rack, spines, ..base })
+    }
+
+    /// A k-ary three-tier fat tree with the paper's link speeds and
+    /// delays: k pods, each with k/2 edge (TOR) switches of k/2 hosts
+    /// and k/2 aggregation switches, plus (k/2)² core switches — k³/4
+    /// hosts total (k = 16 gives 1024 hosts). Every TOR has one uplink
+    /// per pod-local aggregation switch; aggregation switch `i` of a pod
+    /// uplinks to cores `i·k/2 .. (i+1)·k/2`. Cross-rack packets are
+    /// sprayed deterministically across uplinks at every tier (see
+    /// `Network`).
+    ///
+    /// # Panics
+    /// If `k` is odd or below 4 ([`try_fat_tree`](Self::try_fat_tree)
+    /// returns the error instead).
+    #[track_caller]
+    pub fn fat_tree(k: u32) -> Self {
+        Topology::try_fat_tree(k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`fat_tree`](Self::fat_tree) with a `Result` for CLI paths.
+    pub fn try_fat_tree(k: u32) -> Result<Self, TopologyError> {
+        if k < 4 || k % 2 != 0 {
+            return Err(TopologyError::BadFatTreeArity(k));
+        }
+        let half = k / 2;
+        Ok(Topology {
+            racks: k * half,            // k pods * k/2 edge switches
+            hosts_per_rack: half,       // k/2 hosts per edge switch
+            spines: k * half + half * half, // aggs then cores
+            kind: FabricKind::FatTree { k },
+            ..Topology::paper_fabric()
+        })
     }
 
     /// The implementation cluster of §5.1: `n` hosts on a single 10 Gbps
@@ -116,6 +225,7 @@ impl Topology {
             racks: 1,
             hosts_per_rack: n,
             spines: 0,
+            kind: FabricKind::LeafSpine,
             host_link_bps: 10_000_000_000,
             uplink_bps: 40_000_000_000,
             switch_delay: SimDuration::from_nanos(250),
@@ -139,9 +249,76 @@ impl Topology {
         h.0 % self.hosts_per_rack
     }
 
+    /// Number of uplink ports on a TOR switch: one per spine in a
+    /// leaf–spine fabric, one per pod-local aggregation switch (k/2) in
+    /// a fat tree.
+    pub fn tor_uplinks(&self) -> u32 {
+        match self.kind {
+            FabricKind::LeafSpine => self.spines,
+            FabricKind::FatTree { k } => k / 2,
+        }
+    }
+
     /// Number of egress ports on a TOR switch (down + up).
     pub fn tor_ports(&self) -> u32 {
-        self.hosts_per_rack + self.spines
+        self.hosts_per_rack + self.tor_uplinks()
+    }
+
+    /// Aggregation switches in a fat tree (0 in a leaf–spine fabric,
+    /// where every upper-tier switch is a "spine").
+    pub fn num_aggs(&self) -> u32 {
+        match self.kind {
+            FabricKind::LeafSpine => 0,
+            FabricKind::FatTree { k } => k * (k / 2),
+        }
+    }
+
+    /// Core switches in a fat tree (0 in a leaf–spine fabric).
+    pub fn num_cores(&self) -> u32 {
+        match self.kind {
+            FabricKind::LeafSpine => 0,
+            FabricKind::FatTree { k } => (k / 2) * (k / 2),
+        }
+    }
+
+    /// The pod a rack belongs to (0 in a leaf–spine fabric, which is a
+    /// single pod).
+    pub fn pod_of_rack(&self, rack: u32) -> u32 {
+        match self.kind {
+            FabricKind::LeafSpine => 0,
+            FabricKind::FatTree { k } => rack / (k / 2),
+        }
+    }
+
+    /// The upper-tier switch and its down-port at the far end of TOR
+    /// `rack`'s uplink `j` (`j < tor_uplinks()`): `(spine_id,
+    /// spine_down_port)`. Leaf–spine: spine `j`, down port `rack`. Fat
+    /// tree: the pod's `j`-th aggregation switch, whose down port is the
+    /// rack's index within the pod.
+    pub fn tor_uplink_peer(&self, rack: u32, j: u32) -> (u32, u32) {
+        match self.kind {
+            FabricKind::LeafSpine => (j, rack),
+            FabricKind::FatTree { k } => {
+                let half = k / 2;
+                (self.pod_of_rack(rack) * half + j, rack % half)
+            }
+        }
+    }
+
+    /// How far apart two hosts sit (the unloaded-latency path class).
+    pub fn path_class(&self, a: HostId, b: HostId) -> PathClass {
+        let (ra, rb) = (self.rack_of(a), self.rack_of(b));
+        if ra == rb {
+            PathClass::SameRack
+        } else if let FabricKind::FatTree { .. } = self.kind {
+            if self.pod_of_rack(ra) == self.pod_of_rack(rb) {
+                PathClass::IntraPod
+            } else {
+                PathClass::InterPod
+            }
+        } else {
+            PathClass::InterPod
+        }
     }
 
     /// The minimum delay for a transmitted packet to *arrive* at the next
@@ -178,13 +355,46 @@ impl Topology {
 
     /// [`unloaded_one_way`](Self::unloaded_one_way) with explicit path
     /// selection: `cross_rack = false` computes the two-hop, single-switch
-    /// path for hosts in the same rack.
+    /// path for hosts in the same rack; `true` assumes the longest path
+    /// in the fabric (cross-pod on a fat tree). Callers that know the
+    /// exact path use [`unloaded_one_way_class`](Self::unloaded_one_way_class).
     pub fn unloaded_one_way_path(
         &self,
         len: u64,
         per_packet_payload: u64,
         per_packet_overhead: u64,
         cross_rack: bool,
+    ) -> SimDuration {
+        let class = if cross_rack { PathClass::InterPod } else { PathClass::SameRack };
+        self.unloaded_one_way_class(len, per_packet_payload, per_packet_overhead, class)
+    }
+
+    /// The number of uplink-speed hops, switch traversals and propagation
+    /// hops of the class's store-and-forward path (host links excluded:
+    /// every path starts and ends with one).
+    fn path_hops(&self, class: PathClass) -> (u64, u64, u64) {
+        match (class, self.kind) {
+            // Host -> TOR -> host.
+            (PathClass::SameRack, _) => (0, 1, 2),
+            // Host -> TOR -> spine/agg -> TOR -> host. A leaf–spine
+            // fabric is a single pod, so its cross-rack path is the
+            // same shape regardless of the class label.
+            (PathClass::IntraPod, _) | (PathClass::InterPod, FabricKind::LeafSpine) => (2, 3, 4),
+            // Host -> TOR -> agg -> core -> agg -> TOR -> host.
+            (PathClass::InterPod, FabricKind::FatTree { .. }) => (4, 5, 6),
+        }
+    }
+
+    /// The minimum one-way latency for `len` application bytes between
+    /// hosts separated by `class`, per the store-and-forward model. All
+    /// bytes serialize onto the host uplink back-to-back; the *last*
+    /// packet then store-and-forwards across the remaining hops.
+    pub fn unloaded_one_way_class(
+        &self,
+        len: u64,
+        per_packet_payload: u64,
+        per_packet_overhead: u64,
+        class: PathClass,
     ) -> SimDuration {
         let full_pkts = len / per_packet_payload;
         let tail = len % per_packet_payload;
@@ -197,22 +407,12 @@ impl Topology {
         };
         let wire_total = len + npkts * per_packet_overhead;
 
-        // All bytes serialize onto the host uplink back-to-back; the *last*
-        // packet then store-and-forwards across the remaining hops.
+        let (uplink_hops, switch_hops, prop_hops) = self.path_hops(class);
         let first_link = SimDuration::serialization(wire_total, self.host_link_bps);
         let mut rest = SimDuration::ZERO;
-        if cross_rack {
-            // TOR -> spine -> TOR -> host: two uplink-speed hops + one
-            // host-speed hop + three switch delays.
-            rest += self.switch_delay * 3;
-            rest += SimDuration::serialization(last_pkt_bytes, self.uplink_bps) * 2;
-            rest += SimDuration::serialization(last_pkt_bytes, self.host_link_bps);
-        } else {
-            // Single switch: one more host-speed hop + one switch delay.
-            rest += self.switch_delay;
-            rest += SimDuration::serialization(last_pkt_bytes, self.host_link_bps);
-        }
-        let prop_hops = if cross_rack { 4 } else { 2 };
+        rest += self.switch_delay * switch_hops;
+        rest += SimDuration::serialization(last_pkt_bytes, self.uplink_bps) * uplink_hops;
+        rest += SimDuration::serialization(last_pkt_bytes, self.host_link_bps);
         first_link + rest + self.prop_delay * prop_hops + self.host_sw_delay
     }
 
@@ -222,18 +422,16 @@ impl Topology {
     /// wire) travelling back. This is the quantity the paper uses to define
     /// `RTTbytes` (§2.2: "about 9.7 Kbytes" on the simulated fabric).
     pub fn control_data_rtt(&self, ctrl_bytes: u64, data_bytes: u64) -> SimDuration {
+        // The pacing RTT is the fabric's *longest* unloaded path: cross-pod
+        // on a fat tree, cross-rack on a leaf–spine.
+        let class = if self.spines > 0 { PathClass::InterPod } else { PathClass::SameRack };
+        let (uplink_hops, switch_hops, prop_hops) = self.path_hops(class);
         let one_way = |bytes: u64| -> SimDuration {
             let mut d = SimDuration::ZERO;
-            if self.spines > 0 {
-                d += SimDuration::serialization(bytes, self.host_link_bps) * 2;
-                d += SimDuration::serialization(bytes, self.uplink_bps) * 2;
-                d += self.switch_delay * 3;
-                d += self.prop_delay * 4;
-            } else {
-                d += SimDuration::serialization(bytes, self.host_link_bps) * 2;
-                d += self.switch_delay;
-                d += self.prop_delay * 2;
-            }
+            d += SimDuration::serialization(bytes, self.host_link_bps) * 2;
+            d += SimDuration::serialization(bytes, self.uplink_bps) * uplink_hops;
+            d += self.switch_delay * switch_hops;
+            d += self.prop_delay * prop_hops;
             d
         };
         one_way(ctrl_bytes) + self.host_sw_delay + one_way(data_bytes) + self.host_sw_delay
@@ -358,5 +556,98 @@ mod tests {
         let big = Topology::paper_fabric();
         let small = Topology::single_switch(16);
         assert!(small.unloaded_one_way(100, 1400, 60) < big.unloaded_one_way(100, 1400, 60));
+    }
+
+    #[test]
+    fn fat_tree_shapes() {
+        let t = Topology::fat_tree(4);
+        assert_eq!((t.racks, t.hosts_per_rack, t.num_hosts()), (8, 2, 16));
+        assert_eq!((t.num_aggs(), t.num_cores(), t.spines), (8, 4, 12));
+        assert_eq!(t.tor_uplinks(), 2);
+        assert_eq!(t.tor_ports(), 4);
+
+        let t = Topology::fat_tree(16);
+        assert_eq!((t.racks, t.hosts_per_rack, t.num_hosts()), (128, 8, 1024));
+        assert_eq!((t.num_aggs(), t.num_cores(), t.spines), (128, 64, 192));
+        assert_eq!(t.tor_uplinks(), 8);
+    }
+
+    #[test]
+    fn fat_tree_uplink_peers_and_pods() {
+        let t = Topology::fat_tree(4);
+        // Rack 0 and 1 form pod 0; rack 2 and 3 form pod 1; ...
+        assert_eq!(t.pod_of_rack(0), 0);
+        assert_eq!(t.pod_of_rack(1), 0);
+        assert_eq!(t.pod_of_rack(2), 1);
+        assert_eq!(t.pod_of_rack(7), 3);
+        // Pod-local aggregation switches, down port = rack index in pod.
+        assert_eq!(t.tor_uplink_peer(0, 0), (0, 0));
+        assert_eq!(t.tor_uplink_peer(0, 1), (1, 0));
+        assert_eq!(t.tor_uplink_peer(1, 0), (0, 1));
+        assert_eq!(t.tor_uplink_peer(3, 1), (3, 1));
+        assert_eq!(t.tor_uplink_peer(7, 1), (7, 1));
+        // Leaf–spine wiring unchanged: spine j, down port = rack.
+        let ls = Topology::multi_tor(40);
+        assert_eq!(ls.tor_uplink_peer(2, 1), (1, 2));
+        assert_eq!(ls.pod_of_rack(3), 0);
+    }
+
+    #[test]
+    fn fat_tree_path_classes() {
+        let t = Topology::fat_tree(4); // hpr=2, racks of pods {0,1},{2,3},...
+        assert_eq!(t.path_class(HostId(0), HostId(1)), PathClass::SameRack);
+        assert_eq!(t.path_class(HostId(0), HostId(2)), PathClass::IntraPod);
+        assert_eq!(t.path_class(HostId(0), HostId(4)), PathClass::InterPod);
+        let ls = Topology::paper_fabric();
+        assert_eq!(ls.path_class(HostId(0), HostId(1)), PathClass::SameRack);
+        assert_eq!(ls.path_class(HostId(0), HostId(16)), PathClass::InterPod);
+    }
+
+    #[test]
+    fn fat_tree_unloaded_ordering() {
+        let t = Topology::fat_tree(16);
+        for len in [100u64, 10_000, 1_000_000] {
+            let same = t.unloaded_one_way_class(len, 1400, 60, PathClass::SameRack);
+            let intra = t.unloaded_one_way_class(len, 1400, 60, PathClass::IntraPod);
+            let inter = t.unloaded_one_way_class(len, 1400, 60, PathClass::InterPod);
+            assert!(same < intra, "same-rack not shortest at {len}");
+            assert!(intra < inter, "intra-pod not shorter than cross-pod at {len}");
+        }
+        // On a leaf–spine fabric InterPod and IntraPod are the same path,
+        // and unloaded_one_way keeps its historical (cross-rack) value.
+        let ls = Topology::paper_fabric();
+        assert_eq!(
+            ls.unloaded_one_way_class(100, 1400, 60, PathClass::IntraPod),
+            ls.unloaded_one_way_class(100, 1400, 60, PathClass::InterPod)
+        );
+        assert_eq!(
+            ls.unloaded_one_way(100, 1400, 60),
+            ls.unloaded_one_way_path(100, 1400, 60, true)
+        );
+    }
+
+    #[test]
+    fn try_constructors_report_errors() {
+        assert_eq!(Topology::try_multi_tor(17), Err(TopologyError::AwkwardHostCount(17)));
+        assert!(Topology::try_multi_tor(17).unwrap_err().to_string().contains("multi_tor"));
+        assert_eq!(Topology::try_fat_tree(3), Err(TopologyError::BadFatTreeArity(3)));
+        assert_eq!(Topology::try_fat_tree(5), Err(TopologyError::BadFatTreeArity(5)));
+        assert!(Topology::try_fat_tree(2).unwrap_err().to_string().contains("fat_tree"));
+        assert!(Topology::try_fat_tree(4).is_ok());
+        assert!(Topology::try_multi_tor(40).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "fat_tree")]
+    fn fat_tree_rejects_odd_arity() {
+        let _ = Topology::fat_tree(5);
+    }
+
+    #[test]
+    fn fat_tree_rtt_larger_than_leaf_spine() {
+        let ft = Topology::fat_tree(16);
+        let ls = Topology::paper_fabric();
+        assert!(ft.control_data_rtt(64, 1538) > ls.control_data_rtt(64, 1538));
+        assert!(ft.rtt_bytes(64, 1538) > ls.rtt_bytes(64, 1538));
     }
 }

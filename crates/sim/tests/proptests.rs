@@ -305,3 +305,56 @@ proptest! {
         prop_assert!(d.preemption_lag.as_nanos() <= total);
     }
 }
+
+proptest! {
+    /// Fat-tree structural invariants hold for every legal arity: host
+    /// addressing round-trips, every TOR uplink lands on a pod-local
+    /// aggregation switch, and each of a pod's aggs is reachable.
+    #[test]
+    fn fat_tree_addressing_and_uplinks_consistent(half in 2u32..7) {
+        let k = half * 2;
+        let topo = homa_sim::Topology::fat_tree(k);
+        prop_assert_eq!(topo.num_hosts(), k * k * k / 4);
+        prop_assert_eq!(topo.num_aggs(), k * k / 2);
+        prop_assert_eq!(topo.num_cores(), k * k / 4);
+        prop_assert_eq!(topo.tor_uplinks(), half);
+        for h in topo.hosts() {
+            let (r, i) = (topo.rack_of(h), topo.index_in_rack(h));
+            prop_assert_eq!(r * topo.hosts_per_rack + i, h.0);
+            prop_assert!(i < topo.hosts_per_rack);
+        }
+        for rack in 0..topo.racks {
+            let pod = topo.pod_of_rack(rack);
+            let mut aggs_seen = std::collections::BTreeSet::new();
+            for j in 0..topo.tor_uplinks() {
+                let (agg, down_port) = topo.tor_uplink_peer(rack, j);
+                prop_assert_eq!(agg / half, pod, "uplink leaves the pod");
+                prop_assert_eq!(down_port, rack % half);
+                aggs_seen.insert(agg);
+            }
+            prop_assert_eq!(aggs_seen.len() as u32, half, "uplinks collide on an agg");
+        }
+    }
+
+    /// Unloaded latency respects the hop hierarchy on any fat tree and
+    /// any message size: same-rack <= intra-pod <= inter-pod, the path
+    /// class is symmetric, and the conservative-window lookahead is
+    /// positive (the PDES correctness floor).
+    #[test]
+    fn fat_tree_unloaded_monotone_and_symmetric(
+        half in 2u32..6,
+        len in 1u64..200_000,
+        a in 0u32..1_000,
+        b in 0u32..1_000,
+    ) {
+        use homa_sim::PathClass;
+        let topo = homa_sim::Topology::fat_tree(half * 2);
+        let n = topo.num_hosts();
+        let (a, b) = (homa_sim::HostId(a % n), homa_sim::HostId(b % n));
+        prop_assert_eq!(topo.path_class(a, b), topo.path_class(b, a));
+        let t = |c| topo.unloaded_one_way_class(len, 1_400, 60, c).as_nanos();
+        prop_assert!(t(PathClass::SameRack) <= t(PathClass::IntraPod));
+        prop_assert!(t(PathClass::IntraPod) <= t(PathClass::InterPod));
+        prop_assert!(topo.min_forward_delay().as_nanos() > 0);
+    }
+}

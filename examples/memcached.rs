@@ -28,7 +28,7 @@ fn main() {
 
     for p in [Protocol::Homa, Protocol::Phost] {
         let res =
-            run_protocol_oneway(p, &topo, &dist, 0.8, 20_000, 42, &OnewayOpts::default(), None);
+            run_protocol_oneway(p, &topo, &dist, 0.8, 20_000, 42, &OnewayOpts::default().with_records(), None);
         let s = SlowdownSummary::from_records(&res.records, 10);
         println!("\n{} — delivered {}/{} messages", p.name(), res.delivered, res.injected);
         print!("{}", slowdown_table("slowdown by message-size decile:", &s));

@@ -51,7 +51,7 @@ fn main() {
         Protocol::Ndp,
         Protocol::Stream,
     ] {
-        let res = run_protocol_scenario(p, &spec, &OnewayOpts::default(), None);
+        let res = run_protocol_scenario(p, &spec, &OnewayOpts::default().with_records(), None);
         assert_eq!(res.injected, spec.messages);
         assert_eq!(res.delivered + res.aborted + res.lost, spec.messages);
         let s = SlowdownSummary::from_records(&res.records, 1);

@@ -22,7 +22,7 @@ fn delay_attribution_shows_preemption_lag_dominates() {
         0.8,
         6_000,
         21,
-        &OnewayOpts { track_delay: true, ..OnewayOpts::default() },
+        &OnewayOpts { track_delay: true, ..OnewayOpts::default() }.with_records(),
         None,
     );
     let mut recs = res.records.clone();
@@ -89,7 +89,7 @@ fn more_unscheduled_levels_improve_w1_tails() {
             0.8,
             8_000,
             31,
-            &OnewayOpts::default(),
+            &OnewayOpts::default().with_records(),
             Some(cfg),
         );
         SlowdownSummary::small_message_p99(&res.records, 0.5)
@@ -117,7 +117,7 @@ fn blind_transmission_matters_for_small_messages() {
             0.7,
             1_200,
             41,
-            &OnewayOpts::default(),
+            &OnewayOpts::default().with_records(),
             Some(cfg),
         );
         SlowdownSummary::small_message_p99(&res.records, 0.4)
@@ -145,7 +145,7 @@ fn pias_single_packet_messages_ride_top_priority_on_w3() {
         0.7,
         4_000,
         51,
-        &OnewayOpts::default(),
+        &OnewayOpts::default().with_records(),
         None,
     );
     let pias = run_protocol_oneway(
@@ -155,7 +155,7 @@ fn pias_single_packet_messages_ride_top_priority_on_w3() {
         0.7,
         4_000,
         51,
-        &OnewayOpts::default(),
+        &OnewayOpts::default().with_records(),
         None,
     );
     let h = SlowdownSummary::small_message_p99(&homa.records, 0.3);
@@ -173,7 +173,7 @@ fn pias_single_packet_messages_ride_top_priority_on_w3() {
         0.7,
         6_000,
         51,
-        &OnewayOpts::default(),
+        &OnewayOpts::default().with_records(),
         None,
     );
     let pias1 = run_protocol_oneway(
@@ -183,7 +183,7 @@ fn pias_single_packet_messages_ride_top_priority_on_w3() {
         0.7,
         6_000,
         51,
-        &OnewayOpts::default(),
+        &OnewayOpts::default().with_records(),
         None,
     );
     let h1 = SlowdownSummary::small_message_p99(&homa1.records, 0.3);

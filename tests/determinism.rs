@@ -21,7 +21,7 @@ use homa_workloads::{TrafficSpec, VictimSpec, Workload};
 /// full fabric statistics. Debug formatting is lossless for the integer
 /// fields and bit-faithful for the floats.
 fn run_signature(p: Protocol, spec: &ScenarioSpec) -> (String, String, u64, u64) {
-    let res = run_protocol_scenario(p, spec, &OnewayOpts::default(), None);
+    let res = run_protocol_scenario(p, spec, &OnewayOpts::default().with_records(), None);
     assert_eq!(res.injected, spec.messages, "{}: injection shortfall", spec.name);
     assert_eq!(
         res.delivered + res.aborted + res.lost,
@@ -194,6 +194,36 @@ fn homa_engines_agree_under_spine_outage() {
     )
     .with_traffic(TrafficSpec::shuffle())
     .with_faults(FaultPlan::new().spine_outage(0, 300_000, 900_000));
+    assert_engines_agree(Protocol::Homa, spec);
+}
+
+#[test]
+fn homa_engines_agree_on_faulted_fat_tree() {
+    // The 1k-host scale fabric in miniature: a k=4 fat tree with the
+    // deterministic counter-spray on TOR, aggregation and core tiers,
+    // stressed with the same fault vocabulary as the leaf–spine rows.
+    // Agg 0 serves pod 0, so `TorUplink { rack: 0, spine: 0 }` is a
+    // valid pod-local uplink for the rate limit.
+    let spec = ScenarioSpec::new(
+        "det_fault_fat_tree",
+        FabricSpec::FatTree { k: 4 },
+        Workload::W2,
+        0.5,
+        700,
+        23,
+    )
+    .with_traffic(TrafficSpec::shuffle())
+    .with_faults(
+        FaultPlan::new()
+            .link_flaps(LinkId::HostDownlink(HostId(1)), 300_000, 150_000, 600_000, 4)
+            .receiver_pause(HostId(5), 500_000, 900_000)
+            .rate_limit(
+                LinkId::TorUplink { rack: 0, spine: 0 },
+                100_000,
+                2_000_000,
+                10_000_000_000,
+            ),
+    );
     assert_engines_agree(Protocol::Homa, spec);
 }
 

@@ -20,7 +20,7 @@ fn homa_delivers_everything_on_the_fabric_at_80_percent() {
         0.8,
         3_000,
         7,
-        &OnewayOpts::default(),
+        &OnewayOpts::default().with_records(),
         None,
     );
     assert_eq!(res.delivered, res.injected, "no lost messages");
@@ -45,7 +45,7 @@ fn homa_tail_latency_beats_streaming_under_load() {
         0.7,
         4_000,
         3,
-        &OnewayOpts::default(),
+        &OnewayOpts::default().with_records(),
         None,
     );
     let stream = run_protocol_oneway(
@@ -55,7 +55,7 @@ fn homa_tail_latency_beats_streaming_under_load() {
         0.7,
         4_000,
         3,
-        &OnewayOpts::default(),
+        &OnewayOpts::default().with_records(),
         None,
     );
     let h = SlowdownSummary::small_message_p99(&homa.records, 0.5);
@@ -105,7 +105,7 @@ fn restricting_priorities_hurts_tail_latency() {
             0.8,
             8_000,
             11,
-            &OnewayOpts::default(),
+            &OnewayOpts::default().with_records(),
         );
         assert!(res.delivered >= res.injected * 99 / 100);
         SlowdownSummary::small_message_p99(&res.records, 0.5)
@@ -147,7 +147,7 @@ fn deterministic_experiments() {
             0.6,
             500,
             99,
-            &OnewayOpts::default(),
+            &OnewayOpts::default().with_records(),
             None,
         );
         res.records.iter().map(|r| (r.size, r.completed_ns)).collect::<Vec<_>>()

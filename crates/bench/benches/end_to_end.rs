@@ -3,21 +3,26 @@
 //! (Criterion companion to the `repro` binary's figure runs.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use homa_bench::{run_protocol_oneway, Protocol};
+use homa_bench::{run_protocol_scenario, Protocol};
 use homa_harness::driver::OnewayOpts;
-use homa_sim::Topology;
+use homa_harness::{FabricSpec, ScenarioSpec};
 use homa_workloads::Workload;
 
 fn bench_protocols(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
-    let topo = Topology::single_switch(8);
-    let dist = Workload::W2.dist();
+    let spec = ScenarioSpec::new(
+        "bench_oneway_w2",
+        FabricSpec::SingleSwitch { hosts: 8 },
+        Workload::W2,
+        0.6,
+        500,
+        1,
+    );
     for p in [Protocol::Homa, Protocol::Basic, Protocol::Pfabric, Protocol::Phost, Protocol::Pias] {
         g.bench_with_input(BenchmarkId::new("oneway_500msgs_w2", p.name()), &p, |b, &p| {
             b.iter(|| {
-                let res =
-                    run_protocol_oneway(p, &topo, &dist, 0.6, 500, 1, &OnewayOpts::default(), None);
+                let res = run_protocol_scenario(p, &spec, &OnewayOpts::default(), None);
                 assert!(res.delivered >= 495);
                 res.delivered
             })
@@ -29,22 +34,15 @@ fn bench_protocols(c: &mut Criterion) {
 fn bench_fabric_scale(c: &mut Criterion) {
     let mut g = c.benchmark_group("end_to_end");
     g.sample_size(10);
-    let dist = Workload::W1.dist();
-    for (label, topo) in
-        [("single16", Topology::single_switch(16)), ("fabric24", Topology::scaled_fabric(3, 8, 2))]
-    {
+    for (label, fabric) in [
+        ("single16", FabricSpec::SingleSwitch { hosts: 16 }),
+        ("fabric24", FabricSpec::LeafSpine { racks: 3, hosts_per_rack: 8, spines: 2 }),
+    ] {
+        let spec = ScenarioSpec::new("bench_w1_1k", fabric, Workload::W1, 0.8, 1_000, 2);
         g.bench_function(format!("homa_w1_1k_{label}"), |b| {
             b.iter(|| {
-                let res = run_protocol_oneway(
-                    Protocol::Homa,
-                    &topo,
-                    &dist,
-                    0.8,
-                    1_000,
-                    2,
-                    &OnewayOpts::default(),
-                    None,
-                );
+                let res =
+                    run_protocol_scenario(Protocol::Homa, &spec, &OnewayOpts::default(), None);
                 assert_eq!(res.delivered, 1_000);
             })
         });
@@ -72,12 +70,8 @@ fn bench_100host_engines(c: &mut Criterion) {
         .with_engine(engine);
         g.bench_function(format!("homa_w4_100host_{label}"), |b| {
             b.iter(|| {
-                let res = homa_bench::run_protocol_scenario(
-                    Protocol::Homa,
-                    &spec,
-                    &OnewayOpts::default(),
-                    None,
-                );
+                let res =
+                    run_protocol_scenario(Protocol::Homa, &spec, &OnewayOpts::default(), None);
                 assert!(res.delivered >= 495);
                 res.stats.events_processed
             })

@@ -300,7 +300,11 @@ fn compare(base_path: &str, cur_path: &str, tolerance: f64) -> i32 {
         "scenario", "base ms", "cur ms", "base ev/s", "cur ev/s", "base rss", "cur rss"
     );
     let rss_col = |kb: u64| {
-        if kb > 0 { format!("{:.1} MiB", kb as f64 / 1024.0) } else { "-".to_string() }
+        if kb > 0 {
+            format!("{:.1} MiB", kb as f64 / 1024.0)
+        } else {
+            "-".to_string()
+        }
     };
     for b in &base.scenarios {
         if let Some(c) = cur.scenarios.iter().find(|s| s.name == b.name) {

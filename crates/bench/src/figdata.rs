@@ -12,16 +12,17 @@
 //! [`measured_points`]); everything else is free-form per figure.
 
 use crate::perfjson::{render_table, Field, FigRow, FigTable};
-use crate::{run_protocol_oneway, run_protocol_rpc, Protocol};
+use crate::{run_protocol_rpc_scenario, run_protocol_scenario, Protocol};
 use homa::HomaConfig;
 use homa_baselines::homa_sim::static_map_for_workload;
 use homa_baselines::HomaSimTransport;
-use homa_harness::capacity::max_sustainable_load;
-use homa_harness::driver::{run_incast, OnewayOpts, RpcOpts};
+use homa_harness::capacity::{max_sustainable_load, max_sustainable_load_with, CapacitySearch};
+use homa_harness::driver::{IncastOpts, OnewayOpts, RpcOpts};
 use homa_harness::figures::{self, MeasuredPoint};
 use homa_harness::render::{delta_report, fmt_bps, fmt_bytes, slowdown_table};
 use homa_harness::slowdown::SlowdownSummary;
-use homa_sim::{NetworkConfig, PortClass, SimDuration, Topology};
+use homa_harness::{FabricSpec, ScenarioSpec};
+use homa_sim::{PortClass, SimDuration, Topology};
 use homa_workloads::Workload;
 use std::collections::BTreeMap;
 
@@ -58,12 +59,23 @@ impl Default for ReproOpts {
 impl ReproOpts {
     /// Simulation fabric: scaled-down by default, Figure 11's 144 hosts
     /// with `--full`.
-    pub fn fabric(&self) -> Topology {
+    pub fn fabric_spec(&self) -> FabricSpec {
         if self.full {
-            Topology::paper_fabric()
+            FabricSpec::Paper
         } else {
-            Topology::scaled_fabric(3, 8, 2)
+            FabricSpec::LeafSpine { racks: 3, hosts_per_rack: 8, spines: 2 }
         }
+    }
+
+    /// The fabric as a concrete topology (for printing shapes and
+    /// computing link capacities).
+    pub fn fabric(&self) -> Topology {
+        self.fabric_spec().topology()
+    }
+
+    /// A one-way [`ScenarioSpec`] on this run's fabric and seed.
+    fn spec(&self, name: &str, w: Workload, load: f64, msgs: u64) -> ScenarioSpec {
+        ScenarioSpec::new(name, self.fabric_spec(), w, load, msgs, self.seed)
     }
 
     /// Message budget per workload, chosen so event counts (~bytes) are
@@ -110,25 +122,18 @@ impl Row {
         self
     }
 
-    /// The canonical comparison columns in one call.
-    #[allow(clippy::too_many_arguments)]
-    fn point(
-        self,
-        workload: &str,
-        protocol: &str,
-        variant: &str,
-        load: f64,
-        metric: &str,
-        x: f64,
-        value: f64,
-    ) -> Row {
+    /// The canonical curve-identity columns (who measured what).
+    fn curve(self, workload: &str, protocol: &str, variant: &str, load: f64, metric: &str) -> Row {
         self.s("workload", workload)
             .s("protocol", protocol)
             .s("variant", variant)
             .n("load", load)
             .s("metric", metric)
-            .n("x", x)
-            .n("value", value)
+    }
+
+    /// The canonical data columns (where the point sits).
+    fn xy(self, x: f64, value: f64) -> Row {
+        self.n("x", x).n("value", value)
     }
 
     fn push(self, t: &mut FigTable) {
@@ -179,7 +184,8 @@ fn push_slowdown_bins(
         let x = 100.0 * cum as f64 / total.max(1) as f64;
         let value = if metric.starts_with("p50") { b.p50 } else { b.p99 };
         Row::new()
-            .point(workload, protocol, "", load, metric, x, value)
+            .curve(workload, protocol, "", load, metric)
+            .xy(x, value)
             .n("min_size", b.min_size as f64)
             .n("max_size", b.max_size as f64)
             .n("count", b.count as f64)
@@ -263,7 +269,7 @@ pub fn fig8_9(opts: &ReproOpts) -> (FigTable, FigTable) {
     let mut t8 = FigTable::new("fig8", opts.stamp("fig8"));
     let mut t9 = FigTable::new("fig9", opts.stamp("fig9"));
     println!("\n=== Figures 8/9 (p99/p50): echo RPC slowdown, 16-node cluster, 80% load ===");
-    let topo = Topology::single_switch(16);
+    let cluster = FabricSpec::SingleSwitch { hosts: 16 };
     let workloads = if opts.workloads == ReproOpts::default().workloads {
         vec![Workload::W3, Workload::W4, Workload::W5]
     } else {
@@ -284,17 +290,18 @@ pub fn fig8_9(opts: &ReproOpts) -> (FigTable, FigTable) {
                         done: u64,
                         all: u64| {
         Row::new()
-            .point(w.name(), &p.name(), "", 0.8, metric, 0.0, stat)
+            .curve(w.name(), &p.name(), "", 0.8, metric)
+            .xy(0.0, stat)
             .n("completed", done as f64)
             .n("issued", all as f64)
             .push(t);
     };
     for w in workloads {
-        let dist = w.dist();
         let n = opts.msgs_for(w);
+        let spec = ScenarioSpec::new("fig8_9_rpc", cluster, w, 0.8, n, opts.seed);
         println!("\n--- workload {w}, {n} RPCs ---");
         for p in protos {
-            let res = run_protocol_rpc(p, &topo, &dist, 0.8, n, opts.seed, &RpcOpts::default());
+            let res = run_protocol_rpc_scenario(p, &spec, &RpcOpts::default());
             let s = SlowdownSummary::from_records(&res.records, opts.bins);
             println!(
                 "{:<10} completed {}/{} overall p99 {:>8.2}  p50 {:>8.2}",
@@ -317,13 +324,9 @@ pub fn fig8_9(opts: &ReproOpts) -> (FigTable, FigTable) {
         }
         // The streaming baseline demonstrates head-of-line blocking
         // (one-way messages; the effect the paper's TCP/InfRC rows show).
-        let res = run_protocol_oneway(
+        let res = run_protocol_scenario(
             Protocol::Stream,
-            &topo,
-            &dist,
-            0.8,
-            opts.msgs_for(w),
-            opts.seed,
+            &ScenarioSpec::new("fig8_9_stream", cluster, w, 0.8, opts.msgs_for(w), opts.seed),
             &OnewayOpts::default().with_records(),
             None,
         );
@@ -372,7 +375,7 @@ pub fn fig9(opts: &ReproOpts) -> FigTable {
 pub fn fig10(opts: &ReproOpts) -> FigTable {
     let mut t = FigTable::new("fig10", opts.stamp("fig10"));
     println!("\n=== Figure 10: incast (10 KB responses, 15 servers) ===");
-    let topo = Topology::single_switch(16);
+    let cluster = FabricSpec::SingleSwitch { hosts: 16 };
     let sweep: Vec<u64> = if opts.full {
         vec![16, 64, 128, 256, 512, 1024, 2048, 4096]
     } else {
@@ -386,15 +389,15 @@ pub fn fig10(opts: &ReproOpts) -> FigTable {
                 incast_threshold: if enabled { 32 } else { u32::MAX },
                 ..HomaConfig::default()
             };
-            let netcfg = NetworkConfig { seed: opts.seed, ..NetworkConfig::default() };
-            let res = run_incast(
-                &topo,
-                netcfg,
+            let spec = ScenarioSpec::incast("fig10", cluster, n, opts.seed);
+            let res = spec.run_incast(
+                None,
                 |h| HomaSimTransport::new(h, cfg.clone()),
-                n,
-                10_000,
-                3,
-                SimDuration::from_millis(500),
+                &IncastOpts {
+                    resp_len: 10_000,
+                    rounds: 3,
+                    per_round_timeout: SimDuration::from_millis(500),
+                },
             );
             row.push(format!(
                 "{} ({} aborted, {} drops)",
@@ -431,7 +434,6 @@ pub fn fig12_13(opts: &ReproOpts) -> (FigTable, FigTable) {
     );
     for &load in &opts.loads {
         for &w in &opts.workloads {
-            let dist = w.dist();
             let n = opts.msgs_for(w);
             println!("\n--- workload {w}, load {:.0}%, {n} messages ---", load * 100.0);
             let mut protos =
@@ -447,13 +449,9 @@ pub fn fig12_13(opts: &ReproOpts) -> (FigTable, FigTable) {
                     Protocol::Ndp => load.min(0.7),
                     _ => load,
                 };
-                let res = run_protocol_oneway(
+                let res = run_protocol_scenario(
                     p,
-                    &topo,
-                    &dist,
-                    eff_load,
-                    n,
-                    opts.seed,
+                    &opts.spec("fig12_13", w, eff_load, n),
                     &OnewayOpts::default().with_records(),
                     None,
                 );
@@ -470,13 +468,15 @@ pub fn fig12_13(opts: &ReproOpts) -> (FigTable, FigTable) {
                 print!("{}", slowdown_table(&format!("  {} bins:", p.name()), &s));
                 push_slowdown_bins(&mut t12, w.name(), &p.name(), eff_load, "p99_slowdown", &s);
                 Row::new()
-                    .point(w.name(), &p.name(), "", eff_load, "small_msg_p99", 0.0, small_p99)
+                    .curve(w.name(), &p.name(), "", eff_load, "small_msg_p99")
+                    .xy(0.0, small_p99)
                     .n("delivered", res.delivered as f64)
                     .n("injected", res.injected as f64)
                     .push(&mut t12);
                 push_slowdown_bins(&mut t13, w.name(), &p.name(), eff_load, "p50_slowdown", &s);
                 Row::new()
-                    .point(w.name(), &p.name(), "", eff_load, "overall_p50", 0.0, s.overall_p50)
+                    .curve(w.name(), &p.name(), "", eff_load, "overall_p50")
+                    .xy(0.0, s.overall_p50)
                     .n("delivered", res.delivered as f64)
                     .n("injected", res.injected as f64)
                     .push(&mut t13);
@@ -500,7 +500,6 @@ pub fn fig13(opts: &ReproOpts) -> FigTable {
 pub fn fig14(opts: &ReproOpts) -> FigTable {
     let mut t = FigTable::new("fig14", opts.stamp("fig14"));
     println!("\n=== Figure 14: tail-delay attribution for short messages (80% load) ===");
-    let topo = opts.fabric();
     let workloads = if opts.workloads == ReproOpts::default().workloads {
         Workload::ALL.to_vec()
     } else {
@@ -508,14 +507,9 @@ pub fn fig14(opts: &ReproOpts) -> FigTable {
     };
     println!("{:>4} {:>16} {:>16} {:>10}", "wl", "queueing(us)", "preempt-lag(us)", "samples");
     for w in workloads {
-        let dist = w.dist();
-        let res = run_protocol_oneway(
+        let res = run_protocol_scenario(
             Protocol::Homa,
-            &topo,
-            &dist,
-            0.8,
-            opts.msgs_for(w),
-            opts.seed,
+            &opts.spec("fig14", w, 0.8, opts.msgs_for(w)),
             &OnewayOpts { track_delay: true, ..OnewayOpts::default() }.with_records(),
             None,
         );
@@ -538,11 +532,13 @@ pub fn fig14(opts: &ReproOpts) -> FigTable {
         let l: f64 = sel.iter().map(|r| r.delay.preemption_lag.as_micros_f64()).sum::<f64>() / n;
         println!("{:>4} {q:>16.3} {l:>16.3} {:>10}", w.name(), sel.len());
         Row::new()
-            .point(w.name(), "Homa", "", 0.8, "queueing_us", 0.0, q)
+            .curve(w.name(), "Homa", "", 0.8, "queueing_us")
+            .xy(0.0, q)
             .n("samples", sel.len() as f64)
             .push(&mut t);
         Row::new()
-            .point(w.name(), "Homa", "", 0.8, "preempt_lag_us", 0.0, l)
+            .curve(w.name(), "Homa", "", 0.8, "preempt_lag_us")
+            .xy(0.0, l)
             .n("samples", sel.len() as f64)
             .push(&mut t);
     }
@@ -553,7 +549,6 @@ pub fn fig14(opts: &ReproOpts) -> FigTable {
 pub fn fig15(opts: &ReproOpts) -> FigTable {
     let mut t = FigTable::new("fig15", opts.stamp("fig15"));
     println!("\n=== Figure 15: maximum sustainable load ===");
-    let topo = opts.fabric();
     let protos = if opts.full {
         vec![Protocol::Homa, Protocol::Pfabric, Protocol::Phost, Protocol::Pias]
     } else {
@@ -563,72 +558,48 @@ pub fn fig15(opts: &ReproOpts) -> FigTable {
     for &w in &opts.workloads {
         let dist = w.dist();
         let n = opts.msgs_for(w) / 2;
+        // The base spec for this workload; each probe reruns it at the
+        // bisection's trial load.
+        let base = opts.spec("fig15", w, 0.0, n);
         for &p in &protos {
-            let netcfg = NetworkConfig { seed: opts.seed, ..NetworkConfig::default() };
             let cap = match p {
                 Protocol::Homa => {
                     let cfg = HomaConfig::default();
                     let map = static_map_for_workload(&dist, &cfg);
                     max_sustainable_load(
-                        &topo,
-                        &netcfg,
+                        &base,
+                        None,
                         |h| HomaSimTransport::new(h, cfg.clone()).with_static_map(map.clone()),
-                        &dist,
-                        n,
-                        opts.seed,
-                        0.5,
-                        0.98,
-                        0.03,
+                        CapacitySearch { lo: 0.5, hi: 0.98, tol: 0.03 },
                     )
                     .0
                 }
                 _ => {
-                    // Generic path: manual bisection over the dispatcher.
-                    // A short drain budget makes the criterion meaningful
-                    // at reduced message counts: an over-capacity run
-                    // cannot catch up within it.
-                    let mut lo = 0.3;
-                    let mut hi = 0.98;
+                    // Generic path: bisection over the dispatcher. A short
+                    // drain budget makes the criterion meaningful at
+                    // reduced message counts: an over-capacity run cannot
+                    // catch up within it.
                     let probe_opts =
                         OnewayOpts { drain: SimDuration::from_millis(20), ..OnewayOpts::default() };
-                    let ok = |load: f64| {
-                        let res = run_protocol_oneway(
-                            p,
-                            &topo,
-                            &dist,
-                            load,
-                            n,
-                            opts.seed,
-                            &probe_opts,
-                            None,
-                        );
-                        res.delivered as f64 / res.injected.max(1) as f64 >= 0.995
-                    };
-                    if !ok(lo) {
-                        0.0
-                    } else if ok(hi) {
-                        hi
-                    } else {
-                        while hi - lo > 0.03 {
-                            let mid = (lo + hi) / 2.0;
-                            if ok(mid) {
-                                lo = mid;
-                            } else {
-                                hi = mid;
-                            }
-                        }
-                        lo
-                    }
+                    max_sustainable_load_with(
+                        |load| {
+                            let res = run_protocol_scenario(
+                                p,
+                                &base.clone().with_load(load),
+                                &probe_opts,
+                                None,
+                            );
+                            res.delivered as f64 / res.injected.max(1) as f64
+                        },
+                        CapacitySearch { lo: 0.3, hi: 0.98, tol: 0.03 },
+                    )
+                    .0
                 }
             };
             // Application-goodput fraction at the capacity point.
-            let res = run_protocol_oneway(
+            let res = run_protocol_scenario(
                 p,
-                &topo,
-                &dist,
-                (cap - 0.02).max(0.1),
-                n,
-                opts.seed,
+                &base.clone().with_load((cap - 0.02).max(0.1)),
                 &OnewayOpts::default(),
                 None,
             );
@@ -645,7 +616,8 @@ pub fn fig15(opts: &ReproOpts) -> FigTable {
                 cap * frac * 100.0
             );
             Row::new()
-                .point(w.name(), &p.name(), "", 0.0, "max_load", 0.0, cap)
+                .curve(w.name(), &p.name(), "", 0.0, "max_load")
+                .xy(0.0, cap)
                 .n("goodput_frac", frac)
                 .push(&mut t);
         }
@@ -657,8 +629,6 @@ pub fn fig15(opts: &ReproOpts) -> FigTable {
 pub fn fig16(opts: &ReproOpts) -> FigTable {
     let mut t = FigTable::new("fig16", opts.stamp("fig16"));
     println!("\n=== Figure 16: wasted bandwidth vs load (W4) ===");
-    let topo = opts.fabric();
-    let dist = Workload::W4.dist();
     let scheds: Vec<u8> = if opts.full { vec![1, 2, 3, 4, 5, 7] } else { vec![1, 3, 7] };
     let loads: Vec<f64> =
         if opts.full { vec![0.5, 0.6, 0.7, 0.8, 0.85, 0.9] } else { vec![0.5, 0.7, 0.85] };
@@ -671,13 +641,9 @@ pub fn fig16(opts: &ReproOpts) -> FigTable {
                 unsched_levels_override: Some(1),
                 ..HomaConfig::default()
             };
-            let res = run_protocol_oneway(
+            let res = run_protocol_scenario(
                 Protocol::Homa,
-                &topo,
-                &dist,
-                load,
-                n,
-                opts.seed,
+                &opts.spec("fig16", Workload::W4, load, n),
                 &OnewayOpts { sample_wasted: true, ..OnewayOpts::default() },
                 Some(cfg),
             );
@@ -691,15 +657,8 @@ pub fn fig16(opts: &ReproOpts) -> FigTable {
             // Per the reference encoding, the canonical `load` is 0 and
             // the network load rides the x axis (XAxis::Load).
             Row::new()
-                .point(
-                    "W4",
-                    "Homa",
-                    &format!("sched={s}"),
-                    0.0,
-                    "wasted_frac",
-                    load,
-                    res.wasted_fraction,
-                )
+                .curve("W4", "Homa", &format!("sched={s}"), 0.0, "wasted_frac")
+                .xy(load, res.wasted_fraction)
                 .n("net_load", load)
                 .n("delivered", res.delivered as f64)
                 .n("injected", res.injected as f64)
@@ -713,8 +672,6 @@ pub fn fig16(opts: &ReproOpts) -> FigTable {
 pub fn fig17(opts: &ReproOpts) -> FigTable {
     let mut t = FigTable::new("fig17", opts.stamp("fig17"));
     println!("\n=== Figure 17: unscheduled priority levels (W1, 80% load, 1 sched) ===");
-    let topo = opts.fabric();
-    let dist = Workload::W1.dist();
     let n = opts.msgs_for(Workload::W1);
     for u in [1u8, 2, 3, 7] {
         let cfg = HomaConfig {
@@ -722,13 +679,9 @@ pub fn fig17(opts: &ReproOpts) -> FigTable {
             unsched_levels_override: Some(u),
             ..HomaConfig::default()
         };
-        let res = run_protocol_oneway(
+        let res = run_protocol_scenario(
             Protocol::Homa,
-            &topo,
-            &dist,
-            0.8,
-            n,
-            opts.seed,
+            &opts.spec("fig17", Workload::W1, 0.8, n),
             &OnewayOpts::default().with_records(),
             Some(cfg),
         );
@@ -739,7 +692,8 @@ pub fn fig17(opts: &ReproOpts) -> FigTable {
             s.overall_p99, small, res.delivered, res.injected
         );
         Row::new()
-            .point("W1", "Homa", &format!("unsched={u}"), 0.8, "overall_p99", 0.0, s.overall_p99)
+            .curve("W1", "Homa", &format!("unsched={u}"), 0.8, "overall_p99")
+            .xy(0.0, s.overall_p99)
             .n("small_msg_p99", small)
             .n("delivered", res.delivered as f64)
             .n("injected", res.injected as f64)
@@ -752,7 +706,6 @@ pub fn fig17(opts: &ReproOpts) -> FigTable {
 pub fn fig18(opts: &ReproOpts) -> FigTable {
     let mut t = FigTable::new("fig18", opts.stamp("fig18"));
     println!("\n=== Figure 18: unscheduled cutoff sweep (W3, 80% load, 2 unsched) ===");
-    let topo = opts.fabric();
     let dist = Workload::W3.dist();
     let n = opts.msgs_for(Workload::W3);
     // Homa's own equal-bytes choice, for reference.
@@ -767,13 +720,9 @@ pub fn fig18(opts: &ReproOpts) -> FigTable {
             cutoff_override: Some(vec![cutoff]),
             ..HomaConfig::default()
         };
-        let res = run_protocol_oneway(
+        let res = run_protocol_scenario(
             Protocol::Homa,
-            &topo,
-            &dist,
-            0.8,
-            n,
-            opts.seed,
+            &opts.spec("fig18", Workload::W3, 0.8, n),
             &OnewayOpts::default().with_records(),
             Some(cfg),
         );
@@ -784,15 +733,8 @@ pub fn fig18(opts: &ReproOpts) -> FigTable {
             s.overall_p99, small
         );
         Row::new()
-            .point(
-                "W3",
-                "Homa",
-                &format!("cutoff={cutoff}"),
-                0.8,
-                "overall_p99",
-                0.0,
-                s.overall_p99,
-            )
+            .curve("W3", "Homa", &format!("cutoff={cutoff}"), 0.8, "overall_p99")
+            .xy(0.0, s.overall_p99)
             .n("small_msg_p99", small)
             .push(&mut t);
     }
@@ -803,8 +745,6 @@ pub fn fig18(opts: &ReproOpts) -> FigTable {
 pub fn fig19(opts: &ReproOpts) -> FigTable {
     let mut t = FigTable::new("fig19", opts.stamp("fig19"));
     println!("\n=== Figure 19: scheduled priority levels (W4, 80% load, 1 unsched) ===");
-    let topo = opts.fabric();
-    let dist = Workload::W4.dist();
     let n = opts.msgs_for(Workload::W4);
     for s in [4u8, 7] {
         let cfg = HomaConfig {
@@ -812,13 +752,9 @@ pub fn fig19(opts: &ReproOpts) -> FigTable {
             unsched_levels_override: Some(1),
             ..HomaConfig::default()
         };
-        let res = run_protocol_oneway(
+        let res = run_protocol_scenario(
             Protocol::Homa,
-            &topo,
-            &dist,
-            0.8,
-            n,
-            opts.seed,
+            &opts.spec("fig19", Workload::W4, 0.8, n),
             &OnewayOpts::default().with_records(),
             Some(cfg),
         );
@@ -828,7 +764,8 @@ pub fn fig19(opts: &ReproOpts) -> FigTable {
             sm.overall_p99, res.delivered, res.injected
         );
         Row::new()
-            .point("W4", "Homa", &format!("sched={s}"), 0.8, "overall_p99", 0.0, sm.overall_p99)
+            .curve("W4", "Homa", &format!("sched={s}"), 0.8, "overall_p99")
+            .xy(0.0, sm.overall_p99)
             .n("delivered", res.delivered as f64)
             .n("injected", res.injected as f64)
             .push(&mut t);
@@ -840,21 +777,15 @@ pub fn fig19(opts: &ReproOpts) -> FigTable {
 pub fn fig20(opts: &ReproOpts) -> FigTable {
     let mut t = FigTable::new("fig20", opts.stamp("fig20"));
     println!("\n=== Figure 20: unscheduled byte limit (W4, 80% load) ===");
-    let topo = opts.fabric();
-    let dist = Workload::W4.dist();
     let n = opts.msgs_for(Workload::W4);
     let rtt = HomaConfig::default().rtt_bytes;
     for (label, limit) in
         [("1B", 1u64), ("500B", 500), ("1000B", 1_000), ("RTTbytes", rtt), ("2xRTTbytes", 2 * rtt)]
     {
         let cfg = HomaConfig { unsched_limit: limit, ..HomaConfig::default() };
-        let res = run_protocol_oneway(
+        let res = run_protocol_scenario(
             Protocol::Homa,
-            &topo,
-            &dist,
-            0.8,
-            n,
-            opts.seed,
+            &opts.spec("fig20", Workload::W4, 0.8, n),
             &OnewayOpts::default().with_records(),
             Some(cfg),
         );
@@ -865,15 +796,8 @@ pub fn fig20(opts: &ReproOpts) -> FigTable {
             s.overall_p99, small
         );
         Row::new()
-            .point(
-                "W4",
-                "Homa",
-                &format!("unsched_limit={label}"),
-                0.8,
-                "overall_p99",
-                0.0,
-                s.overall_p99,
-            )
+            .curve("W4", "Homa", &format!("unsched_limit={label}"), 0.8, "overall_p99")
+            .xy(0.0, s.overall_p99)
             .n("small_msg_p99", small)
             .n("unsched_limit_bytes", limit as f64)
             .push(&mut t);
@@ -886,7 +810,6 @@ pub fn fig21(opts: &ReproOpts) -> FigTable {
     let mut t = FigTable::new("fig21", opts.stamp("fig21"));
     println!("\n=== Figure 21: priority level usage (W3) ===");
     let topo = opts.fabric();
-    let dist = Workload::W3.dist();
     let n = opts.msgs_for(Workload::W3);
     println!(
         "{:>6} {}",
@@ -894,13 +817,9 @@ pub fn fig21(opts: &ReproOpts) -> FigTable {
         (0..8).map(|i| format!("{:>8}", format!("P{i}"))).collect::<String>()
     );
     for load in [0.5, 0.8, 0.9] {
-        let res = run_protocol_oneway(
+        let res = run_protocol_scenario(
             Protocol::Homa,
-            &topo,
-            &dist,
-            load,
-            n,
-            opts.seed,
+            &opts.spec("fig21", Workload::W3, load, n),
             &OnewayOpts::default(),
             None,
         );
@@ -915,15 +834,8 @@ pub fn fig21(opts: &ReproOpts) -> FigTable {
         println!("{:>5.0}% {row}", load * 100.0);
         for (i, &b) in res.prio_bytes.iter().enumerate() {
             Row::new()
-                .point(
-                    "W3",
-                    "Homa",
-                    &format!("P{i}"),
-                    0.0,
-                    "prio_frac",
-                    load,
-                    b as f64 / capacity_bytes,
-                )
+                .curve("W3", "Homa", &format!("P{i}"), 0.0, "prio_frac")
+                .xy(load, b as f64 / capacity_bytes)
                 .push(&mut t);
         }
     }
@@ -934,7 +846,6 @@ pub fn fig21(opts: &ReproOpts) -> FigTable {
 pub fn table1(opts: &ReproOpts) -> FigTable {
     let mut t = FigTable::new("table1", opts.stamp("table1"));
     println!("\n=== Table 1: switch queue lengths at 80% load (mean/max) ===");
-    let topo = opts.fabric();
     let workloads = if opts.workloads == ReproOpts::default().workloads {
         Workload::ALL.to_vec()
     } else {
@@ -947,13 +858,9 @@ pub fn table1(opts: &ReproOpts) -> FigTable {
     );
     let mut rows: BTreeMap<&str, Vec<String>> = BTreeMap::new();
     for &w in &workloads {
-        let res = run_protocol_oneway(
+        let res = run_protocol_scenario(
             Protocol::Homa,
-            &topo,
-            &w.dist(),
-            0.8,
-            opts.msgs_for(w),
-            opts.seed,
+            &opts.spec("table1", w, 0.8, opts.msgs_for(w)),
             &OnewayOpts::default(),
             None,
         );
@@ -1018,15 +925,14 @@ pub fn compare_tables(tables: &[FigTable], tol_scale: f64, produced_by: String) 
         for p in &d.points {
             let mut row = Row::new()
                 .s("figure", d.curve.figure)
-                .point(
+                .curve(
                     d.curve.workload,
                     d.curve.protocol,
                     d.curve.variant,
                     d.curve.load,
                     d.curve.metric,
-                    p.x,
-                    p.measured,
                 )
+                .xy(p.x, p.measured)
                 .n("reference", p.reference)
                 .n("abs_delta", p.abs_delta())
                 .n("rel_delta", p.rel_delta());

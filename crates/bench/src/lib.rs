@@ -2,10 +2,10 @@
 //! the criterion benches.
 //!
 //! The paper compares seven transports. [`Protocol`] names them and
-//! [`run_protocol_oneway`] / [`run_protocol_rpc`] dispatch a harness
-//! experiment to the right transport/fabric combination (each protocol
-//! needs its own queue discipline in the switches, per its original
-//! design).
+//! [`run_protocol_scenario`] / [`run_protocol_rpc_scenario`] dispatch a
+//! harness [`ScenarioSpec`] to the right transport/fabric combination
+//! (each protocol needs its own queue discipline in the switches, per
+//! its original design).
 //!
 //! ## Paper map
 //!
@@ -29,11 +29,9 @@ use homa_baselines::{
     ndp, pfabric, pias, HomaSimTransport, NdpConfig, NdpTransport, PfabricConfig, PfabricTransport,
     PhostConfig, PhostTransport, PiasConfig, PiasTransport, StreamConfig, StreamTransport,
 };
-use homa_harness::driver::{
-    run_oneway, run_rpc_echo, OnewayOpts, OnewayResult, RpcOpts, RpcResult,
-};
+use homa_harness::driver::{OnewayOpts, OnewayResult, RpcOpts, RpcResult};
 use homa_harness::ScenarioSpec;
-use homa_sim::{NetworkConfig, QueueDiscipline, Topology};
+use homa_sim::QueueDiscipline;
 use homa_workloads::MessageSizeDist;
 
 /// The transports evaluated in the paper.
@@ -117,36 +115,10 @@ pub fn fabric_queues_for(p: Protocol, dist: &MessageSizeDist) -> Option<QueueDis
     }
 }
 
-/// Seeded fabric configuration, optionally with a protocol-specific
-/// queue discipline on every port class.
-fn netcfg(seed: u64, queues: Option<QueueDiscipline>) -> NetworkConfig {
-    match queues {
-        Some(q) => NetworkConfig::uniform(seed, q),
-        None => NetworkConfig { seed, ..NetworkConfig::default() },
-    }
-}
-
-/// Run a one-way-message experiment for any protocol. The fabric's queue
-/// discipline is chosen per protocol (see [`fabric_queues_for`]).
-#[allow(clippy::too_many_arguments)]
-pub fn run_protocol_oneway(
-    p: Protocol,
-    topo: &Topology,
-    dist: &MessageSizeDist,
-    load: f64,
-    n_msgs: u64,
-    seed: u64,
-    opts: &OnewayOpts,
-    homa_override: Option<HomaConfig>,
-) -> OnewayResult {
-    let net = netcfg(seed, fabric_queues_for(p, dist));
-    run_protocol_oneway_on(p, topo, dist, load, n_msgs, seed, net, opts, homa_override)
-}
-
 /// Run the one-way experiment a [`ScenarioSpec`] describes for any
-/// protocol, honoring the spec's fabric, workload, load, seed and event
-/// engine. This is the entry point the `perf-smoke` gate and the
-/// determinism tests use.
+/// protocol, honoring the spec's fabric, workload, load, seed, event
+/// engine, traffic pattern and fault schedule. This is the entry point
+/// the `perf-smoke` gate, the determinism tests and the fuzz suites use.
 pub fn run_protocol_scenario(
     p: Protocol,
     spec: &ScenarioSpec,
@@ -154,43 +126,14 @@ pub fn run_protocol_scenario(
     homa_override: Option<HomaConfig>,
 ) -> OnewayResult {
     let dist = spec.workload.dist();
-    let net = spec.netcfg_with(fabric_queues_for(p, &dist));
-    // The spec's traffic pattern and fault schedule override the base
-    // options, exactly as in the harness's scenario wrappers.
-    run_protocol_oneway_on(
-        p,
-        &spec.topology(),
-        &dist,
-        spec.load,
-        spec.messages,
-        spec.seed,
-        net,
-        &spec.oneway_opts(opts),
-        homa_override,
-    )
-}
-
-/// Shared dispatch: one experiment, explicit fabric configuration.
-#[allow(clippy::too_many_arguments)]
-fn run_protocol_oneway_on(
-    p: Protocol,
-    topo: &Topology,
-    dist: &MessageSizeDist,
-    load: f64,
-    n_msgs: u64,
-    seed: u64,
-    net: NetworkConfig,
-    opts: &OnewayOpts,
-    homa_override: Option<HomaConfig>,
-) -> OnewayResult {
-    let link = topo.host_link_bps;
+    let queues = fabric_queues_for(p, &dist);
+    let link = spec.topology().host_link_bps;
     match p {
         Protocol::Homa | Protocol::HomaP(_) | Protocol::Basic => {
             let cfg = homa_override.unwrap_or_else(|| homa_config_for(p));
-            let map = static_map_for_workload(dist, &cfg);
-            run_oneway(
-                topo,
-                net,
+            let map = static_map_for_workload(&dist, &cfg);
+            spec.run_oneway(
+                queues,
                 |h| {
                     let t = HomaSimTransport::new(h, cfg.clone()).with_static_map(map.clone());
                     if opts.track_delay {
@@ -199,95 +142,45 @@ fn run_protocol_oneway_on(
                         t
                     }
                 },
-                dist,
-                load,
-                n_msgs,
-                seed,
                 opts,
             )
         }
-        Protocol::Stream => run_oneway(
-            topo,
-            net,
-            |h| StreamTransport::new(h, StreamConfig::default()),
-            dist,
-            load,
-            n_msgs,
-            seed,
-            opts,
-        ),
-        Protocol::Pfabric => run_oneway(
-            topo,
-            net,
-            |h| PfabricTransport::new(h, PfabricConfig::default()),
-            dist,
-            load,
-            n_msgs,
-            seed,
-            opts,
-        ),
-        Protocol::Phost => run_oneway(
-            topo,
-            net,
+        Protocol::Stream => {
+            spec.run_oneway(queues, |h| StreamTransport::new(h, StreamConfig::default()), opts)
+        }
+        Protocol::Pfabric => {
+            spec.run_oneway(queues, |h| PfabricTransport::new(h, PfabricConfig::default()), opts)
+        }
+        Protocol::Phost => spec.run_oneway(
+            queues,
             move |h| {
                 PhostTransport::new(h, PhostConfig { link_bps: link, ..PhostConfig::default() })
             },
-            dist,
-            load,
-            n_msgs,
-            seed,
             opts,
         ),
         Protocol::Pias => {
-            let thresholds = PiasConfig::thresholds_for(dist, 8);
+            let thresholds = PiasConfig::thresholds_for(&dist, 8);
             let pcfg = PiasConfig { thresholds, ..PiasConfig::default() };
-            run_oneway(
-                topo,
-                net,
-                move |h| PiasTransport::new(h, pcfg.clone()),
-                dist,
-                load,
-                n_msgs,
-                seed,
-                opts,
-            )
+            spec.run_oneway(queues, move |h| PiasTransport::new(h, pcfg.clone()), opts)
         }
-        Protocol::Ndp => run_oneway(
-            topo,
-            net,
+        Protocol::Ndp => spec.run_oneway(
+            queues,
             move |h| NdpTransport::new(h, NdpConfig { link_bps: link, ..NdpConfig::default() }),
-            dist,
-            load,
-            n_msgs,
-            seed,
             opts,
         ),
     }
 }
 
-/// Run the §5.1 echo-RPC experiment (Figures 8/9). Only the
-/// RAMCloud-comparable transports support RPCs.
-pub fn run_protocol_rpc(
-    p: Protocol,
-    topo: &Topology,
-    dist: &MessageSizeDist,
-    load: f64,
-    n_rpcs: u64,
-    seed: u64,
-    opts: &RpcOpts,
-) -> RpcResult {
+/// Run the §5.1 echo-RPC experiment (Figures 8/9) a [`ScenarioSpec`]
+/// describes. Only the RAMCloud-comparable transports support RPCs.
+pub fn run_protocol_rpc_scenario(p: Protocol, spec: &ScenarioSpec, opts: &RpcOpts) -> RpcResult {
     match p {
         Protocol::Homa | Protocol::HomaP(_) | Protocol::Basic => {
             let cfg = homa_config_for(p);
-            let map = static_map_for_workload(dist, &cfg);
-            run_rpc_echo(
-                topo,
-                netcfg(seed, None),
+            let map = static_map_for_workload(&spec.workload.dist(), &cfg);
+            spec.run_rpc_echo(
+                None,
                 |h| HomaSimTransport::new(h, cfg.clone()).with_static_map(map.clone()),
-                dist,
-                load,
-                n_rpcs,
-                seed,
                 opts,
             )
         }
@@ -298,6 +191,7 @@ pub fn run_protocol_rpc(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use homa_harness::FabricSpec;
     use homa_workloads::Workload;
 
     #[test]
@@ -319,8 +213,14 @@ mod tests {
 
     #[test]
     fn every_protocol_completes_a_tiny_run() {
-        let topo = Topology::single_switch(6);
-        let dist = Workload::W2.dist();
+        let spec = ScenarioSpec::new(
+            "tiny_w2_6h",
+            FabricSpec::SingleSwitch { hosts: 6 },
+            Workload::W2,
+            0.4,
+            150,
+            5,
+        );
         for p in [
             Protocol::Homa,
             Protocol::Basic,
@@ -330,10 +230,25 @@ mod tests {
             Protocol::Pias,
             Protocol::Ndp,
         ] {
-            let res =
-                run_protocol_oneway(p, &topo, &dist, 0.4, 150, 5, &OnewayOpts::default(), None);
+            let res = run_protocol_scenario(p, &spec, &OnewayOpts::default(), None);
             assert_eq!(res.injected, 150, "{}", p.name());
             assert!(res.delivered >= 148, "{} delivered only {}/150", p.name(), res.delivered);
         }
+    }
+
+    #[test]
+    fn rpc_scenario_dispatch_runs_homa_family() {
+        let spec = ScenarioSpec::new(
+            "rpc_w1_6h",
+            FabricSpec::SingleSwitch { hosts: 6 },
+            Workload::W1,
+            0.3,
+            120,
+            3,
+        );
+        let opts = RpcOpts { clients: 3, ..RpcOpts::default() };
+        let res = run_protocol_rpc_scenario(Protocol::Homa, &spec, &opts);
+        assert_eq!(res.issued, 120);
+        assert!(res.completed >= 118, "only {}/120 RPCs completed", res.completed);
     }
 }

@@ -7,9 +7,9 @@
 //! *sustainable* if, within a bounded drain budget after the last
 //! injection, (almost) every message completes.
 
-use crate::driver::{run_oneway, OnewayOpts};
-use homa_sim::{HostId, NetworkConfig, PacketMeta, Topology, Transport};
-use homa_workloads::MessageSizeDist;
+use crate::driver::OnewayOpts;
+use crate::scenario::ScenarioSpec;
+use homa_sim::{HostId, PacketMeta, QueueDiscipline, Transport};
 
 /// Outcome of one probe.
 #[derive(Debug, Clone, Copy)]
@@ -22,50 +22,57 @@ pub struct CapacityProbe {
     pub sustainable: bool,
 }
 
-/// Bisect for the maximum sustainable load of a transport on `topo`.
-///
-/// `make` must build a fresh transport per host per probe run.
-/// Returns the highest sustainable load found (within `tol`) and the
-/// probe history.
-#[allow(clippy::too_many_arguments)]
-pub fn max_sustainable_load<M, T>(
-    topo: &Topology,
-    netcfg: &NetworkConfig,
-    mut make: impl FnMut(HostId) -> T,
-    dist: &MessageSizeDist,
-    n_msgs: u64,
-    seed: u64,
-    lo: f64,
-    hi: f64,
-    tol: f64,
-) -> (f64, Vec<CapacityProbe>)
-where
-    M: PacketMeta,
-    T: Transport<M>,
-{
-    let opts = OnewayOpts::default();
+/// Bracket and tolerance for the bisection.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacitySearch {
+    /// Lower bracket: if this load is not sustainable the search
+    /// reports capacity 0.0 immediately.
+    pub lo: f64,
+    /// Upper bracket: if this load *is* sustainable it is returned
+    /// without bisecting further.
+    pub hi: f64,
+    /// Stop once the bracket is narrower than this.
+    pub tol: f64,
+}
+
+impl Default for CapacitySearch {
+    fn default() -> Self {
+        CapacitySearch { lo: 0.5, hi: 0.98, tol: 0.03 }
+    }
+}
+
+/// Bisect for the maximum sustainable load given a probe function that
+/// maps an offered load to the delivered fraction of a bounded run.
+/// A probe counts as sustainable at 99.5% completion. Returns the
+/// highest sustainable load found (within `search.tol`) and the probe
+/// history. This is the raw engine behind [`max_sustainable_load`];
+/// callers with bespoke run shapes (per-protocol drain budgets, say)
+/// can drive it directly.
+pub fn max_sustainable_load_with(
+    mut probe: impl FnMut(f64) -> f64,
+    search: CapacitySearch,
+) -> (f64, Vec<CapacityProbe>) {
     let mut probes = Vec::new();
-    let mut probe = |load: f64, make: &mut dyn FnMut(HostId) -> T| -> bool {
-        let res = run_oneway(topo, netcfg.clone(), &mut *make, dist, load, n_msgs, seed, &opts);
-        let frac = res.delivered as f64 / res.injected.max(1) as f64;
+    let mut check = |load: f64| -> bool {
+        let frac = probe(load);
         // 99.5% completion within the drain budget counts as keeping up.
         let ok = frac >= 0.995;
         probes.push(CapacityProbe { load, delivered_frac: frac, sustainable: ok });
         ok
     };
 
-    let mut lo = lo;
-    let mut hi = hi;
+    let mut lo = search.lo;
+    let mut hi = search.hi;
     // Establish brackets.
-    if !probe(lo, &mut make) {
+    if !check(lo) {
         return (0.0, probes);
     }
-    if probe(hi, &mut make) {
+    if check(hi) {
         return (hi, probes);
     }
-    while hi - lo > tol {
+    while hi - lo > search.tol {
         let mid = (lo + hi) / 2.0;
-        if probe(mid, &mut make) {
+        if check(mid) {
             lo = mid;
         } else {
             hi = mid;
@@ -74,29 +81,74 @@ where
     (lo, probes)
 }
 
+/// Bisect for the maximum sustainable load of a transport on `spec`'s
+/// fabric and workload. The spec's own `load` field is ignored — each
+/// probe reruns the scenario at the bisection's trial load. `make` must
+/// build a fresh transport per host per probe run.
+pub fn max_sustainable_load<M, T>(
+    spec: &ScenarioSpec,
+    queues: Option<QueueDiscipline>,
+    mut make: impl FnMut(HostId) -> T,
+    search: CapacitySearch,
+) -> (f64, Vec<CapacityProbe>)
+where
+    M: PacketMeta,
+    T: Transport<M>,
+{
+    let opts = OnewayOpts::default();
+    max_sustainable_load_with(
+        |load| {
+            let res = spec.clone().with_load(load).run_oneway(queues, &mut make, &opts);
+            res.delivered as f64 / res.injected.max(1) as f64
+        },
+        search,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::FabricSpec;
     use homa::HomaConfig;
     use homa_baselines::HomaSimTransport;
     use homa_workloads::Workload;
 
     #[test]
     fn homa_sustains_moderate_load_on_small_cluster() {
-        let topo = Topology::single_switch(8);
-        let netcfg = NetworkConfig::default();
-        let (cap, probes) = max_sustainable_load(
-            &topo,
-            &netcfg,
-            |h| HomaSimTransport::new(h, HomaConfig::default()),
-            &Workload::W1.dist(),
+        let spec = ScenarioSpec::new(
+            "cap_w1_8h",
+            FabricSpec::SingleSwitch { hosts: 8 },
+            Workload::W1,
+            0.0, // overridden per probe
             400,
             11,
-            0.5,
-            0.99,
-            0.25, // coarse: just verify bisection machinery
+        );
+        let (cap, probes) = max_sustainable_load(
+            &spec,
+            None,
+            |h| HomaSimTransport::new(h, HomaConfig::default()),
+            // coarse tolerance: just verify the bisection machinery
+            CapacitySearch { lo: 0.5, hi: 0.99, tol: 0.25 },
         );
         assert!(cap >= 0.5, "homa must sustain 50% on W1, probes: {probes:?}");
         assert!(!probes.is_empty());
+    }
+
+    #[test]
+    fn bisection_brackets_behave() {
+        // Unsustainable at the low bracket → capacity 0.
+        let (cap, probes) = max_sustainable_load_with(|_| 0.5, CapacitySearch::default());
+        assert_eq!(cap, 0.0);
+        assert_eq!(probes.len(), 1);
+        // Sustainable at the high bracket → returned directly.
+        let (cap, probes) = max_sustainable_load_with(|_| 1.0, CapacitySearch::default());
+        assert_eq!(cap, 0.98);
+        assert_eq!(probes.len(), 2);
+        // A sharp cliff at 0.8 is localized to within tol.
+        let (cap, _) = max_sustainable_load_with(
+            |load| if load <= 0.8 { 1.0 } else { 0.9 },
+            CapacitySearch { lo: 0.5, hi: 0.98, tol: 0.01 },
+        );
+        assert!((cap - 0.8).abs() < 0.01, "cliff at 0.8, found {cap}");
     }
 }

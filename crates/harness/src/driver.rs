@@ -1,25 +1,30 @@
 //! Generic experiment drivers.
 //!
-//! Three experiment shapes cover every figure in the paper:
+//! Three experiment shapes cover every figure in the paper, all driven
+//! through [`crate::ScenarioSpec`] (the sole public entry point — see
+//! [`ScenarioSpec::run_oneway`](crate::ScenarioSpec::run_oneway) and
+//! friends):
 //!
-//! * [`run_oneway`] — the §5.2 simulation setup: all-to-all one-way
-//!   messages with Poisson arrivals at a target network load
+//! * one-way — the §5.2 simulation setup: all-to-all one-way messages
+//!   with Poisson arrivals at a target network load
 //!   (Figures 12–21, Table 1).
-//! * [`run_rpc_echo`] — the §5.1 implementation setup: clients issue echo
-//!   RPCs to servers (Figures 8–9).
-//! * [`run_incast`] — Figure 10: one client, many concurrent RPCs with
-//!   10 KB responses.
+//! * RPC echo — the §5.1 implementation setup: clients issue echo RPCs
+//!   to servers (Figures 8–9).
+//! * incast — Figure 10: one client, many concurrent RPCs with 10 KB
+//!   responses.
 //!
-//! Each driver takes the fabric, workload, load and seed positionally;
-//! [`crate::scenario`] wraps the same entry points behind a declarative
-//! [`crate::ScenarioSpec`] so whole experiments are nameable values.
+//! This module owns the option/result types and the run loops; the
+//! fabric, workload, load, seed, engine, traffic pattern and fault
+//! schedule all come from the spec, so every run is replayable from the
+//! spec's one-line text form (`ScenarioSpec::to_spec_line`).
 
+use crate::scenario::ScenarioSpec;
 use crate::slowdown::{MsgRecord, SlowdownSketch};
 use homa_sim::{
-    AppEvent, FaultPlan, HostId, Network, NetworkConfig, PacketMeta, PathClass, RunStats,
-    SimDuration, SimTime, Topology, Transport,
+    AppEvent, HostId, Network, PacketMeta, PathClass, QueueDiscipline, RunStats, SimDuration,
+    SimTime, Transport,
 };
-use homa_workloads::{LoadPlan, MessageSizeDist, PoissonArrivals, TrafficMatrix, TrafficSpec};
+use homa_workloads::{LoadPlan, PoissonArrivals, TrafficMatrix};
 use std::collections::HashMap;
 
 /// Per-packet constants used for unloaded-latency denominators and load
@@ -31,7 +36,9 @@ pub const OVERHEAD: u64 = 60;
 /// Wire size of control packets.
 pub const CTRL: u64 = 40;
 
-/// Options for [`run_oneway`].
+/// Options for [`ScenarioSpec::run_oneway`]: the measurement knobs that
+/// are *not* part of what a scenario is (those — fabric, workload, load,
+/// traffic, faults — live on the spec itself).
 #[derive(Debug, Clone)]
 pub struct OnewayOpts {
     /// Sample the Figure 16 wasted-bandwidth probe.
@@ -46,15 +53,6 @@ pub struct OnewayOpts {
     /// Messages at the head of the run excluded from the records
     /// (warm-up transient).
     pub warmup_msgs: u64,
-    /// Source–destination pattern, victim overlay and workload mix. The
-    /// default (uniform, no overlay, no mix) replays historical runs
-    /// bit-for-bit. [`crate::ScenarioSpec`] overrides this with its own
-    /// `traffic` field when driving through the scenario wrappers.
-    pub traffic: TrafficSpec,
-    /// Fault schedule installed on the fabric before injection; the
-    /// default empty plan schedules nothing. Overridden by
-    /// [`crate::ScenarioSpec::faults`] in the scenario wrappers.
-    pub faults: FaultPlan,
     /// Retain every per-message [`MsgRecord`] in the result (O(messages)
     /// memory). Off by default: the always-on [`SlowdownSketch`] covers
     /// slowdown summaries in O(sketch bins), which is what keeps 1k-host
@@ -71,8 +69,6 @@ impl Default for OnewayOpts {
             track_delay: false,
             drain: SimDuration::from_millis(200),
             warmup_msgs: 0,
-            traffic: TrafficSpec::default(),
-            faults: FaultPlan::default(),
             keep_records: false,
         }
     }
@@ -87,7 +83,7 @@ impl OnewayOpts {
     }
 }
 
-/// Result of a [`run_oneway`] experiment.
+/// Result of a one-way experiment.
 #[derive(Debug)]
 pub struct OnewayResult {
     /// Per-message observations (post-warmup, delivered only; the victim
@@ -116,6 +112,10 @@ pub struct OnewayResult {
     /// the receiver never learned of it, and the sender's lingering state
     /// expires without an acknowledgment mechanism, per §3.8).
     pub lost: u64,
+    /// Deliveries of a message that had already been delivered or
+    /// aborted, or of a tag never injected. Always zero for a correct
+    /// transport; the conservation fuzzer asserts it.
+    pub duplicate_deliveries: u64,
     /// Fabric statistics at harvest.
     pub stats: RunStats,
     /// Mean fraction of receiver time with an idle downlink while grants
@@ -134,44 +134,69 @@ pub struct OnewayResult {
 /// Memoized unloaded-latency lookup passed through the event handler.
 type UnloadedCache<'a, M, T> = dyn FnMut(&Network<M, T>, u64, PathClass) -> u64 + 'a;
 
-/// Run an all-to-all one-way-message experiment at `load` (fraction of
-/// aggregate host-link bandwidth) until `n_msgs` messages have been
-/// injected, then drain.
-#[allow(clippy::too_many_arguments)]
-pub fn run_oneway<M, T>(
-    topo: &Topology,
-    netcfg: NetworkConfig,
+/// Bitset over message tags `0..n_msgs`: which messages have already been
+/// resolved (delivered or aborted). Backs the duplicate-delivery counter
+/// in O(messages/8) memory.
+struct ResolvedSet {
+    bits: Vec<u64>,
+    len: u64,
+}
+
+impl ResolvedSet {
+    fn new(n: u64) -> Self {
+        ResolvedSet { bits: vec![0u64; (n as usize).div_ceil(64)], len: n }
+    }
+
+    fn mark(&mut self, tag: u64) {
+        if tag < self.len {
+            self.bits[(tag / 64) as usize] |= 1u64 << (tag % 64);
+        }
+    }
+
+    /// True if `tag` was previously resolved *or* was never a valid tag —
+    /// either way a delivery for it is spurious.
+    fn spurious(&self, tag: u64) -> bool {
+        tag >= self.len || self.bits[(tag / 64) as usize] & (1u64 << (tag % 64)) != 0
+    }
+}
+
+/// Run the all-to-all one-way-message experiment `spec` describes: inject
+/// `spec.messages` Poisson arrivals at `spec.load`, then drain.
+/// Entry point: [`ScenarioSpec::run_oneway`].
+pub(crate) fn oneway<M, T>(
+    spec: &ScenarioSpec,
+    queues: Option<QueueDiscipline>,
     make: impl FnMut(HostId) -> T,
-    dist: &MessageSizeDist,
-    load: f64,
-    n_msgs: u64,
-    seed: u64,
     opts: &OnewayOpts,
 ) -> OnewayResult
 where
     M: PacketMeta,
     T: Transport<M>,
 {
+    let topo = spec.topology();
+    let dist = spec.workload.dist();
+    let traffic = &spec.traffic;
+    let (load, n_msgs, seed) = (spec.load, spec.messages, spec.seed);
     let hosts = topo.num_hosts();
     // A bimodal mix shifts the mean message size (and overhead); fold the
     // second mode into the load arithmetic so the target load stays
     // honest.
-    let (mean_msg_bytes, mean_overhead_bytes) = match &opts.traffic.mix {
+    let (mean_msg_bytes, mean_overhead_bytes) = match &traffic.mix {
         Some(mix) => {
             let second = mix.second.dist();
             let f = mix.frac;
             (
                 (1.0 - f) * dist.mean() + f * second.mean(),
-                (1.0 - f) * LoadPlan::estimate_overhead(dist, PAYLOAD, OVERHEAD, CTRL, 9_700)
+                (1.0 - f) * LoadPlan::estimate_overhead(&dist, PAYLOAD, OVERHEAD, CTRL, 9_700)
                     + f * LoadPlan::estimate_overhead(&second, PAYLOAD, OVERHEAD, CTRL, 9_700),
             )
         }
-        None => (dist.mean(), LoadPlan::estimate_overhead(dist, PAYLOAD, OVERHEAD, CTRL, 9_700)),
+        None => (dist.mean(), LoadPlan::estimate_overhead(&dist, PAYLOAD, OVERHEAD, CTRL, 9_700)),
     };
     let plan = LoadPlan {
         // Patterns that concentrate on one link (incast) interpret `load`
         // against that bottleneck, not the whole fabric.
-        hosts: opts.traffic.loaded_links(hosts),
+        hosts: traffic.loaded_links(hosts),
         host_link_bps: topo.host_link_bps,
         load,
         mean_msg_bytes,
@@ -183,16 +208,16 @@ where
         hosts,
         plan.mean_interarrival_secs(),
     )
-    .with_matrix(opts.traffic.matrix(hosts, topo.hosts_per_rack, seed));
-    if let Some(mix) = &opts.traffic.mix {
+    .with_matrix(traffic.matrix(hosts, topo.hosts_per_rack, seed));
+    if let Some(mix) = &traffic.mix {
         gen = gen.with_mix(mix.second.dist(), mix.frac);
     }
-    if let Some(victim) = opts.traffic.victim {
+    if let Some(victim) = traffic.victim {
         gen = gen.with_victim(victim);
     }
-    let mut net: Network<M, T> = Network::new(topo.clone(), netcfg, make);
-    if !opts.faults.is_empty() {
-        net.install_faults(&opts.faults);
+    let mut net: Network<M, T> = Network::new(topo.clone(), spec.netcfg_with(queues), make);
+    if !spec.faults.is_empty() {
+        net.install_faults(&spec.faults);
     }
 
     // tag -> (size, injected_ns, path_class, victim)
@@ -202,9 +227,11 @@ where
         if opts.keep_records { Vec::with_capacity(n_msgs as usize) } else { Vec::new() };
     let mut victim_records = Vec::new();
     let mut sketch = SlowdownSketch::default();
+    let mut resolved = ResolvedSet::new(n_msgs);
     let mut injected = 0u64;
     let mut delivered = 0u64;
     let mut aborted = 0u64;
+    let mut duplicate_deliveries = 0u64;
     let mut injected_bytes = 0u64;
     let mut delivered_goodput_bytes = 0u64;
 
@@ -221,11 +248,13 @@ where
 
     let handle_events = |net: &mut Network<M, T>,
                          pending: &mut HashMap<u64, (u64, u64, PathClass, bool)>,
+                         resolved: &mut ResolvedSet,
                          records: &mut Vec<MsgRecord>,
                          victim_records: &mut Vec<MsgRecord>,
                          sketch: &mut SlowdownSketch,
                          delivered: &mut u64,
                          aborted: &mut u64,
+                         duplicate_deliveries: &mut u64,
                          delivered_goodput_bytes: &mut u64,
                          unloaded_cache: &mut UnloadedCache<'_, M, T>| {
         for (at, host, ev) in net.take_app_events() {
@@ -233,6 +262,7 @@ where
                 AppEvent::MessageDelivered { src, tag, len } => {
                     if let Some((size, injected_ns, class, victim)) = pending.remove(&tag) {
                         debug_assert_eq!(size, len);
+                        resolved.mark(tag);
                         *delivered += 1;
                         if tag >= opts.warmup_msgs {
                             *delivered_goodput_bytes += size;
@@ -260,9 +290,12 @@ where
                                 }
                             }
                         }
+                    } else if resolved.spurious(tag) {
+                        *duplicate_deliveries += 1;
                     }
                 }
                 AppEvent::Aborted { tag, .. } if pending.remove(&tag).is_some() => {
+                    resolved.mark(tag);
                     *aborted += 1;
                 }
                 _ => {}
@@ -280,11 +313,13 @@ where
             handle_events(
                 &mut net,
                 &mut pending,
+                &mut resolved,
                 &mut records,
                 &mut victim_records,
                 &mut sketch,
                 &mut delivered,
                 &mut aborted,
+                &mut duplicate_deliveries,
                 &mut delivered_goodput_bytes,
                 &mut unloaded_of,
             );
@@ -300,11 +335,13 @@ where
         handle_events(
             &mut net,
             &mut pending,
+            &mut resolved,
             &mut records,
             &mut victim_records,
             &mut sketch,
             &mut delivered,
             &mut aborted,
+            &mut duplicate_deliveries,
             &mut delivered_goodput_bytes,
             &mut unloaded_of,
         );
@@ -327,11 +364,13 @@ where
         handle_events(
             &mut net,
             &mut pending,
+            &mut resolved,
             &mut records,
             &mut victim_records,
             &mut sketch,
             &mut delivered,
             &mut aborted,
+            &mut duplicate_deliveries,
             &mut delivered_goodput_bytes,
             &mut unloaded_of,
         );
@@ -359,6 +398,7 @@ where
         delivered,
         aborted,
         lost: pending.len() as u64,
+        duplicate_deliveries,
         stats,
         wasted_fraction: if samples > 0 { wasted_hits as f64 / samples as f64 } else { f64::NAN },
         duration,
@@ -368,7 +408,7 @@ where
     }
 }
 
-/// Options for [`run_rpc_echo`].
+/// Options for [`ScenarioSpec::run_rpc_echo`].
 #[derive(Debug, Clone)]
 pub struct RpcOpts {
     /// Number of client hosts (the first `clients` host ids); the rest
@@ -378,23 +418,15 @@ pub struct RpcOpts {
     pub drain: SimDuration,
     /// RPCs at the head of the run excluded from the records.
     pub warmup: u64,
-    /// Fault schedule installed on the fabric before injection (empty by
-    /// default).
-    pub faults: FaultPlan,
 }
 
 impl Default for RpcOpts {
     fn default() -> Self {
-        RpcOpts {
-            clients: 8,
-            drain: SimDuration::from_millis(200),
-            warmup: 0,
-            faults: FaultPlan::default(),
-        }
+        RpcOpts { clients: 8, drain: SimDuration::from_millis(200), warmup: 0 }
     }
 }
 
-/// Result of [`run_rpc_echo`].
+/// Result of an RPC-echo experiment.
 #[derive(Debug)]
 pub struct RpcResult {
     /// Per-RPC observations (echo size, issue → response-complete).
@@ -412,23 +444,21 @@ pub struct RpcResult {
 }
 
 /// The §5.1 echo benchmark: each client issues echo RPCs of
-/// workload-sampled sizes to random servers at a target load; servers
-/// return the same payload.
-#[allow(clippy::too_many_arguments)]
-pub fn run_rpc_echo<M, T>(
-    topo: &Topology,
-    netcfg: NetworkConfig,
+/// workload-sampled sizes to random servers at `spec.load`; servers
+/// return the same payload. Entry point: [`ScenarioSpec::run_rpc_echo`].
+pub(crate) fn rpc_echo<M, T>(
+    spec: &ScenarioSpec,
+    queues: Option<QueueDiscipline>,
     make: impl FnMut(HostId) -> T,
-    dist: &MessageSizeDist,
-    load: f64,
-    n_rpcs: u64,
-    seed: u64,
     opts: &RpcOpts,
 ) -> RpcResult
 where
     M: PacketMeta,
     T: Transport<M>,
 {
+    let topo = spec.topology();
+    let dist = spec.workload.dist();
+    let (load, n_rpcs, seed) = (spec.load, spec.messages, spec.seed);
     let hosts = topo.num_hosts();
     assert!(opts.clients < hosts, "need at least one server");
     let servers = hosts - opts.clients;
@@ -437,7 +467,7 @@ where
         host_link_bps: topo.host_link_bps,
         load,
         mean_msg_bytes: dist.mean(),
-        mean_overhead_bytes: LoadPlan::estimate_overhead(dist, PAYLOAD, OVERHEAD, CTRL, 9_700),
+        mean_overhead_bytes: LoadPlan::estimate_overhead(&dist, PAYLOAD, OVERHEAD, CTRL, 9_700),
     };
     let mut gen = PoissonArrivals::new(
         seed ^ 0x51ed_2701,
@@ -445,9 +475,9 @@ where
         opts.clients.max(2),
         plan.mean_interarrival_secs(),
     );
-    let mut net: Network<M, T> = Network::new(topo.clone(), netcfg, make);
-    if !opts.faults.is_empty() {
-        net.install_faults(&opts.faults);
+    let mut net: Network<M, T> = Network::new(topo.clone(), spec.netcfg_with(queues), make);
+    if !spec.faults.is_empty() {
+        net.install_faults(&spec.faults);
     }
     let mut rng_srv = seed.wrapping_mul(0x2545_F491_4F6C_DD1D);
 
@@ -525,6 +555,24 @@ where
     RpcResult { records, issued, completed, aborted, stats, duration: net.now() }
 }
 
+/// Options for [`ScenarioSpec::run_incast`].
+#[derive(Debug, Clone)]
+pub struct IncastOpts {
+    /// Response size in bytes (the paper's Figure 10 uses 10 KB).
+    pub resp_len: u64,
+    /// Number of rounds to repeat the fan-in.
+    pub rounds: u32,
+    /// Simulated-time budget per round before outstanding RPCs are
+    /// written off as aborted.
+    pub per_round_timeout: SimDuration,
+}
+
+impl Default for IncastOpts {
+    fn default() -> Self {
+        IncastOpts { resp_len: 10_000, rounds: 3, per_round_timeout: SimDuration::from_millis(500) }
+    }
+}
+
 /// Result of one incast configuration (Figure 10).
 #[derive(Debug, Clone)]
 pub struct IncastResult {
@@ -540,30 +588,51 @@ pub struct IncastResult {
     pub stats: RunStats,
 }
 
-/// Figure 10: a single client issues `concurrent` RPCs in parallel to
-/// `servers` servers (round-robin); each response is `resp_len` bytes.
-/// Repeats for `rounds` rounds and reports aggregate throughput.
-pub fn run_incast<M, T>(
-    topo: &Topology,
-    netcfg: NetworkConfig,
+/// Figure 10: a single client issues `spec.messages` RPCs in parallel
+/// (round-robin over the other hosts); each response is
+/// `opts.resp_len` bytes. Repeats for `opts.rounds` rounds and reports
+/// aggregate throughput. Entry point: [`ScenarioSpec::run_incast`].
+///
+/// Contract (pinned by tests): the spec's `faults` are installed on the
+/// fabric like the other two drivers; `traffic` must be the default
+/// (the fan-in *is* the traffic pattern) and `load` must be `0.0` (the
+/// run is closed-loop) — non-conforming specs are rejected loudly
+/// rather than silently ignored.
+pub(crate) fn incast<M, T>(
+    spec: &ScenarioSpec,
+    queues: Option<QueueDiscipline>,
     make: impl FnMut(HostId) -> T,
-    concurrent: u64,
-    resp_len: u64,
-    rounds: u32,
-    per_round_timeout: SimDuration,
+    opts: &IncastOpts,
 ) -> IncastResult
 where
     M: PacketMeta,
     T: Transport<M>,
 {
+    assert!(
+        spec.traffic.is_default(),
+        "incast scenario '{}': the rotational fan-in is the traffic pattern; \
+         a non-default TrafficSpec would be silently ignored — remove it",
+        spec.name
+    );
+    assert!(
+        spec.load == 0.0,
+        "incast scenario '{}': the run is closed-loop (no Poisson arrivals), \
+         so `load` has no effect — set it to 0.0",
+        spec.name
+    );
+    let topo = spec.topology();
+    let concurrent = spec.messages;
     let hosts = topo.num_hosts();
-    let mut net: Network<M, T> = Network::new(topo.clone(), netcfg, make);
+    let mut net: Network<M, T> = Network::new(topo.clone(), spec.netcfg_with(queues), make);
+    if !spec.faults.is_empty() {
+        net.install_faults(&spec.faults);
+    }
     let client = HostId(0);
     let mut tag = 0u64;
     let mut delivered_bytes = 0u64;
     let mut aborted = 0u64;
     let start = net.now();
-    for _ in 0..rounds {
+    for _ in 0..opts.rounds {
         // The response fan-in is exactly the incast traffic pattern: the
         // matrix's (sender, 0) pairs name each round's servers (responses
         // converge on host 0, the client).
@@ -576,7 +645,7 @@ where
             outstanding.insert(tag);
             tag += 1;
         }
-        let deadline = net.now() + per_round_timeout;
+        let deadline = net.now() + opts.per_round_timeout;
         while !outstanding.is_empty() && net.now() < deadline {
             if net.run_next_before(deadline).is_none() {
                 break;
@@ -584,10 +653,10 @@ where
             for (_, host, ev) in net.take_app_events() {
                 match ev {
                     AppEvent::RpcRequestArrived { client, rpc, .. } => {
-                        net.inject_response(host, client, rpc, resp_len);
+                        net.inject_response(host, client, rpc, opts.resp_len);
                     }
                     AppEvent::RpcCompleted { tag, .. } if outstanding.remove(&tag) => {
-                        delivered_bytes += resp_len;
+                        delivered_bytes += opts.resp_len;
                     }
                     AppEvent::Aborted { tag, .. } if outstanding.remove(&tag) => {
                         aborted += 1;
@@ -612,26 +681,30 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::FabricSpec;
     use homa::HomaConfig;
     use homa_baselines::HomaSimTransport;
-    use homa_workloads::Workload;
+    use homa_workloads::{TrafficSpec, Workload};
+
+    fn homa(h: HostId) -> HomaSimTransport {
+        HomaSimTransport::new(h, HomaConfig::default())
+    }
 
     #[test]
     fn oneway_small_run_records_everything() {
-        let topo = Topology::single_switch(8);
-        let res = run_oneway(
-            &topo,
-            NetworkConfig::default(),
-            |h| HomaSimTransport::new(h, HomaConfig::default()),
-            &Workload::W1.dist(),
+        let spec = ScenarioSpec::new(
+            "small",
+            FabricSpec::SingleSwitch { hosts: 8 },
+            Workload::W1,
             0.5,
             500,
             7,
-            &OnewayOpts::default().with_records(),
         );
+        let res = spec.run_oneway(None, homa, &OnewayOpts::default().with_records());
         assert_eq!(res.injected, 500);
         assert_eq!(res.delivered, 500, "all messages must complete");
         assert_eq!(res.aborted, 0);
+        assert_eq!(res.duplicate_deliveries, 0);
         assert_eq!(res.records.len(), 500);
         // Slowdowns are sane: >= ~1 (small numerical tolerance).
         for r in &res.records {
@@ -642,17 +715,15 @@ mod tests {
     #[test]
     fn oneway_sketch_agrees_with_exact_records() {
         use crate::slowdown::SlowdownSummary;
-        let topo = Topology::multi_tor(32);
-        let res = run_oneway(
-            &topo,
-            NetworkConfig::default(),
-            |h| HomaSimTransport::new(h, HomaConfig::default()),
-            &Workload::W2.dist(),
+        let spec = ScenarioSpec::new(
+            "sketch",
+            FabricSpec::MultiTor { hosts: 32 },
+            Workload::W2,
             0.6,
             600,
             5,
-            &OnewayOpts::default().with_records(),
         );
+        let res = spec.run_oneway(None, homa, &OnewayOpts::default().with_records());
         // The sketch runs alongside the exact records and must tell the
         // same story within its alpha.
         assert_eq!(res.sketch.count(), res.records.len() as u64);
@@ -679,17 +750,15 @@ mod tests {
 
     #[test]
     fn rpc_echo_small_run() {
-        let topo = Topology::single_switch(16);
-        let res = run_rpc_echo(
-            &topo,
-            NetworkConfig::default(),
-            |h| HomaSimTransport::new(h, HomaConfig::default()),
-            &Workload::W3.dist(),
+        let spec = ScenarioSpec::new(
+            "rpc",
+            FabricSpec::SingleSwitch { hosts: 16 },
+            Workload::W3,
             0.4,
             300,
             3,
-            &RpcOpts::default(),
         );
+        let res = spec.run_rpc_echo(None, homa, &RpcOpts::default());
         assert_eq!(res.issued, 300);
         assert_eq!(res.completed, 300);
         for r in &res.records {
@@ -700,22 +769,16 @@ mod tests {
     #[test]
     fn oneway_incast_pattern_converges_on_host_zero() {
         use homa_workloads::VictimSpec;
-        let topo = Topology::single_switch(12);
-        let opts = OnewayOpts {
-            traffic: TrafficSpec::incast(8).with_victim(VictimSpec::new(9, 10, 5_000, 50_000)),
-            ..OnewayOpts::default()
-        }
-        .with_records();
-        let res = run_oneway(
-            &topo,
-            NetworkConfig::default(),
-            |h| HomaSimTransport::new(h, HomaConfig::default()),
-            &Workload::W2.dist(),
+        let spec = ScenarioSpec::new(
+            "conv",
+            FabricSpec::SingleSwitch { hosts: 12 },
+            Workload::W2,
             0.5,
             400,
             11,
-            &opts,
-        );
+        )
+        .with_traffic(TrafficSpec::incast(8).with_victim(VictimSpec::new(9, 10, 5_000, 50_000)));
+        let res = spec.run_oneway(None, homa, &OnewayOpts::default().with_records());
         assert_eq!(res.injected, 400);
         assert_eq!(res.delivered, 400, "incast at 50% of the victim downlink must complete");
         // The victim overlay's completions are separated out.
@@ -728,32 +791,27 @@ mod tests {
 
     #[test]
     fn oneway_under_link_flap_recovers() {
-        use homa_sim::LinkId;
-        let topo = Topology::single_switch(8);
-        let opts = OnewayOpts {
-            // Flap host 1's downlink four times during the run. Messages
-            // that kept at least one surviving packet are recovered by
-            // RESEND; only wholly-dropped one-way messages may be lost
-            // (fire-and-forget), and every message must be accounted for.
-            faults: FaultPlan::new().link_flaps(
-                LinkId::HostDownlink(HostId(1)),
-                100_000,
-                150_000,
-                400_000,
-                4,
-            ),
-            ..OnewayOpts::default()
-        };
-        let res = run_oneway(
-            &topo,
-            NetworkConfig::default(),
-            |h| HomaSimTransport::new(h, HomaConfig::default()),
-            &Workload::W3.dist(),
+        use homa_sim::{FaultPlan, LinkId};
+        // Flap host 1's downlink four times during the run. Messages
+        // that kept at least one surviving packet are recovered by
+        // RESEND; only wholly-dropped one-way messages may be lost
+        // (fire-and-forget), and every message must be accounted for.
+        let spec = ScenarioSpec::new(
+            "flap",
+            FabricSpec::SingleSwitch { hosts: 8 },
+            Workload::W3,
             0.5,
             600,
             3,
-            &opts,
-        );
+        )
+        .with_faults(FaultPlan::new().link_flaps(
+            LinkId::HostDownlink(HostId(1)),
+            100_000,
+            150_000,
+            400_000,
+            4,
+        ));
+        let res = spec.run_oneway(None, homa, &OnewayOpts::default());
         assert_eq!(res.injected, 600);
         assert_eq!(res.stats.faults_applied, 8);
         assert_eq!(
@@ -764,23 +822,75 @@ mod tests {
             res.aborted,
             res.lost
         );
+        assert_eq!(res.duplicate_deliveries, 0);
         assert!(res.stats.fault_drops > 0, "flaps never bit");
         assert!(res.delivered >= 500, "flap recovery too lossy: {}", res.delivered);
     }
 
     #[test]
     fn incast_round_completes() {
-        let topo = Topology::single_switch(16);
-        let res = run_incast(
-            &topo,
-            NetworkConfig::default(),
-            |h| HomaSimTransport::new(h, HomaConfig::default()),
-            64,
-            10_000,
-            2,
-            SimDuration::from_millis(100),
+        let spec = ScenarioSpec::incast("inc64", FabricSpec::SingleSwitch { hosts: 16 }, 64, 7);
+        let res = spec.run_incast(
+            None,
+            homa,
+            &IncastOpts {
+                rounds: 2,
+                per_round_timeout: SimDuration::from_millis(100),
+                ..IncastOpts::default()
+            },
         );
         assert_eq!(res.aborted, 0, "64-wide incast survives with control");
         assert!(res.throughput_bps > 1e9, "throughput {}", res.throughput_bps);
+    }
+
+    #[test]
+    fn incast_installs_spec_faults() {
+        use homa_sim::{FaultPlan, LinkId};
+        // The satellite contract: an incast spec's fault schedule is
+        // installed on the fabric, not silently dropped. The client's
+        // downlink flap must show up in the fault counters and bite.
+        let spec = ScenarioSpec::incast("inc_flap", FabricSpec::SingleSwitch { hosts: 16 }, 64, 7)
+            .with_faults(FaultPlan::new().link_flaps(
+                LinkId::HostDownlink(HostId(0)),
+                20_000,
+                60_000,
+                200_000,
+                2,
+            ));
+        let res = spec.run_incast(
+            None,
+            homa,
+            &IncastOpts {
+                rounds: 2,
+                per_round_timeout: SimDuration::from_millis(100),
+                ..IncastOpts::default()
+            },
+        );
+        assert_eq!(res.stats.faults_applied, 4, "fault schedule not installed");
+        assert!(res.stats.fault_drops > 0, "client downlink flap never bit");
+        // The faulted run must still make progress once the link is back.
+        assert!(res.throughput_bps > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "the rotational fan-in is the traffic pattern")]
+    fn incast_rejects_non_default_traffic() {
+        let spec = ScenarioSpec::incast("bad", FabricSpec::SingleSwitch { hosts: 8 }, 16, 1)
+            .with_traffic(TrafficSpec::shuffle());
+        spec.run_incast(None, homa, &IncastOpts::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "closed-loop")]
+    fn incast_rejects_nonzero_load() {
+        let spec = ScenarioSpec::new(
+            "bad_load",
+            FabricSpec::SingleSwitch { hosts: 8 },
+            Workload::W4,
+            0.5,
+            16,
+            1,
+        );
+        spec.run_incast(None, homa, &IncastOpts::default());
     }
 }

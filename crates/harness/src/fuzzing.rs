@@ -1,0 +1,437 @@
+//! Structure-aware scenario generation and shrinking for the fuzz suites.
+//!
+//! The differential and conservation fuzzers (`tests/fuzz_differential.rs`,
+//! `tests/fuzz_conservation.rs`) draw whole scenarios from
+//! [`ScenarioSpec::arbitrary`]: a seeded, bounded walk over the fabric ×
+//! workload × load × traffic × fault space. Because every run here is a
+//! pure function of its spec, a failing draw is fully captured by its
+//! [`ScenarioSpec::to_spec_line`] string — the harness shrinks the spec
+//! with [`shrink_to_minimal`] and prints that line for exact replay.
+//!
+//! Generation is deliberately conservative about validity: victim flows
+//! and fault events only ever name hosts that exist on the drawn fabric,
+//! cross-rack hotspots are only drawn on multi-rack fabrics, and fault
+//! plans stick to the host-level vocabulary (link flaps, receiver
+//! pauses, rate limits) that is meaningful on every topology. The goal
+//! is for *every* generated spec to be a legal run, so any panic or
+//! divergence the fuzzers see is a real bug, not a generator artifact.
+
+use crate::scenario::{FabricSpec, ScenarioSpec};
+use homa_sim::{Fault, FaultPlan, HostId, LinkId};
+use homa_workloads::{TrafficSpec, VictimSpec, Workload};
+
+/// SplitMix64: tiny, seedable, and statistically fine for test-case
+/// generation. Hand-rolled so the fuzzers add no dependencies.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose whole stream is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform draw in the inclusive range `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `num`/`den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// All workloads, in index order, for seeded selection.
+const WORKLOADS: [Workload; 5] =
+    [Workload::W1, Workload::W2, Workload::W3, Workload::W4, Workload::W5];
+
+/// Message budget for a drawn workload: heavy-tailed distributions get
+/// fewer messages so a single fuzz iteration stays in the tens of
+/// milliseconds even on the larger fabrics.
+fn message_budget(rng: &mut SplitMix64, wl: Workload) -> u64 {
+    match wl {
+        Workload::W1 => rng.range(120, 300),
+        Workload::W2 => rng.range(100, 240),
+        Workload::W3 => rng.range(80, 180),
+        Workload::W4 => rng.range(50, 120),
+        Workload::W5 => rng.range(24, 48),
+    }
+}
+
+fn arbitrary_fabric(rng: &mut SplitMix64) -> FabricSpec {
+    match rng.below(4) {
+        0 => FabricSpec::SingleSwitch { hosts: rng.range(4, 12) as u32 },
+        1 => FabricSpec::LeafSpine {
+            racks: rng.range(2, 3) as u32,
+            hosts_per_rack: rng.range(4, 6) as u32,
+            spines: rng.range(1, 2) as u32,
+        },
+        2 => FabricSpec::MultiTor { hosts: [16, 24, 32][rng.below(3) as usize] },
+        _ => FabricSpec::FatTree { k: 4 },
+    }
+}
+
+fn multi_rack(fabric: FabricSpec) -> bool {
+    !matches!(fabric, FabricSpec::SingleSwitch { .. })
+}
+
+fn arbitrary_traffic(rng: &mut SplitMix64, fabric: FabricSpec, hosts: u32) -> TrafficSpec {
+    let mut traffic = if rng.chance(1, 2) {
+        TrafficSpec::uniform()
+    } else {
+        match rng.below(4) {
+            0 => TrafficSpec::permutation(),
+            1 => TrafficSpec::incast(rng.range(2, 8) as u32),
+            2 => TrafficSpec::shuffle(),
+            // Cross-rack hotspots need more than one rack to make sense;
+            // on single-switch fabrics fall back to a rack-local one.
+            _ => {
+                let frac = rng.range(3, 9) as f64 / 10.0;
+                TrafficSpec::hotspot(frac, !multi_rack(fabric) || rng.chance(1, 2))
+            }
+        }
+    };
+    if hosts >= 3 && rng.chance(3, 10) {
+        let src = rng.below(hosts as u64) as u32;
+        let dst = (src + 1 + rng.below(hosts as u64 - 1) as u32) % hosts;
+        traffic = traffic.with_victim(VictimSpec::new(
+            src,
+            dst,
+            rng.range(1_000, 50_000),
+            rng.range(100_000, 1_000_000),
+        ));
+    }
+    if rng.chance(1, 4) {
+        let second = WORKLOADS[rng.below(5) as usize];
+        traffic = traffic.with_mix(second, rng.range(1, 5) as f64 / 10.0);
+    }
+    traffic
+}
+
+/// Fault plans are drawn from the host-level vocabulary only — uplink
+/// and downlink flaps, receiver pauses, host-link rate limits — which
+/// is valid on every fabric. Times sit inside the first few hundred
+/// microseconds so faults actually overlap the injected traffic.
+fn arbitrary_faults(rng: &mut SplitMix64, hosts: u32) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    if !rng.chance(45, 100) {
+        return plan;
+    }
+    for _ in 0..rng.range(1, 3) {
+        let host = HostId(rng.below(hosts as u64) as u32);
+        let at = rng.range(50_000, 400_000);
+        let dur = rng.range(20_000, 200_000);
+        match rng.below(4) {
+            0 => {
+                let link = if rng.chance(1, 2) {
+                    LinkId::HostUplink(host)
+                } else {
+                    LinkId::HostDownlink(host)
+                };
+                plan = plan.at(at, Fault::LinkDown(link)).at(at + dur, Fault::LinkUp(link));
+            }
+            1 => plan = plan.receiver_pause(host, at, at + dur),
+            2 => {
+                let link = LinkId::HostUplink(host);
+                plan = plan.rate_limit(link, at, rng.range(500_000_000, 4_000_000_000), at + dur);
+            }
+            _ => {
+                let link = LinkId::HostDownlink(host);
+                plan = plan
+                    .at(at, Fault::RateLimit { link, bps: rng.range(500_000_000, 4_000_000_000) })
+                    .at(at + dur, Fault::RateRestore(link));
+            }
+        }
+    }
+    plan
+}
+
+impl ScenarioSpec {
+    /// A seeded, bounded random scenario: every draw is a legal run on
+    /// its own fabric, and the whole spec (including `spec.seed`, set to
+    /// the generator seed) is determined by `seed`. Used by the fuzz
+    /// suites; `HOMA_FUZZ_ITERS` scales how many draws they take.
+    pub fn arbitrary(seed: u64) -> ScenarioSpec {
+        let mut rng = SplitMix64::new(seed);
+        let fabric = arbitrary_fabric(&mut rng);
+        let hosts = fabric.hosts();
+        let workload = WORKLOADS[rng.below(5) as usize];
+        let messages = message_budget(&mut rng, workload);
+        let load = rng.range(6, 15) as f64 / 20.0; // 0.30..=0.75 in 0.05 steps
+        let traffic = arbitrary_traffic(&mut rng, fabric, hosts);
+        let faults = arbitrary_faults(&mut rng, hosts);
+        ScenarioSpec::new(format!("fuzz_{seed:016x}"), fabric, workload, load, messages, seed)
+            .with_traffic(traffic)
+            .with_faults(faults)
+    }
+
+    /// Candidate simplifications of this spec, most aggressive first:
+    /// halve the message count, step the fabric down a size class, drop
+    /// fault events one at a time, drop the victim flow, drop the
+    /// workload mix, and finally flatten the pattern to uniform. Each
+    /// candidate is itself a legal spec, so [`shrink_to_minimal`] can
+    /// greedily walk this list while a failure predicate still fires.
+    pub fn shrink(&self) -> Vec<ScenarioSpec> {
+        let mut out = Vec::new();
+        if self.messages > 24 {
+            out.push(self.clone().with_messages(self.messages / 2));
+        }
+        if let Some(smaller) = shrink_fabric(self.fabric) {
+            out.push(refit(self.clone(), smaller));
+        }
+        if !self.faults.is_empty() {
+            for drop in 0..self.faults.events.len() {
+                let mut plan = self.faults.clone();
+                plan.events.remove(drop);
+                out.push(self.clone().with_faults(plan));
+            }
+        }
+        if self.traffic.victim.is_some() {
+            let mut t = self.traffic;
+            t.victim = None;
+            out.push(self.clone().with_traffic(t));
+        }
+        if self.traffic.mix.is_some() {
+            let mut t = self.traffic;
+            t.mix = None;
+            out.push(self.clone().with_traffic(t));
+        }
+        if !matches!(self.traffic.pattern, homa_workloads::PatternSpec::Uniform) {
+            let mut t = self.traffic;
+            t.pattern = homa_workloads::PatternSpec::Uniform;
+            out.push(self.clone().with_traffic(t));
+        }
+        out
+    }
+}
+
+/// One size-class step down, terminating at `SingleSwitch { hosts: 4 }`.
+fn shrink_fabric(f: FabricSpec) -> Option<FabricSpec> {
+    match f {
+        FabricSpec::FatTree { .. } | FabricSpec::Paper => Some(FabricSpec::MultiTor { hosts: 16 }),
+        FabricSpec::MultiTor { hosts } if hosts > 16 => Some(FabricSpec::MultiTor { hosts: 16 }),
+        FabricSpec::MultiTor { .. } => {
+            Some(FabricSpec::LeafSpine { racks: 2, hosts_per_rack: 4, spines: 1 })
+        }
+        FabricSpec::LeafSpine { .. } => Some(FabricSpec::SingleSwitch { hosts: 8 }),
+        FabricSpec::SingleSwitch { hosts } if hosts > 4 => {
+            Some(FabricSpec::SingleSwitch { hosts: (hosts / 2).max(4) })
+        }
+        FabricSpec::SingleSwitch { .. } => None,
+    }
+}
+
+/// Move `spec` onto a smaller fabric, dropping any traffic overlay or
+/// fault event that names a host the new fabric doesn't have, and
+/// flattening cross-rack hotspots when the new fabric has one rack.
+fn refit(spec: ScenarioSpec, fabric: FabricSpec) -> ScenarioSpec {
+    let hosts = fabric.hosts();
+    let mut traffic = spec.traffic;
+    if let Some(v) = traffic.victim {
+        if v.src >= hosts || v.dst >= hosts {
+            traffic.victim = None;
+        }
+    }
+    if let homa_workloads::PatternSpec::Hotspot { hot_frac, rack_local: false } = traffic.pattern {
+        if !multi_rack(fabric) {
+            traffic.pattern = homa_workloads::PatternSpec::Hotspot { hot_frac, rack_local: true };
+        }
+    }
+    let mut faults = spec.faults.clone();
+    faults.events.retain(|(_, f)| fault_fits(*f, hosts));
+    let mut out = spec;
+    out.fabric = fabric;
+    out.with_traffic(traffic).with_faults(faults)
+}
+
+fn fault_fits(f: Fault, hosts: u32) -> bool {
+    let link_ok = |l: LinkId| match l {
+        LinkId::HostUplink(h) | LinkId::HostDownlink(h) => h.0 < hosts,
+        LinkId::TorUplink { .. } | LinkId::SpineDownlink { .. } => false,
+    };
+    match f {
+        Fault::LinkDown(l) | Fault::LinkUp(l) | Fault::RateRestore(l) => link_ok(l),
+        Fault::RateLimit { link, .. } => link_ok(link),
+        Fault::PauseReceiver(h) | Fault::ResumeReceiver(h) => h.0 < hosts,
+        Fault::RackOutage { .. }
+        | Fault::RackRestore { .. }
+        | Fault::SpineOutage { .. }
+        | Fault::SpineRestore { .. } => false,
+    }
+}
+
+/// Greedily shrink `spec` while `fails` keeps returning true, taking
+/// the first failing candidate at each step. Deterministic: the same
+/// spec and predicate always shrink to the same minimal spec. The
+/// predicate is re-run once per accepted candidate, so the cost is
+/// `O(steps × candidates)` runs of the scenario.
+pub fn shrink_to_minimal(
+    spec: &ScenarioSpec,
+    mut fails: impl FnMut(&ScenarioSpec) -> bool,
+) -> ScenarioSpec {
+    let mut current = spec.clone();
+    'outer: loop {
+        for candidate in current.shrink() {
+            if fails(&candidate) {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+/// Iteration count for a fuzz loop: `HOMA_FUZZ_ITERS` if set and
+/// parseable, else `default`. CI smoke jobs pin this to 500; the
+/// `#[ignore]` long-haul variants multiply it further.
+pub fn fuzz_iters(default: u64) -> u64 {
+    std::env::var("HOMA_FUZZ_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Record a fuzz failure: always printed to stderr, and appended to
+/// `$HOMA_FUZZ_FAILURE_DIR/<family>.txt` when that variable is set (CI
+/// uploads the directory as an artifact). Each line is a replayable
+/// spec line followed by ` # <detail>`.
+pub fn report_failure(family: &str, spec_line: &str, detail: &str) {
+    eprintln!("[{family}] FUZZ FAILURE — replay with:\n  {spec_line}\n  ({detail})");
+    if let Ok(dir) = std::env::var("HOMA_FUZZ_FAILURE_DIR") {
+        let _ = std::fs::create_dir_all(&dir);
+        let path = std::path::Path::new(&dir).join(format!("{family}.txt"));
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(f, "{spec_line} # {detail}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arbitrary_is_deterministic_and_bounded() {
+        for seed in 0..200 {
+            let a = ScenarioSpec::arbitrary(seed);
+            let b = ScenarioSpec::arbitrary(seed);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            let hosts = a.fabric.hosts();
+            assert!((4..=32).contains(&hosts), "seed {seed}: {hosts} hosts");
+            assert!((24..=300).contains(&a.messages), "seed {seed}: {} msgs", a.messages);
+            assert!((0.30..=0.75).contains(&a.load), "seed {seed}: load {}", a.load);
+            assert_eq!(a.seed, seed);
+            if let Some(v) = a.traffic.victim {
+                assert!(v.src < hosts && v.dst < hosts && v.src != v.dst);
+            }
+            for &(_, f) in &a.faults.events {
+                assert!(fault_fits(f, hosts), "seed {seed}: fault {f:?} off-fabric");
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_specs_round_trip_through_spec_lines() {
+        for seed in 0..500 {
+            let spec = ScenarioSpec::arbitrary(seed);
+            let line = spec.to_spec_line();
+            let back = ScenarioSpec::parse_spec_line(&line)
+                .unwrap_or_else(|e| panic!("seed {seed}: `{line}` failed to parse: {e}"));
+            assert_eq!(back, spec, "seed {seed} diverged via `{line}`");
+        }
+    }
+
+    #[test]
+    fn arbitrary_covers_the_scenario_space() {
+        let mut fabrics = [false; 4];
+        let mut faulted = 0;
+        let mut victims = 0;
+        let mut mixed = 0;
+        let mut non_uniform = 0;
+        for seed in 0..400 {
+            let s = ScenarioSpec::arbitrary(seed);
+            let idx = match s.fabric {
+                FabricSpec::SingleSwitch { .. } => 0,
+                FabricSpec::LeafSpine { .. } => 1,
+                FabricSpec::MultiTor { .. } => 2,
+                _ => 3,
+            };
+            fabrics[idx] = true;
+            faulted += u32::from(!s.faults.is_empty());
+            victims += u32::from(s.traffic.victim.is_some());
+            mixed += u32::from(s.traffic.mix.is_some());
+            non_uniform +=
+                u32::from(!matches!(s.traffic.pattern, homa_workloads::PatternSpec::Uniform));
+        }
+        assert!(fabrics.iter().all(|&f| f), "some fabric class never drawn");
+        assert!(faulted > 80, "only {faulted}/400 runs faulted");
+        assert!(victims > 50, "only {victims}/400 runs had victims");
+        assert!(mixed > 40, "only {mixed}/400 runs had mixes");
+        assert!(non_uniform > 100, "only {non_uniform}/400 non-uniform patterns");
+    }
+
+    #[test]
+    fn shrink_candidates_stay_legal() {
+        for seed in 0..150 {
+            let spec = ScenarioSpec::arbitrary(seed);
+            for cand in spec.shrink() {
+                let hosts = cand.fabric.hosts();
+                if let Some(v) = cand.traffic.victim {
+                    assert!(v.src < hosts && v.dst < hosts, "seed {seed} shrank off-fabric");
+                }
+                for &(_, f) in &cand.faults.events {
+                    assert!(fault_fits(f, hosts), "seed {seed} shrank fault off-fabric");
+                }
+                // Every candidate must still serialize and replay.
+                let line = cand.to_spec_line();
+                assert_eq!(ScenarioSpec::parse_spec_line(&line).unwrap(), cand);
+            }
+        }
+    }
+
+    /// The acceptance-criterion demo in miniature: a predicate that
+    /// fails whenever a spec still carries any fault event shrinks down
+    /// to a single-event plan on the smallest fabric — and the result
+    /// is printable and replayable as a one-line spec.
+    #[test]
+    fn shrinker_reaches_a_minimal_failing_spec() {
+        let seed = (0..5_000)
+            .find(|&s| ScenarioSpec::arbitrary(s).faults.events.len() >= 2)
+            .expect("generator never produced a multi-fault plan");
+        let spec = ScenarioSpec::arbitrary(seed);
+        let minimal = shrink_to_minimal(&spec, |s| !s.faults.is_empty());
+        assert_eq!(minimal.faults.events.len(), 1, "should shrink to exactly one fault");
+        assert!(minimal.messages <= 24, "messages should have been halved to the floor");
+        assert!(
+            matches!(minimal.fabric, FabricSpec::SingleSwitch { hosts: 4 })
+                || minimal.faults.events.len() == 1,
+            "fabric should shrink while the fault survives refitting"
+        );
+        let line = minimal.to_spec_line();
+        assert_eq!(ScenarioSpec::parse_spec_line(&line).unwrap(), minimal);
+        // Deterministic: shrinking again lands on the same spec.
+        assert_eq!(shrink_to_minimal(&spec, |s| !s.faults.is_empty()), minimal);
+    }
+
+    #[test]
+    fn shrink_to_minimal_returns_input_when_nothing_smaller_fails() {
+        let spec = ScenarioSpec::arbitrary(7);
+        assert_eq!(shrink_to_minimal(&spec, |s| s == &spec), spec);
+    }
+}

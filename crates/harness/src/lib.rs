@@ -1,19 +1,32 @@
 //! # homa-harness — experiment drivers for the paper's evaluation
 //!
 //! Everything needed to regenerate the tables and figures of §5 of the
-//! Homa paper on the `homa-sim` fabric:
+//! Homa paper on the `homa-sim` fabric. The single driving surface is
+//! the [`ScenarioSpec`]: build one (fabric shape, workload, load, seed,
+//! event engine, traffic overlay, fault plan), then call
+//! [`ScenarioSpec::run_oneway`], [`ScenarioSpec::run_rpc_echo`] or
+//! [`ScenarioSpec::run_incast`] on it. Every run is a pure function of
+//! its spec, and every spec serializes to a one-line replay string via
+//! [`ScenarioSpec::to_spec_line`].
 //!
-//! * [`driver`] — generic open-loop experiment loops (one-way messages
-//!   for the §5.2 simulations, echo RPCs for the §5.1 implementation
-//!   measurements, incast rounds for Figure 10), workload injection,
-//!   wasted-bandwidth sampling and delay attribution.
+//! * [`scenario`] — declarative [`ScenarioSpec`]s and their run methods;
+//!   the vocabulary of the `perf-smoke` CI gate, the determinism tests
+//!   and the fuzz suites.
+//! * [`driver`] — the open-loop experiment loops behind the spec run
+//!   methods (one-way messages for the §5.2 simulations, echo RPCs for
+//!   the §5.1 implementation measurements, incast rounds for Figure 10),
+//!   workload injection, wasted-bandwidth sampling, delay attribution
+//!   and delivery accounting.
+//! * [`spec_line`] — the canonical `key=value` text encoding of a spec
+//!   (`format ∘ parse` identity), so any run — including a shrunk fuzz
+//!   failure — is replayable from a pasted line.
+//! * [`fuzzing`] — seeded scenario generation ([`ScenarioSpec::arbitrary`])
+//!   and deterministic shrinking ([`fuzzing::shrink_to_minimal`]) for the
+//!   differential and conservation fuzz suites.
 //! * [`slowdown`] — per-message records and the paper's slowdown metric:
 //!   observed completion time over the best possible time on an unloaded
 //!   network, summarized at p50/p99 over size bins that are linear in
 //!   message count (the x-axis convention of Figures 8/9/12/13).
-//! * [`scenario`] — declarative [`ScenarioSpec`]s (fabric shape, workload,
-//!   load, seed, event engine) that the drivers consume; the vocabulary of
-//!   the `perf-smoke` CI gate and the determinism tests.
 //! * [`capacity`] — the highest-sustainable-load search behind Figure 15.
 //! * [`figures`] — digitized reference curves from the published
 //!   Figures 12–16 and the delta machinery of the `repro compare`
@@ -25,9 +38,9 @@
 //!
 //! | module | paper section |
 //! |---|---|
+//! | [`scenario`] | §5.2 simulation configurations as values |
 //! | [`driver`] | §5.1–§5.2 experiment setups |
 //! | [`slowdown`] | §5.1 slowdown metric, Figures 8/9/12/13 binning |
-//! | [`scenario`] | §5.2 simulation configurations as values |
 //! | [`capacity`] | Figure 15 capacity search |
 //! | [`figures`] | Figures 12–16 published curves |
 //! | [`render`] | the figures' text form |
@@ -38,17 +51,17 @@
 pub mod capacity;
 pub mod driver;
 pub mod figures;
+pub mod fuzzing;
 pub mod render;
 pub mod scenario;
 pub mod slowdown;
+pub mod spec_line;
 
-pub use capacity::max_sustainable_load;
-pub use driver::{
-    run_incast, run_oneway, run_rpc_echo, IncastResult, OnewayOpts, OnewayResult, RpcOpts,
-    RpcResult,
+pub use capacity::{
+    max_sustainable_load, max_sustainable_load_with, CapacityProbe, CapacitySearch,
 };
+pub use driver::{IncastOpts, IncastResult, OnewayOpts, OnewayResult, RpcOpts, RpcResult};
 pub use figures::{compare_curves, CurveDelta, MeasuredPoint, PointDelta, RefCurve};
-pub use scenario::{
-    run_incast_scenario, run_oneway_scenario, run_rpc_echo_scenario, FabricSpec, ScenarioSpec,
-};
+pub use fuzzing::{fuzz_iters, report_failure, shrink_to_minimal, SplitMix64};
+pub use scenario::{FabricSpec, ScenarioSpec};
 pub use slowdown::{MsgRecord, SlowdownBin, SlowdownSummary};

@@ -1,21 +1,20 @@
-//! Declarative experiment scenarios.
+//! Declarative experiment scenarios — the driving API.
 //!
 //! A [`ScenarioSpec`] names everything that makes a run what it is —
 //! fabric shape, workload, offered load, message budget, seed, event
-//! engine — in one value that the three experiment drivers
-//! ([`run_oneway`], [`run_rpc_echo`], [`run_incast`]) consume via the
-//! `*_scenario` wrappers below. The `perf-smoke` CI gate, the
-//! determinism tests and the nightly long-haul matrix all describe their
-//! runs this way, so "the 100-host W4 run at 80% load with seed 42" is a
-//! value that can be logged, compared and replayed exactly.
+//! engine, traffic pattern, fault schedule — in one value, and is the
+//! *only* way to start an experiment: [`ScenarioSpec::run_oneway`],
+//! [`ScenarioSpec::run_rpc_echo`] and [`ScenarioSpec::run_incast`] are
+//! the three drivers. The `perf-smoke` CI gate, the determinism tests,
+//! the fuzzers and the nightly long-haul matrix all describe their runs
+//! this way, so "the 100-host W4 run at 80% load with seed 42" is a
+//! value that can be logged, compared, fuzzed, shrunk and replayed
+//! exactly — including from its one-line text form
+//! ([`ScenarioSpec::to_spec_line`] / [`ScenarioSpec::parse_spec_line`]).
 
-use crate::driver::{
-    run_incast, run_oneway, run_rpc_echo, IncastResult, OnewayOpts, OnewayResult, RpcOpts,
-    RpcResult,
-};
+use crate::driver::{self, IncastOpts, IncastResult, OnewayOpts, OnewayResult, RpcOpts, RpcResult};
 use homa_sim::{
-    EngineKind, FaultPlan, HostId, NetworkConfig, PacketMeta, QueueDiscipline, SimDuration,
-    Topology, Transport,
+    EngineKind, FaultPlan, HostId, NetworkConfig, PacketMeta, QueueDiscipline, Topology, Transport,
 };
 use homa_workloads::{TrafficSpec, Workload};
 
@@ -81,10 +80,10 @@ impl FabricSpec {
 /// One fully-specified experiment: everything a run is a pure function
 /// of, minus the transport (which the caller supplies, so one spec can be
 /// replayed across protocols and engines).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
-    /// Short machine-friendly name (`w4_80_100h`); keys the perf-smoke
-    /// baseline comparison.
+    /// Short machine-friendly name (`w4_80_100h`, no whitespace); keys
+    /// the perf-smoke baseline comparison and leads the spec line.
     pub name: String,
     /// Fabric shape.
     pub fabric: FabricSpec,
@@ -131,6 +130,14 @@ impl ScenarioSpec {
         }
     }
 
+    /// An incast spec: `concurrent` parallel RPCs per round converging on
+    /// host 0. Incast is closed-loop, so `load` is fixed at `0.0` and the
+    /// workload field is an unused placeholder ([`Workload::W4`]) — the
+    /// response size lives in [`IncastOpts::resp_len`].
+    pub fn incast(name: impl Into<String>, fabric: FabricSpec, concurrent: u64, seed: u64) -> Self {
+        ScenarioSpec::new(name, fabric, Workload::W4, 0.0, concurrent, seed)
+    }
+
     /// The same scenario on a different event engine.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
@@ -149,14 +156,28 @@ impl ScenarioSpec {
         self
     }
 
-    /// Fold this spec's traffic pattern and fault schedule into a set of
-    /// driver options (the spec wins over whatever the base options
-    /// carry). Used by every `*_scenario` wrapper and the bench dispatch.
-    pub fn oneway_opts(&self, base: &OnewayOpts) -> OnewayOpts {
-        let mut opts = base.clone();
-        opts.traffic = self.traffic;
-        opts.faults = self.faults.clone();
-        opts
+    /// The same scenario at a different offered load (capacity probes).
+    pub fn with_load(mut self, load: f64) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// The same scenario with a different message budget (shrinking).
+    pub fn with_messages(mut self, messages: u64) -> Self {
+        self.messages = messages;
+        self
+    }
+
+    /// The same scenario under a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The same scenario under a different name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
     }
 
     /// Materialize the topology.
@@ -179,81 +200,57 @@ impl ScenarioSpec {
         };
         base.with_engine(self.engine)
     }
-}
 
-/// Run the all-to-all one-way experiment a spec describes.
-pub fn run_oneway_scenario<M, T>(
-    spec: &ScenarioSpec,
-    queues: Option<QueueDiscipline>,
-    make: impl FnMut(HostId) -> T,
-    opts: &OnewayOpts,
-) -> OnewayResult
-where
-    M: PacketMeta,
-    T: Transport<M>,
-{
-    run_oneway(
-        &spec.topology(),
-        spec.netcfg_with(queues),
-        make,
-        &spec.workload.dist(),
-        spec.load,
-        spec.messages,
-        spec.seed,
-        &spec.oneway_opts(opts),
-    )
-}
+    /// Run the all-to-all one-way experiment this spec describes (the
+    /// §5.2 setup): `make` builds one transport per host, `queues`
+    /// overrides the switch queue discipline (pFabric, PIAS, NDP), and
+    /// `opts` holds the measurement knobs. The spec's traffic pattern and
+    /// fault schedule are borrowed, not copied, for the run.
+    pub fn run_oneway<M, T>(
+        &self,
+        queues: Option<QueueDiscipline>,
+        make: impl FnMut(HostId) -> T,
+        opts: &OnewayOpts,
+    ) -> OnewayResult
+    where
+        M: PacketMeta,
+        T: Transport<M>,
+    {
+        driver::oneway(self, queues, make, opts)
+    }
 
-/// Run the §5.1 echo-RPC experiment a spec describes; `spec.messages`
-/// is the RPC budget.
-pub fn run_rpc_echo_scenario<M, T>(
-    spec: &ScenarioSpec,
-    queues: Option<QueueDiscipline>,
-    make: impl FnMut(HostId) -> T,
-    opts: &RpcOpts,
-) -> RpcResult
-where
-    M: PacketMeta,
-    T: Transport<M>,
-{
-    let mut opts = opts.clone();
-    opts.faults = spec.faults.clone();
-    run_rpc_echo(
-        &spec.topology(),
-        spec.netcfg_with(queues),
-        make,
-        &spec.workload.dist(),
-        spec.load,
-        spec.messages,
-        spec.seed,
-        &opts,
-    )
-}
+    /// Run the §5.1 echo-RPC experiment this spec describes;
+    /// `self.messages` is the RPC budget.
+    pub fn run_rpc_echo<M, T>(
+        &self,
+        queues: Option<QueueDiscipline>,
+        make: impl FnMut(HostId) -> T,
+        opts: &RpcOpts,
+    ) -> RpcResult
+    where
+        M: PacketMeta,
+        T: Transport<M>,
+    {
+        driver::rpc_echo(self, queues, make, opts)
+    }
 
-/// Run the Figure 10 incast a spec describes: `spec.messages` concurrent
-/// RPCs per round (the workload/load fields are unused — incast responses
-/// are fixed-size).
-pub fn run_incast_scenario<M, T>(
-    spec: &ScenarioSpec,
-    queues: Option<QueueDiscipline>,
-    make: impl FnMut(HostId) -> T,
-    resp_len: u64,
-    rounds: u32,
-    per_round_timeout: SimDuration,
-) -> IncastResult
-where
-    M: PacketMeta,
-    T: Transport<M>,
-{
-    run_incast(
-        &spec.topology(),
-        spec.netcfg_with(queues),
-        make,
-        spec.messages,
-        resp_len,
-        rounds,
-        per_round_timeout,
-    )
+    /// Run the Figure 10 incast this spec describes: `self.messages`
+    /// concurrent RPCs per round converging on host 0. Requires an
+    /// incast-shaped spec (default traffic, zero load — see
+    /// [`ScenarioSpec::incast`]); the fault schedule is installed like
+    /// the other drivers'.
+    pub fn run_incast<M, T>(
+        &self,
+        queues: Option<QueueDiscipline>,
+        make: impl FnMut(HostId) -> T,
+        opts: &IncastOpts,
+    ) -> IncastResult
+    where
+        M: PacketMeta,
+        T: Transport<M>,
+    {
+        driver::incast(self, queues, make, opts)
+    }
 }
 
 #[cfg(test)]
@@ -287,8 +284,7 @@ mod tests {
             120,
             3,
         );
-        let res = run_oneway_scenario(
-            &spec,
+        let res = spec.run_oneway(
             None,
             |h| HomaSimTransport::new(h, HomaConfig::default()),
             &OnewayOpts::default(),
@@ -309,9 +305,6 @@ mod tests {
         );
         assert!(spec.traffic.is_default());
         assert!(spec.faults.is_empty());
-        let opts = spec.oneway_opts(&OnewayOpts::default());
-        assert!(opts.traffic.is_default());
-        assert!(opts.faults.is_empty());
     }
 
     #[test]
@@ -332,8 +325,7 @@ mod tests {
                 .link_flaps(LinkId::HostDownlink(HostId(0)), 50_000, 60_000, 200_000, 2)
                 .receiver_pause(HostId(2), 10_000, 80_000),
         );
-        let res = run_oneway_scenario(
-            &spec,
+        let res = spec.run_oneway(
             None,
             |h| HomaSimTransport::new(h, HomaConfig::default()),
             &OnewayOpts::default(),
@@ -351,8 +343,7 @@ mod tests {
             let spec =
                 ScenarioSpec::new("ft", FabricSpec::FatTree { k: 4 }, Workload::W2, 0.5, 150, 13)
                     .with_engine(engine);
-            let res = run_oneway_scenario(
-                &spec,
+            let res = spec.run_oneway(
                 None,
                 |h| HomaSimTransport::new(h, HomaConfig::default()),
                 &OnewayOpts::default(),
@@ -380,8 +371,7 @@ mod tests {
                 9,
             )
             .with_engine(engine);
-            let res = run_oneway_scenario(
-                &spec,
+            let res = spec.run_oneway(
                 None,
                 |h| HomaSimTransport::new(h, HomaConfig::default()),
                 &OnewayOpts::default().with_records(),

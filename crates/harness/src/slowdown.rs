@@ -395,7 +395,11 @@ mod tests {
         for i in 1..=500u64 {
             let (size, slow) = (i * 13 % 2_000 + 1, 1.0 + (i % 90) as f64 / 10.0);
             whole.push(size, slow);
-            if i % 2 == 0 { a.push(size, slow) } else { b.push(size, slow) }
+            if i % 2 == 0 {
+                a.push(size, slow)
+            } else {
+                b.push(size, slow)
+            }
         }
         a.merge(&b);
         assert_eq!(a.count(), whole.count());

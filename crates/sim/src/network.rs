@@ -902,8 +902,7 @@ fn drain_window<M: PacketMeta>(
         // the RNG stream in exactly the order sequential dispatch would.
         let hint = match &ev {
             Ev::SwitchArrive { node: NodeId::Tor(r), pkt }
-                if matches!(topo.kind, FabricKind::LeafSpine)
-                    && topo.rack_of(pkt.dst) != *r =>
+                if matches!(topo.kind, FabricKind::LeafSpine) && topo.rack_of(pkt.dst) != *r =>
             {
                 Some(topo.hosts_per_rack + rng.gen_range(0..topo.spines))
             }
@@ -1135,7 +1134,12 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
             let ports = match topo.kind {
                 FabricKind::LeafSpine => (0..topo.racks)
                     .map(|r| {
-                        Port::new(cfg.spine_down, topo.uplink_bps, NodeId::Tor(r), PortClass::SpineDown)
+                        Port::new(
+                            cfg.spine_down,
+                            topo.uplink_bps,
+                            NodeId::Tor(r),
+                            PortClass::SpineDown,
+                        )
                     })
                     .collect(),
                 FabricKind::FatTree { k } => {
@@ -1434,8 +1438,7 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                     }
                     for (w, &njobs) in per_worker_jobs.iter().enumerate() {
                         for _ in 0..njobs {
-                            let (gidx, bufs) =
-                                res_rxs[w].recv().expect("window worker panicked");
+                            let (gidx, bufs) = res_rxs[w].recv().expect("window worker panicked");
                             window_bufs[gidx] = bufs;
                         }
                     }
@@ -2306,9 +2309,8 @@ mod tests {
         let expect = 848 + 5 * 250 + 4 * 212 + 848 + 1500;
         assert_eq!(evs[0].0.as_nanos(), expect);
         // And the unloaded model agrees exactly.
-        let model = net
-            .topology()
-            .unloaded_one_way_class(1000, 1400, 60, crate::topology::PathClass::InterPod);
+        let model =
+            net.topology().unloaded_one_way_class(1000, 1400, 60, topology::PathClass::InterPod);
         assert_eq!(evs[0].0.as_nanos(), model.as_nanos());
     }
 
@@ -2322,9 +2324,8 @@ mod tests {
         assert_eq!(evs.len(), 1);
         let expect = 848 + 3 * 250 + 2 * 212 + 848 + 1500;
         assert_eq!(evs[0].0.as_nanos(), expect);
-        let model = net
-            .topology()
-            .unloaded_one_way_class(1000, 1400, 60, crate::topology::PathClass::IntraPod);
+        let model =
+            net.topology().unloaded_one_way_class(1000, 1400, 60, topology::PathClass::IntraPod);
         assert_eq!(evs[0].0.as_nanos(), model.as_nanos());
     }
 
@@ -2378,8 +2379,7 @@ mod tests {
         }
         net.run_until(SimTime::from_millis(5));
         assert_eq!(net.take_app_events().len(), 40);
-        let up: Vec<u64> =
-            net.racks[0].tor.ports[hpr..].iter().map(|p| p.stats.packets).collect();
+        let up: Vec<u64> = net.racks[0].tor.ports[hpr..].iter().map(|p| p.stats.packets).collect();
         assert!(up.iter().all(|&n| n > 0), "an uplink never carried traffic: {up:?}");
         assert_eq!(up.iter().sum::<u64>(), 40);
     }
@@ -2440,8 +2440,7 @@ mod tests {
         let mut net = simple_net(Topology::fat_tree(4));
         // Agg 0 lives in pod 0; rack 2 is in pod 1 — no such link.
         net.install_faults(
-            &FaultPlan::new()
-                .at(1_000, Fault::LinkDown(LinkId::TorUplink { rack: 2, spine: 0 })),
+            &FaultPlan::new().at(1_000, Fault::LinkDown(LinkId::TorUplink { rack: 2, spine: 0 })),
         );
     }
 

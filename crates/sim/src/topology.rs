@@ -210,8 +210,8 @@ impl Topology {
         }
         let half = k / 2;
         Ok(Topology {
-            racks: k * half,            // k pods * k/2 edge switches
-            hosts_per_rack: half,       // k/2 hosts per edge switch
+            racks: k * half,                // k pods * k/2 edge switches
+            hosts_per_rack: half,           // k/2 hosts per edge switch
             spines: k * half + half * half, // aggs then cores
             kind: FabricKind::FatTree { k },
             ..Topology::paper_fabric()

@@ -13,12 +13,13 @@
 
 use homa::HomaConfig;
 use homa_baselines::HomaSimTransport;
-use homa_harness::driver::run_incast;
+use homa_harness::driver::IncastOpts;
 use homa_harness::render::fmt_bps;
-use homa_sim::{NetworkConfig, SimDuration, Topology};
+use homa_harness::{FabricSpec, ScenarioSpec};
+use homa_sim::SimDuration;
 
 fn main() {
-    let topo = Topology::single_switch(16);
+    let cluster = FabricSpec::SingleSwitch { hosts: 16 };
     println!("one client, 15 servers, 10 KB responses, 3 rounds each\n");
     println!(
         "{:>12} {:>16} {:>10} {:>16} {:>10}",
@@ -31,14 +32,15 @@ fn main() {
                 incast_threshold: if enabled { 32 } else { u32::MAX },
                 ..HomaConfig::default()
             };
-            let res = run_incast(
-                &topo,
-                NetworkConfig::default(),
+            let spec = ScenarioSpec::incast("incast_demo", cluster, concurrent, 0);
+            let res = spec.run_incast(
+                None,
                 |h| HomaSimTransport::new(h, cfg.clone()),
-                concurrent,
-                10_000,
-                3,
-                SimDuration::from_millis(500),
+                &IncastOpts {
+                    resp_len: 10_000,
+                    rounds: 3,
+                    per_round_timeout: SimDuration::from_millis(500),
+                },
             );
             cells.push((fmt_bps(res.throughput_bps), res.drops));
         }

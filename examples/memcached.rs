@@ -9,26 +9,33 @@
 //! cargo run --release --example memcached
 //! ```
 
-use homa_bench::{run_protocol_oneway, Protocol};
+use homa_bench::{run_protocol_scenario, Protocol};
 use homa_harness::driver::OnewayOpts;
 use homa_harness::render::slowdown_table;
 use homa_harness::slowdown::SlowdownSummary;
-use homa_sim::Topology;
+use homa_harness::{FabricSpec, ScenarioSpec};
 use homa_workloads::Workload;
 
 fn main() {
-    let topo = Topology::scaled_fabric(3, 8, 2); // 24 hosts, 2 spines
+    let spec = ScenarioSpec::new(
+        "memcached_w1",
+        FabricSpec::LeafSpine { racks: 3, hosts_per_rack: 8, spines: 2 }, // 24 hosts, 2 spines
+        Workload::W1,
+        0.8,
+        20_000,
+        42,
+    );
     let dist = Workload::W1.dist();
     println!(
         "W1 ({}) — mean message {:.0} B, {} hosts, 80% load",
         Workload::W1.description(),
         dist.mean(),
-        topo.num_hosts()
+        spec.topology().num_hosts()
     );
+    println!("replay line: {}", spec.to_spec_line());
 
     for p in [Protocol::Homa, Protocol::Phost] {
-        let res =
-            run_protocol_oneway(p, &topo, &dist, 0.8, 20_000, 42, &OnewayOpts::default().with_records(), None);
+        let res = run_protocol_scenario(p, &spec, &OnewayOpts::default().with_records(), None);
         let s = SlowdownSummary::from_records(&res.records, 10);
         println!("\n{} — delivered {}/{} messages", p.name(), res.delivered, res.injected);
         print!("{}", slowdown_table("slowdown by message-size decile:", &s));

@@ -3,25 +3,23 @@
 //! paper reports.
 
 use homa::HomaConfig;
-use homa_bench::{run_protocol_oneway, Protocol};
+use homa_bench::{run_protocol_scenario, Protocol};
 use homa_harness::driver::OnewayOpts;
 use homa_harness::slowdown::SlowdownSummary;
-use homa_sim::Topology;
+use homa_harness::{FabricSpec, ScenarioSpec};
 use homa_workloads::Workload;
+
+const FABRIC: FabricSpec = FabricSpec::LeafSpine { racks: 3, hosts_per_rack: 8, spines: 2 };
 
 #[test]
 fn delay_attribution_shows_preemption_lag_dominates() {
     // Figure 14's machinery: with delay tracking on, short messages near
     // the tail must show nonzero preemption lag, and (on priority-enabled
     // Homa) lag should dominate same-priority queueing.
-    let topo = Topology::scaled_fabric(3, 8, 2);
-    let res = run_protocol_oneway(
+    let spec = ScenarioSpec::new("ablate_delay", FABRIC, Workload::W2, 0.8, 6_000, 21);
+    let res = run_protocol_scenario(
         Protocol::Homa,
-        &topo,
-        &Workload::W2.dist(),
-        0.8,
-        6_000,
-        21,
+        &spec,
         &OnewayOpts { track_delay: true, ..OnewayOpts::default() }.with_records(),
         None,
     );
@@ -41,21 +39,16 @@ fn delay_attribution_shows_preemption_lag_dominates() {
 fn overcommitment_reduces_wasted_bandwidth() {
     // Figure 16's headline: more scheduled priorities (higher
     // overcommitment) means less wasted receiver bandwidth on W4.
-    let topo = Topology::scaled_fabric(3, 8, 2);
-    let dist = Workload::W4.dist();
+    let spec = ScenarioSpec::new("ablate_sched", FABRIC, Workload::W4, 0.75, 1_200, 13);
     let run = |sched: u8| {
         let cfg = HomaConfig {
             num_priorities: sched + 1,
             unsched_levels_override: Some(1),
             ..HomaConfig::default()
         };
-        let res = run_protocol_oneway(
+        let res = run_protocol_scenario(
             Protocol::Homa,
-            &topo,
-            &dist,
-            0.75,
-            1_200,
-            13,
+            &spec,
             &OnewayOpts { sample_wasted: true, ..OnewayOpts::default() },
             Some(cfg),
         );
@@ -74,21 +67,16 @@ fn overcommitment_reduces_wasted_bandwidth() {
 #[test]
 fn more_unscheduled_levels_improve_w1_tails() {
     // Figure 17: W1 needs multiple unscheduled levels.
-    let topo = Topology::scaled_fabric(3, 8, 2);
-    let dist = Workload::W1.dist();
+    let spec = ScenarioSpec::new("ablate_unsched", FABRIC, Workload::W1, 0.8, 8_000, 31);
     let run = |unsched: u8| {
         let cfg = HomaConfig {
             num_priorities: unsched + 1,
             unsched_levels_override: Some(unsched),
             ..HomaConfig::default()
         };
-        let res = run_protocol_oneway(
+        let res = run_protocol_scenario(
             Protocol::Homa,
-            &topo,
-            &dist,
-            0.8,
-            8_000,
-            31,
+            &spec,
             &OnewayOpts::default().with_records(),
             Some(cfg),
         );
@@ -106,17 +94,12 @@ fn more_unscheduled_levels_improve_w1_tails() {
 fn blind_transmission_matters_for_small_messages() {
     // Figure 20: a tiny unscheduled limit forces a scheduling round trip
     // onto every message and inflates small-message latency.
-    let topo = Topology::scaled_fabric(3, 8, 2);
-    let dist = Workload::W4.dist();
+    let spec = ScenarioSpec::new("ablate_blind", FABRIC, Workload::W4, 0.7, 1_200, 41);
     let run = |limit: u64| {
         let cfg = HomaConfig { unsched_limit: limit, ..HomaConfig::default() };
-        let res = run_protocol_oneway(
+        let res = run_protocol_scenario(
             Protocol::Homa,
-            &topo,
-            &dist,
-            0.7,
-            1_200,
-            41,
+            &spec,
             &OnewayOpts::default().with_records(),
             Some(cfg),
         );
@@ -136,28 +119,11 @@ fn pias_single_packet_messages_ride_top_priority_on_w3() {
     // workload W3" — its always-top-priority first packet happens to
     // match Homa's W3 allocation. (On W1, with many blind priority
     // levels, PIAS is considerably worse — Figure 12.)
-    let topo = Topology::scaled_fabric(3, 8, 2);
-    let dist = Workload::W3.dist();
-    let homa = run_protocol_oneway(
-        Protocol::Homa,
-        &topo,
-        &dist,
-        0.7,
-        4_000,
-        51,
-        &OnewayOpts::default().with_records(),
-        None,
-    );
-    let pias = run_protocol_oneway(
-        Protocol::Pias,
-        &topo,
-        &dist,
-        0.7,
-        4_000,
-        51,
-        &OnewayOpts::default().with_records(),
-        None,
-    );
+    let spec3 = ScenarioSpec::new("ablate_pias_w3", FABRIC, Workload::W3, 0.7, 4_000, 51);
+    let homa =
+        run_protocol_scenario(Protocol::Homa, &spec3, &OnewayOpts::default().with_records(), None);
+    let pias =
+        run_protocol_scenario(Protocol::Pias, &spec3, &OnewayOpts::default().with_records(), None);
     let h = SlowdownSummary::small_message_p99(&homa.records, 0.3);
     let p = SlowdownSummary::small_message_p99(&pias.records, 0.3);
     // Near-parity for sub-packet W3 messages, not catastrophically worse
@@ -165,27 +131,11 @@ fn pias_single_packet_messages_ride_top_priority_on_w3() {
     assert!(p < h * 2.5, "PIAS single-packet handling broken: homa={h:.2} pias={p:.2}");
 
     // And the W1 contrast from Figure 12: PIAS measurably worse there.
-    let w1 = Workload::W1.dist();
-    let homa1 = run_protocol_oneway(
-        Protocol::Homa,
-        &topo,
-        &w1,
-        0.7,
-        6_000,
-        51,
-        &OnewayOpts::default().with_records(),
-        None,
-    );
-    let pias1 = run_protocol_oneway(
-        Protocol::Pias,
-        &topo,
-        &w1,
-        0.7,
-        6_000,
-        51,
-        &OnewayOpts::default().with_records(),
-        None,
-    );
+    let spec1 = ScenarioSpec::new("ablate_pias_w1", FABRIC, Workload::W1, 0.7, 6_000, 51);
+    let homa1 =
+        run_protocol_scenario(Protocol::Homa, &spec1, &OnewayOpts::default().with_records(), None);
+    let pias1 =
+        run_protocol_scenario(Protocol::Pias, &spec1, &OnewayOpts::default().with_records(), None);
     let h1 = SlowdownSummary::small_message_p99(&homa1.records, 0.3);
     let p1 = SlowdownSummary::small_message_p99(&pias1.records, 0.3);
     assert!(

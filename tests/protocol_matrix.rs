@@ -7,8 +7,9 @@ use homa_baselines::{
     ndp, pfabric, pias, HomaSimTransport, NdpConfig, NdpTransport, PfabricConfig, PfabricTransport,
     PhostConfig, PhostTransport, PiasConfig, PiasTransport, StreamConfig, StreamTransport,
 };
-use homa_bench::{run_protocol_oneway, Protocol};
+use homa_bench::{run_protocol_scenario, Protocol};
 use homa_harness::driver::OnewayOpts;
+use homa_harness::{FabricSpec, ScenarioSpec};
 use homa_sim::{
     AppEvent, HostId, Network, NetworkConfig, PacketMeta, QueueDiscipline, SimTime, Topology,
     Transport,
@@ -17,11 +18,12 @@ use homa_workloads::Workload;
 use std::collections::HashMap;
 
 fn check(p: Protocol, w: Workload, load: f64, n: u64) {
-    check_on(p, w, load, n, 17, &Topology::scaled_fabric(2, 6, 2));
+    check_on(p, w, load, n, 17, FabricSpec::LeafSpine { racks: 2, hosts_per_rack: 6, spines: 2 });
 }
 
-fn check_on(p: Protocol, w: Workload, load: f64, n: u64, seed: u64, topo: &Topology) {
-    let res = run_protocol_oneway(p, topo, &w.dist(), load, n, seed, &OnewayOpts::default(), None);
+fn check_on(p: Protocol, w: Workload, load: f64, n: u64, seed: u64, fabric: FabricSpec) {
+    let spec = ScenarioSpec::new("matrix", fabric, w, load, n, seed);
+    let res = run_protocol_scenario(p, &spec, &OnewayOpts::default(), None);
     assert_eq!(res.injected, n);
     let frac = res.delivered as f64 / n as f64;
     assert!(
@@ -79,55 +81,57 @@ fn basic_and_stream() {
 // ---------------------------------------------------------------------
 
 const LONG_SEED: u64 = 99;
+const LONG_FABRIC: FabricSpec = FabricSpec::LeafSpine { racks: 3, hosts_per_rack: 8, spines: 2 };
 
 #[test]
 #[ignore = "long-haul: run by the nightly CI job"]
 fn long_haul_homa_second_seed() {
-    let topo = Topology::scaled_fabric(3, 8, 2);
-    check_on(Protocol::Homa, Workload::W2, 0.8, 6_000, LONG_SEED, &topo);
-    check_on(Protocol::Homa, Workload::W4, 0.8, 2_000, LONG_SEED, &topo);
+    check_on(Protocol::Homa, Workload::W2, 0.8, 6_000, LONG_SEED, LONG_FABRIC);
+    check_on(Protocol::Homa, Workload::W4, 0.8, 2_000, LONG_SEED, LONG_FABRIC);
 }
 
 #[test]
 #[ignore = "long-haul: run by the nightly CI job"]
 fn long_haul_homa_100_hosts() {
-    check_on(Protocol::Homa, Workload::W4, 0.8, 6_000, LONG_SEED, &Topology::multi_tor(100));
+    check_on(
+        Protocol::Homa,
+        Workload::W4,
+        0.8,
+        6_000,
+        LONG_SEED,
+        FabricSpec::MultiTor { hosts: 100 },
+    );
 }
 
 #[test]
 #[ignore = "long-haul: run by the nightly CI job"]
 fn long_haul_pfabric_second_seed() {
-    let topo = Topology::scaled_fabric(3, 8, 2);
-    check_on(Protocol::Pfabric, Workload::W2, 0.7, 4_000, LONG_SEED, &topo);
+    check_on(Protocol::Pfabric, Workload::W2, 0.7, 4_000, LONG_SEED, LONG_FABRIC);
 }
 
 #[test]
 #[ignore = "long-haul: run by the nightly CI job"]
 fn long_haul_phost_second_seed() {
-    let topo = Topology::scaled_fabric(3, 8, 2);
-    check_on(Protocol::Phost, Workload::W2, 0.6, 4_000, LONG_SEED, &topo);
+    check_on(Protocol::Phost, Workload::W2, 0.6, 4_000, LONG_SEED, LONG_FABRIC);
 }
 
 #[test]
 #[ignore = "long-haul: run by the nightly CI job"]
 fn long_haul_pias_second_seed() {
-    let topo = Topology::scaled_fabric(3, 8, 2);
-    check_on(Protocol::Pias, Workload::W2, 0.6, 4_000, LONG_SEED, &topo);
+    check_on(Protocol::Pias, Workload::W2, 0.6, 4_000, LONG_SEED, LONG_FABRIC);
 }
 
 #[test]
 #[ignore = "long-haul: run by the nightly CI job"]
 fn long_haul_ndp_second_seed() {
-    let topo = Topology::scaled_fabric(3, 8, 2);
-    check_on(Protocol::Ndp, Workload::W5, 0.5, 200, LONG_SEED, &topo);
+    check_on(Protocol::Ndp, Workload::W5, 0.5, 200, LONG_SEED, LONG_FABRIC);
 }
 
 #[test]
 #[ignore = "long-haul: run by the nightly CI job"]
 fn long_haul_basic_and_stream_second_seed() {
-    let topo = Topology::scaled_fabric(3, 8, 2);
-    check_on(Protocol::Basic, Workload::W3, 0.6, 3_000, LONG_SEED, &topo);
-    check_on(Protocol::Stream, Workload::W3, 0.6, 3_000, LONG_SEED, &topo);
+    check_on(Protocol::Basic, Workload::W3, 0.6, 3_000, LONG_SEED, LONG_FABRIC);
+    check_on(Protocol::Stream, Workload::W3, 0.6, 3_000, LONG_SEED, LONG_FABRIC);
 }
 
 // ---------------------------------------------------------------------
@@ -141,7 +145,7 @@ fn long_haul_basic_and_stream_second_seed() {
 // ---------------------------------------------------------------------
 
 #[cfg(test)]
-fn fault_matrix_spec(p: Protocol) -> homa_harness::ScenarioSpec {
+fn fault_matrix_spec(p: Protocol) -> ScenarioSpec {
     use homa_harness::{FabricSpec, ScenarioSpec};
     use homa_sim::{FaultPlan, LinkId};
     use homa_workloads::TrafficSpec;

@@ -17,7 +17,7 @@ use crate::common::ns;
 use homa::packets::{HomaPacket, PeerId};
 use homa::{HomaConfig, HomaEndpoint, HomaEvent, PriorityMap, TrafficTracker};
 use homa_sim::{
-    AppEvent, HostId, Packet, PacketMeta, SimDuration, SimTime, TimerToken, Transport,
+    AppEvent, CtrlKind, HostId, Packet, PacketMeta, SimDuration, SimTime, TimerToken, Transport,
     TransportActions,
 };
 use homa_workloads::MessageSizeDist;
@@ -58,6 +58,14 @@ impl PacketMeta for HomaMeta {
         match &self.pkt {
             HomaPacket::Data(h) if !h.retransmit => h.payload,
             _ => 0,
+        }
+    }
+
+    fn ctrl_kind(&self) -> Option<CtrlKind> {
+        match &self.pkt {
+            HomaPacket::Grant(g) => Some(CtrlKind::Grant { offset: g.offset, prio: g.prio }),
+            HomaPacket::Resend(r) => Some(CtrlKind::Resend { offset: r.offset, len: r.length }),
+            _ => None,
         }
     }
 }
@@ -241,6 +249,14 @@ impl Transport<HomaMeta> for HomaSimTransport {
 
     fn take_message_delay(&mut self, src: HostId, tag: u64) -> homa_sim::DelayBreakdown {
         self.delay_acc.remove(&(src, tag)).unwrap_or_default()
+    }
+
+    fn grant_stats(&self) -> homa_sim::GrantStats {
+        homa_sim::GrantStats {
+            grants_issued: self.ep.grants_issued(),
+            granted_bytes: self.ep.granted_bytes(),
+            resends_requested: self.ep.resends_sent(),
+        }
     }
 }
 

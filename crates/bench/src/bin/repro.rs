@@ -24,6 +24,8 @@ use homa_bench::figdata::{
     COMPARE_FIGURES,
 };
 use homa_bench::perfjson::{parse_table, FigTable};
+use homa_bench::{tracecmd, Protocol};
+use homa_harness::ScenarioSpec;
 use homa_workloads::Workload;
 use std::path::{Path, PathBuf};
 
@@ -146,6 +148,13 @@ fn main() {
         return;
     }
     let cmd = args[0].clone();
+    // `trace` takes a raw spec line whose `key=value` fields are not
+    // options; it must dispatch before the shared option parser, which
+    // would die on them as unknown flags.
+    if cmd == "trace" {
+        run_trace(&args[1..]);
+        return;
+    }
     let mut cli = parse_cli(&args[1..]);
     if cli.from_dir.is_some() && cmd != "compare" {
         die("--from-dir only applies to 'repro compare' (it would silently skip the run)");
@@ -240,6 +249,60 @@ fn main() {
     }
 }
 
+/// `repro trace <spec-line> [--protocol P] [--cap N] [--out-dir DIR]`:
+/// replay a scenario with the flight recorder on, write `TRACE.jsonl`,
+/// and print the per-priority utilization and message-lifecycle
+/// summaries. The spec line is the harness `key=value` grammar, so a
+/// line can be pasted verbatim from a fuzzer artifact, EXPERIMENTS.md,
+/// or `ScenarioSpec::to_spec_line`.
+fn run_trace(args: &[String]) {
+    let mut spec_fields: Vec<String> = Vec::new();
+    let mut proto = Protocol::Homa;
+    let mut cap: usize = 1 << 20;
+    let mut out_dir = PathBuf::from(".");
+    let mut i = 0;
+    let take = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--protocol" => {
+                let v = take(args, &mut i, "--protocol");
+                proto =
+                    Protocol::parse(&v).unwrap_or_else(|| die(&format!("unknown protocol {v:?}")));
+            }
+            "--cap" => {
+                let v = take(args, &mut i, "--cap");
+                cap =
+                    v.parse().ok().filter(|&c| c > 0).unwrap_or_else(|| {
+                        die(&format!("--cap takes a positive integer, got {v:?}"))
+                    });
+            }
+            "--out-dir" => out_dir = PathBuf::from(take(args, &mut i, "--out-dir")),
+            tok if tok.contains('=') => spec_fields.push(tok.to_string()),
+            other => die(&format!("unknown option {other:?} (see 'repro help')")),
+        }
+        i += 1;
+    }
+    if spec_fields.is_empty() {
+        die("trace needs a spec line (key=value fields, e.g. \
+             'name=t fabric=mtor:40 wl=W4 load=0.8 msgs=2000 seed=42')");
+    }
+    let line = spec_fields.join(" ");
+    let spec = ScenarioSpec::parse_spec_line(&line).unwrap_or_else(|e| die(&e));
+    let tr = tracecmd::trace_run(proto, &spec, cap);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        die(&format!("cannot create --out-dir {}: {e}", out_dir.display()));
+    }
+    let path = out_dir.join("TRACE.jsonl");
+    if let Err(e) = std::fs::write(&path, &tr.jsonl) {
+        die(&format!("cannot write {}: {e}", path.display()));
+    }
+    eprintln!("wrote {} ({} records, {} dropped)", path.display(), tr.kept, tr.dropped);
+    print!("{}", tr.report);
+}
+
 /// Load the comparison figures' tables from a directory of previously
 /// written `FIG_<n>.json` files. Every comparison figure must be
 /// present — a partial directory (an interrupted earlier run) would
@@ -332,6 +395,10 @@ fn help() {
          \x20   re-run (or load from DIR) Figures 12-16, diff against the digitized\n\
          \x20   published curves, write COMPARE.json, exit 1 on gated drift\n\
          repro all --compare\n\
-         \x20   regenerate everything, then run the comparison on the fresh tables"
+         \x20   regenerate everything, then run the comparison on the fresh tables\n\
+         repro trace <spec-line> [--protocol P] [--cap N] [--out-dir DIR]\n\
+         \x20   replay a scenario spec line with the flight recorder on; writes\n\
+         \x20   TRACE.jsonl and prints per-priority utilization and message\n\
+         \x20   lifecycle summaries (spec grammar: see homa-harness spec_line)"
     );
 }

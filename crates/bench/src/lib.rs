@@ -14,6 +14,7 @@
 //! | [`Protocol`] dispatch | §5.1–§5.2 transport comparison |
 //! | [`figdata`] | every §5 figure/table as data (+ the Figures 12–16 accuracy gate) |
 //! | [`perfjson`] | machine-readable results (`BENCH_*.json`, `FIG_*.json`) |
+//! | [`tracecmd`] | flight-recorder trace export + summaries (`repro trace`) |
 //! | `bin/repro` | the §5 evaluation, regenerated |
 //! | `bin/perf-smoke` | CI performance-regression gate (not in the paper) |
 
@@ -22,6 +23,7 @@
 
 pub mod figdata;
 pub mod perfjson;
+pub mod tracecmd;
 
 use homa::HomaConfig;
 use homa_baselines::{

@@ -118,6 +118,10 @@ pub struct HomaEndpoint {
     tracker_last_recompute: u64,
     ctrl: VecDeque<(PeerId, HomaPacket)>,
     events: Vec<HomaEvent>,
+    /// Every RESEND this endpoint has queued for the wire: receiver-side
+    /// gap chasing, client-side response chasing, and server-side request
+    /// re-requests (§3.7).
+    resends_sent: u64,
     next_seq: u64,
     client_rpcs: HashMap<u64, ClientRpc>,
     server_rpcs: HashMap<MsgKey, ServerRpc>,
@@ -140,6 +144,7 @@ impl HomaEndpoint {
             tracker_last_recompute: 0,
             ctrl: VecDeque::new(),
             events: Vec::new(),
+            resends_sent: 0,
             next_seq: 1,
             client_rpcs: HashMap::new(),
             server_rpcs: HashMap::new(),
@@ -369,6 +374,7 @@ impl HomaEndpoint {
                                 .push_back((from, HomaPacket::Busy(BusyHeader { key: r.key })));
                             self.receiver.on_busy(now, req_key);
                         } else {
+                            self.resends_sent += 1;
                             self.ctrl.push_back((
                                 from,
                                 HomaPacket::Resend(ResendHeader {
@@ -407,6 +413,7 @@ impl HomaEndpoint {
             &mut grants,
         );
         for (dst, r) in resends {
+            self.resends_sent += 1;
             self.ctrl.push_back((dst, HomaPacket::Resend(r)));
         }
         for (dst, g) in grants {
@@ -443,6 +450,7 @@ impl HomaEndpoint {
         }
         for (server, seq) in chase {
             let key = MsgKey { origin: self.me, seq, dir: Dir::Response };
+            self.resends_sent += 1;
             self.ctrl.push_back((
                 server,
                 HomaPacket::Resend(ResendHeader {
@@ -526,6 +534,22 @@ impl HomaEndpoint {
     /// Incomplete inbound messages (diagnostics).
     pub fn inbound_count(&self) -> usize {
         self.receiver.inbound_count()
+    }
+
+    /// Grant packets this endpoint's receiver role has issued.
+    pub fn grants_issued(&self) -> u64 {
+        self.receiver.grants_issued()
+    }
+
+    /// Bytes of new credit the receiver role has extended via grants
+    /// (unscheduled data's implicit credit excluded).
+    pub fn granted_bytes(&self) -> u64 {
+        self.receiver.granted_bytes()
+    }
+
+    /// RESEND packets this endpoint has queued for the wire, in any role.
+    pub fn resends_sent(&self) -> u64 {
+        self.resends_sent
     }
 
     /// Outbound messages with retained state (diagnostics).

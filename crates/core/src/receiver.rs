@@ -66,6 +66,11 @@ pub struct ReceiverState {
     withholding: bool,
     /// Sum over time-sampled checks used by tests.
     grants_issued: u64,
+    /// Total new credit extended via grants, in bytes (excludes the
+    /// implicit credit of unscheduled data).
+    granted_bytes: u64,
+    /// RESEND requests emitted by the loss-detection sweep.
+    resends_requested: u64,
 }
 
 impl ReceiverState {
@@ -78,6 +83,8 @@ impl ReceiverState {
             delivered_msgs: 0,
             withholding: false,
             grants_issued: 0,
+            granted_bytes: 0,
+            resends_requested: 0,
         }
     }
 
@@ -126,6 +133,7 @@ impl ReceiverState {
                 // grant bookkeeping is ahead of what the new sender
                 // incarnation knows, so re-issue the current grant or it
                 // will wait forever.
+                self.grants_issued += 1;
                 grants.push((
                     m.src,
                     GrantHeader {
@@ -207,6 +215,7 @@ impl ReceiverState {
             let target = (m.received() + self.cfg.rtt_bytes).min(m.len);
             if target > m.granted || (prio_changed && m.granted < m.len) {
                 if target > m.granted {
+                    self.granted_bytes += target - m.granted;
                     m.granted = target;
                 }
                 self.grants_issued += 1;
@@ -258,6 +267,7 @@ impl ReceiverState {
             let (offset, length) = m.first_gap().expect("incomplete message has a gap");
             m.resends_outstanding += 1;
             m.last_activity = now;
+            self.resends_requested += 1;
             resends.push((
                 m.src,
                 ResendHeader {
@@ -305,6 +315,18 @@ impl ReceiverState {
     /// Total grants issued (diagnostics).
     pub fn grants_issued(&self) -> u64 {
         self.grants_issued
+    }
+
+    /// Total new credit extended via grants, in bytes. Unscheduled data is
+    /// implicitly granted and is *not* counted here — this is the credit
+    /// the grant scheduler (§3.3/§3.5) chose to put on the wire.
+    pub fn granted_bytes(&self) -> u64 {
+        self.granted_bytes
+    }
+
+    /// RESEND requests this receiver's loss sweep (§3.7) has emitted.
+    pub fn resends_requested(&self) -> u64 {
+        self.resends_requested
     }
 
     /// Read access to an inbound message (tests).

@@ -21,8 +21,8 @@
 use crate::scenario::ScenarioSpec;
 use crate::slowdown::{MsgRecord, SlowdownSketch};
 use homa_sim::{
-    AppEvent, HostId, Network, PacketMeta, PathClass, QueueDiscipline, RunStats, SimDuration,
-    SimTime, Transport,
+    AppEvent, FlightRecorder, HostId, Network, PacketMeta, PathClass, QueueDiscipline, RunStats,
+    SimDuration, SimTime, TraceRecord, Transport,
 };
 use homa_workloads::{LoadPlan, PoissonArrivals, TrafficMatrix};
 use std::collections::HashMap;
@@ -59,6 +59,14 @@ pub struct OnewayOpts {
     /// runs memory-flat. Figure pipelines and tests that read
     /// `records`/`victim_records` opt in.
     pub keep_records: bool,
+    /// Record a flight-recorder trace of the run into
+    /// [`OnewayResult::trace`]. Only effective when the simulator's
+    /// `trace` feature is compiled in; without it the result's trace is
+    /// empty and the run is bit-identical to an untraced one.
+    pub trace: bool,
+    /// Ring capacity (records) for the flight recorder when `trace` is
+    /// set; the oldest records are dropped beyond it.
+    pub trace_cap: usize,
 }
 
 impl Default for OnewayOpts {
@@ -70,6 +78,8 @@ impl Default for OnewayOpts {
             drain: SimDuration::from_millis(200),
             warmup_msgs: 0,
             keep_records: false,
+            trace: false,
+            trace_cap: FlightRecorder::DEFAULT_CAP,
         }
     }
 }
@@ -79,6 +89,12 @@ impl OnewayOpts {
     /// populated); memory grows with message count.
     pub fn with_records(mut self) -> Self {
         self.keep_records = true;
+        self
+    }
+
+    /// Opt in to flight-recorder tracing with the default ring capacity.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 }
@@ -129,6 +145,13 @@ pub struct OnewayResult {
     pub offered_bps: f64,
     /// Delivered goodput in bits/sec over the whole run.
     pub delivered_bps: f64,
+    /// Flight-recorder trace of the run, in `(time, seq)` order. Empty
+    /// unless [`OnewayOpts::trace`] was set and the simulator's `trace`
+    /// feature is compiled in.
+    pub trace: Vec<TraceRecord>,
+    /// Trace records dropped because the recorder ring filled (oldest
+    /// first); nonzero means `trace` holds only the tail of the run.
+    pub trace_dropped: u64,
 }
 
 /// Memoized unloaded-latency lookup passed through the event handler.
@@ -218,6 +241,9 @@ where
     let mut net: Network<M, T> = Network::new(topo.clone(), spec.netcfg_with(queues), make);
     if !spec.faults.is_empty() {
         net.install_faults(&spec.faults);
+    }
+    if opts.trace {
+        net.enable_trace(opts.trace_cap);
     }
 
     // tag -> (size, injected_ns, path_class, victim)
@@ -377,6 +403,8 @@ where
     }
 
     let duration = net.now();
+    let trace = net.take_trace();
+    let trace_dropped = net.trace_dropped();
     let stats = net.harvest_stats();
     let prio_bytes = net.uplink_bytes_by_prio();
     let offered_bps = if inject_end.as_nanos() > 0 {
@@ -405,6 +433,8 @@ where
         prio_bytes,
         offered_bps,
         delivered_bps,
+        trace,
+        trace_dropped,
     }
 }
 

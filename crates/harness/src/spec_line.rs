@@ -306,29 +306,35 @@ impl ScenarioSpec {
         for field in line.split_whitespace() {
             let (key, value) =
                 field.split_once('=').ok_or_else(|| format!("bad field `{field}` (want k=v)"))?;
+            // Every parse error names the field it came from and the
+            // offending value, so a mangled replay line points straight
+            // at the broken key instead of a context-free complaint.
+            let ctx = |e: String| format!("field `{key}`: {e}");
             match key {
                 "name" => name = Some(value.to_string()),
-                "fabric" => fabric = Some(parse_fabric(value)?),
+                "fabric" => fabric = Some(parse_fabric(value).map_err(ctx)?),
                 "wl" => {
                     workload = Some(
                         Workload::parse(value)
-                            .ok_or_else(|| format!("unknown workload `{value}`"))?,
+                            .ok_or_else(|| ctx(format!("unknown workload `{value}`")))?,
                     )
                 }
                 "load" => {
-                    load = Some(value.parse::<f64>().map_err(|_| format!("bad load `{value}`"))?)
+                    load =
+                        Some(value.parse::<f64>().map_err(|_| ctx(format!("bad load `{value}`")))?)
                 }
                 "msgs" => {
                     messages =
-                        Some(value.parse::<u64>().map_err(|_| format!("bad msgs `{value}`"))?)
+                        Some(value.parse::<u64>().map_err(|_| ctx(format!("bad msgs `{value}`")))?)
                 }
                 "seed" => {
-                    seed = Some(value.parse::<u64>().map_err(|_| format!("bad seed `{value}`"))?)
+                    seed =
+                        Some(value.parse::<u64>().map_err(|_| ctx(format!("bad seed `{value}`")))?)
                 }
-                "engine" => engine = parse_engine(value)?,
-                "traffic" => traffic = parse_traffic(value)?,
-                "faults" => faults = parse_faults(value)?,
-                other => return Err(format!("unknown field `{other}`")),
+                "engine" => engine = parse_engine(value).map_err(ctx)?,
+                "traffic" => traffic = parse_traffic(value).map_err(ctx)?,
+                "faults" => faults = parse_faults(value).map_err(ctx)?,
+                other => return Err(format!("unknown field `{other}` (value `{value}`)")),
             }
         }
         let req = |what: &str| format!("missing required field `{what}`");
@@ -481,6 +487,45 @@ mod tests {
         assert_eq!(spec.engine, EngineKind::Hierarchical);
         assert!(spec.traffic.is_default());
         assert!(spec.faults.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_key_and_value() {
+        let cases = [
+            (
+                "name=a fabric=nope:3 wl=W1 load=0.5 msgs=10 seed=1",
+                "field `fabric`: unknown fabric kind `nope`",
+            ),
+            (
+                "name=a fabric=sw:8 wl=W9 load=0.5 msgs=10 seed=1",
+                "field `wl`: unknown workload `W9`",
+            ),
+            ("name=a fabric=sw:8 wl=W1 load=x msgs=10 seed=1", "field `load`: bad load `x`"),
+            ("name=a fabric=sw:8 wl=W1 load=0.5 msgs=ten seed=1", "field `msgs`: bad msgs `ten`"),
+            ("name=a fabric=sw:8 wl=W1 load=0.5 msgs=10 seed=-1", "field `seed`: bad seed `-1`"),
+            (
+                "name=a fabric=sw:8 wl=W1 load=0.5 msgs=10 seed=1 engine=quantum",
+                "field `engine`: unknown engine `quantum`",
+            ),
+            (
+                "name=a fabric=sw:8 wl=W1 load=0.5 msgs=10 seed=1 traffic=blizzard",
+                "field `traffic`: unknown traffic pattern `blizzard`",
+            ),
+            (
+                "name=a fabric=sw:8 wl=W1 load=0.5 msgs=10 seed=1 faults=12:explode:hup1",
+                "field `faults`: unknown fault `explode:hup1`",
+            ),
+            (
+                "name=a fabric=sw:8 wl=W1 load=0.5 msgs=10 seed=1 color=red",
+                "unknown field `color` (value `red`)",
+            ),
+            ("name=a fabric=sw:8 wl=W1 msgs=10 seed=1", "missing required field `load`"),
+            ("notafield", "bad field `notafield` (want k=v)"),
+        ];
+        for (line, want) in cases {
+            let err = ScenarioSpec::parse_spec_line(line).expect_err(line);
+            assert_eq!(err, want, "wrong error for `{line}`");
+        }
     }
 
     #[test]

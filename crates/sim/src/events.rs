@@ -214,6 +214,14 @@ pub struct HierEventQueue<E> {
     next_seq: u64,
     len: usize,
     stats: EngineStats,
+    /// Wall nanoseconds spent in epoch-merge sorts (the engine's
+    /// dominant cost at scale). Only written under `engine-profile`.
+    #[cfg(feature = "engine-profile")]
+    sort_ns: u64,
+    /// Events inserted per lane — the occupancy skew that decides how
+    /// well rack-grouped windows balance. Only under `engine-profile`.
+    #[cfg(feature = "engine-profile")]
+    lane_scheduled: Vec<u64>,
 }
 
 impl<E> HierEventQueue<E> {
@@ -242,6 +250,10 @@ impl<E> HierEventQueue<E> {
             next_seq: 0,
             len: 0,
             stats: EngineStats { lanes, bucket_width_ns: 1 << shift, ..EngineStats::default() },
+            #[cfg(feature = "engine-profile")]
+            sort_ns: 0,
+            #[cfg(feature = "engine-profile")]
+            lane_scheduled: vec![0; lanes as usize],
         }
     }
 
@@ -269,6 +281,10 @@ impl<E> HierEventQueue<E> {
 
     #[inline]
     fn insert(&mut self, entry: Entry<E>) {
+        #[cfg(feature = "engine-profile")]
+        {
+            self.lane_scheduled[entry.lane as usize] += 1;
+        }
         let e = self.epoch_of(entry.at);
         // Hot path first: one wrapping compare covers the whole ring
         // window `cur_epoch < e < cur_epoch + RING_EPOCHS` (an epoch at
@@ -339,7 +355,13 @@ impl<E> HierEventQueue<E> {
             }
             // The bucket-synchronized merge: one sort per epoch, then
             // every pop within the epoch is O(1) off the back.
+            #[cfg(feature = "engine-profile")]
+            let t0 = std::time::Instant::now();
             self.current.sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+            #[cfg(feature = "engine-profile")]
+            {
+                self.sort_ns += t0.elapsed().as_nanos() as u64;
+            }
             self.stats.epochs_merged += 1;
             self.stats.max_epoch_events =
                 self.stats.max_epoch_events.max(self.current.len() as u64);
@@ -453,6 +475,33 @@ impl<E> HierEventQueue<E> {
     /// Behavior counters accumulated so far.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Wall nanoseconds spent sorting epoch buckets; always 0 without
+    /// the `engine-profile` cargo feature.
+    pub fn epoch_sort_ns(&self) -> u64 {
+        #[cfg(feature = "engine-profile")]
+        {
+            self.sort_ns
+        }
+        #[cfg(not(feature = "engine-profile"))]
+        {
+            0
+        }
+    }
+
+    /// Events inserted per lane over the engine's lifetime — the
+    /// occupancy skew behind window-dispatch load balance. `None`
+    /// without the `engine-profile` cargo feature.
+    pub fn lane_occupancy(&self) -> Option<&[u64]> {
+        #[cfg(feature = "engine-profile")]
+        {
+            Some(&self.lane_scheduled)
+        }
+        #[cfg(not(feature = "engine-profile"))]
+        {
+            None
+        }
     }
 }
 
@@ -592,6 +641,24 @@ impl<E> EventEngine<E> {
         match self {
             EventEngine::Hierarchical(q) => q.stats(),
             EventEngine::Legacy(_) => EngineStats { lanes: 1, ..EngineStats::default() },
+        }
+    }
+
+    /// Wall nanoseconds spent sorting epoch buckets (0 on the legacy
+    /// heap, or without the `engine-profile` cargo feature).
+    pub fn epoch_sort_ns(&self) -> u64 {
+        match self {
+            EventEngine::Hierarchical(q) => q.epoch_sort_ns(),
+            EventEngine::Legacy(_) => 0,
+        }
+    }
+
+    /// Per-lane inserted-event counters (`None` on the legacy heap or
+    /// without the `engine-profile` cargo feature).
+    pub fn lane_occupancy(&self) -> Option<&[u64]> {
+        match self {
+            EventEngine::Hierarchical(q) => q.lane_occupancy(),
+            EventEngine::Legacy(_) => None,
         }
     }
 }

@@ -63,6 +63,7 @@ pub mod queues;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod trace;
 pub mod transport;
 
 pub use delay::DelayBreakdown;
@@ -70,10 +71,11 @@ pub use events::{
     EngineKind, EngineStats, EventEngine, EventQueue, HierEventQueue, LaneId, TimerToken,
 };
 pub use faults::{Fault, FaultPlan, FaultSpec, LinkId};
-pub use network::{Network, NetworkConfig, StepOutput};
-pub use packet::{Packet, PacketMeta};
+pub use network::{EngineProfile, Network, NetworkConfig, StepOutput};
+pub use packet::{CtrlKind, Packet, PacketMeta};
 pub use queues::{EcnConfig, QueueDiscipline, QueueKind};
-pub use stats::{PortClass, PortStats, QuantileSketch, RunStats, StreamingStats};
+pub use stats::{GrantStats, PortClass, PortStats, QuantileSketch, RunStats, StreamingStats};
 pub use time::{SimDuration, SimTime};
 pub use topology::{FabricKind, HostId, NodeId, PathClass, Topology, TopologyError};
+pub use trace::{FlightRecorder, MsgLifecycle, Timeline, TraceEvent, TraceRecord};
 pub use transport::{AppEvent, Transport, TransportActions};

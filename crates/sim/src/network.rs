@@ -49,11 +49,12 @@
 use crate::arena::Recycle;
 use crate::events::{EngineKind, EngineStats, EventEngine, LaneId, TimerToken};
 use crate::faults::{Fault, FaultPlan, LinkId};
-use crate::packet::{Packet, PacketMeta};
+use crate::packet::{CtrlKind, Packet, PacketMeta};
 use crate::queues::{PortQueue, QueueDiscipline};
 use crate::stats::{PortClass, PortStats, RunStats, StreamingStats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{self, FabricKind, HostId, NodeId, Topology};
+use crate::trace::{FlightRecorder, TraceEvent, TraceRecord};
 use crate::transport::{AppEvent, Transport, TransportActions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -336,11 +337,24 @@ fn group_of_ev<M>(topo: &Topology, ev: &Ev<M>) -> usize {
 trait EmitSink<M> {
     fn schedule(&mut self, lane: LaneId, at: SimTime, ev: Ev<M>);
     fn app(&mut self, at: SimTime, host: HostId, ev: AppEvent);
+    /// Whether the flight recorder wants events. Constant-folds to
+    /// `false` when the `trace` cargo feature is compiled out, so every
+    /// guarded emit site vanishes from the binary; with the feature on
+    /// it is one bool test. Call sites must guard with this before
+    /// constructing a [`TraceEvent`].
+    fn tracing(&self) -> bool {
+        false
+    }
+    /// Record one trace event at `at` (a no-op unless [`Self::tracing`]).
+    fn trace(&mut self, at: SimTime, ev: TraceEvent) {
+        let _ = (at, ev);
+    }
 }
 
 struct DirectSink<'a, M: PacketMeta> {
     queue: &'a mut EventEngine<Ev<M>>,
     app_events: &'a mut Vec<(SimTime, HostId, AppEvent)>,
+    tracer: Option<&'a mut FlightRecorder>,
 }
 
 impl<M: PacketMeta> EmitSink<M> for DirectSink<'_, M> {
@@ -349,6 +363,14 @@ impl<M: PacketMeta> EmitSink<M> for DirectSink<'_, M> {
     }
     fn app(&mut self, at: SimTime, host: HostId, ev: AppEvent) {
         self.app_events.push((at, host, ev));
+    }
+    fn tracing(&self) -> bool {
+        cfg!(feature = "trace") && self.tracer.is_some()
+    }
+    fn trace(&mut self, at: SimTime, ev: TraceEvent) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.record(at, ev);
+        }
     }
 }
 
@@ -400,6 +422,11 @@ enum Emit<M> {
     Defer { lane: LaneId, at: SimTime, ev: Ev<M> },
     /// An application event; the merge appends it in global order.
     App { host: HostId, ev: AppEvent },
+    /// A trace event; the merge records it at its log entry's time
+    /// (every trace emission happens at the dispatching event's `now`,
+    /// which *is* the entry's time — so the merged recording order is
+    /// exactly sequential dispatch's, byte-identical across engines).
+    Trace(TraceEvent),
 }
 
 /// One dispatched event of a group's sub-window, in dispatch order. Its
@@ -465,6 +492,10 @@ struct WindowSink<'a, M> {
     group: u32,
     base: u64,
     wmax: SimTime,
+    /// Whether the network has a flight recorder installed (workers
+    /// never touch the recorder itself — trace events ride the emit log
+    /// and are recorded by the merge, preserving global order).
+    tracing: bool,
     nprov: &'a mut u64,
     overlay: &'a mut BinaryHeap<OEntry<M>>,
     emits: &'a mut Vec<Emit<M>>,
@@ -493,6 +524,12 @@ impl<M: PacketMeta> EmitSink<M> for WindowSink<'_, M> {
     }
     fn app(&mut self, _at: SimTime, host: HostId, ev: AppEvent) {
         self.emits.push(Emit::App { host, ev });
+    }
+    fn tracing(&self) -> bool {
+        cfg!(feature = "trace") && self.tracing
+    }
+    fn trace(&mut self, _at: SimTime, ev: TraceEvent) {
+        self.emits.push(Emit::Trace(ev));
     }
 }
 
@@ -547,6 +584,11 @@ fn deliver_to_host<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
     pkt: Packet<M>,
     sink: &mut S,
 ) {
+    if sink.tracing() {
+        if let Some(CtrlKind::Grant { offset, prio }) = pkt.meta.ctrl_kind() {
+            sink.trace(now, TraceEvent::GrantReceived { host, from: pkt.src, offset, prio });
+        }
+    }
     let mut act = std::mem::take(&mut rack.scratch);
     act.reset();
     let i = rack.slot(host);
@@ -567,6 +609,11 @@ fn apply_actions<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
         sink.schedule(LaneId(host.0), at.max(now), Ev::Timer { host, token });
     }
     for ev in act.drain_events() {
+        if sink.tracing() {
+            if let AppEvent::MessageDelivered { src, tag, len } = &ev {
+                sink.trace(now, TraceEvent::MsgDelivered { host, src: *src, tag: *tag, len: *len });
+            }
+        }
         sink.app(now, host, ev);
     }
     let kick = act.take_tx_kick();
@@ -592,14 +639,39 @@ fn poll_host_tx<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
     }
     if let Some(pkt) = rack.transports[i].next_packet(now) {
         debug_assert_eq!(pkt.src, host, "transport emitted packet with wrong source");
-        let done_at = begin_tx(now, &mut rack.host_ports[i], pkt);
+        if sink.tracing() {
+            // Grants and resends are protocol-level control packets; the
+            // fabric learns their meaning via [`PacketMeta::ctrl_kind`]
+            // at the one place every transmission passes through.
+            match pkt.meta.ctrl_kind() {
+                Some(CtrlKind::Grant { offset, prio }) => {
+                    sink.trace(
+                        now,
+                        TraceEvent::GrantIssued { from: host, to: pkt.dst, offset, prio },
+                    );
+                }
+                Some(CtrlKind::Resend { offset, len }) => {
+                    sink.trace(now, TraceEvent::Resend { from: host, to: pkt.dst, offset, len });
+                }
+                _ => {}
+            }
+        }
+        let done_at = begin_tx(now, NodeId::Host(host), 0, &mut rack.host_ports[i], pkt, sink);
         sink.schedule(LaneId(host.0), done_at, Ev::TxDone { node: NodeId::Host(host), port: 0 });
     }
 }
 
-/// Occupy `port` with `pkt`; returns the completion time, which the
-/// caller must schedule as a `TxDone` for the port.
-fn begin_tx<M: PacketMeta>(now: SimTime, port: &mut Port<M>, pkt: Packet<M>) -> SimTime {
+/// Occupy `port` (egress `port_idx` of `node`) with `pkt`; returns the
+/// completion time, which the caller must schedule as a `TxDone` for the
+/// port. Emits the packet's one [`TraceEvent::TxStart`] when tracing.
+fn begin_tx<M: PacketMeta, S: EmitSink<M>>(
+    now: SimTime,
+    node: NodeId,
+    port_idx: u32,
+    port: &mut Port<M>,
+    pkt: Packet<M>,
+    sink: &mut S,
+) -> SimTime {
     debug_assert!(!port.busy(), "begin_tx on busy port");
     let dur = SimDuration::serialization(pkt.wire_bytes() as u64, port.rate_bps);
     let done_at = now + dur;
@@ -608,10 +680,53 @@ fn begin_tx<M: PacketMeta>(now: SimTime, port: &mut Port<M>, pkt: Packet<M>) -> 
     port.stats.goodput_bytes += pkt.meta.goodput_bytes() as u64;
     port.stats.packets += 1;
     port.stats.bytes_by_prio[(pkt.priority() as usize).min(7)] += pkt.wire_bytes() as u64;
+    if sink.tracing() {
+        sink.trace(
+            now,
+            TraceEvent::TxStart {
+                node,
+                port: port_idx,
+                src: pkt.src,
+                dst: pkt.dst,
+                prio: pkt.priority(),
+                bytes: pkt.wire_bytes(),
+                dur_ns: dur.as_nanos(),
+            },
+        );
+    }
     // Preemption-lag accounting for everything still waiting.
     port.queue.on_tx_start(&pkt, dur);
     port.sending = Some((pkt, done_at));
     done_at
+}
+
+/// Emit the [`TraceEvent::Dequeue`] for a packet just popped from
+/// `port`'s queue (callers guard with `sink.tracing()`). The wait split
+/// comes from [`PortQueue::last_wait`]: pure queueing behind
+/// equal-or-higher traffic vs. preemption lag.
+fn trace_dequeue<M: PacketMeta, S: EmitSink<M>>(
+    now: SimTime,
+    node: NodeId,
+    port_idx: u32,
+    port: &Port<M>,
+    pkt: &Packet<M>,
+    sink: &mut S,
+) {
+    let (waited, lag) = port.queue.last_wait();
+    sink.trace(
+        now,
+        TraceEvent::Dequeue {
+            node,
+            port: port_idx,
+            src: pkt.src,
+            dst: pkt.dst,
+            prio: pkt.priority(),
+            bytes: pkt.wire_bytes(),
+            waited_ns: waited.as_nanos(),
+            lag_ns: lag.as_nanos(),
+            qbytes: port.queue.bytes(),
+        },
+    );
 }
 
 fn on_tx_done<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
@@ -659,7 +774,10 @@ fn on_tx_done<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
                 return;
             }
             if let Some(next) = port.queue.dequeue(now) {
-                let done_at = begin_tx(now, port, next);
+                if sink.tracing() {
+                    trace_dequeue(now, node, port_idx, port, &next, sink);
+                }
+                let done_at = begin_tx(now, node, port_idx, port, next, sink);
                 sink.schedule(lane_of(topo, node), done_at, Ev::TxDone { node, port: port_idx });
             }
         }
@@ -738,6 +856,18 @@ fn on_switch_arrive<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
     // (the switch has nowhere to forward them); transports recover
     // via their own retransmission machinery.
     if !g.port_mut(node, port_idx).up {
+        if sink.tracing() {
+            sink.trace(
+                now,
+                TraceEvent::FaultDrop {
+                    node,
+                    port: port_idx,
+                    src: pkt.src,
+                    dst: pkt.dst,
+                    prio: pkt.priority(),
+                },
+            );
+        }
         g.counters_mut().fault_drops += 1;
         return;
     }
@@ -746,18 +876,61 @@ fn on_switch_arrive<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
     // Hot-path bypass: an idle port with an empty queue transmits the
     // packet immediately; `pass_through` performs the byte/ECN
     // accounting of an enqueue-then-dequeue pair without touching the
-    // per-level FIFOs (observable state is identical).
+    // per-level FIFOs (observable state is identical). No enqueue or
+    // dequeue trace events fire here — the packet never waited; its
+    // `TxStart` is the whole story.
     if !port.busy() && port.queue.pass_through(now, &mut pkt) {
-        let done_at = begin_tx(now, port, pkt);
+        let done_at = begin_tx(now, node, port_idx, port, pkt, sink);
         sink.schedule(lane, done_at, Ev::TxDone { node, port: port_idx });
         return;
     }
 
+    if sink.tracing() {
+        // Preemption, observed at the moment it begins: the arrival
+        // outranks the packet occupying the link and will wait out its
+        // residual serialization (Fig. 14's preemption lag).
+        if let Some((m, ends_at)) = port.in_flight_view() {
+            if ends_at > now && port.queue.would_outrank(&pkt.meta, pkt.was_trimmed, m) {
+                sink.trace(
+                    now,
+                    TraceEvent::Preempted {
+                        node,
+                        port: port_idx,
+                        prio: pkt.priority(),
+                        over_prio: m.priority(),
+                        lag_ns: ends_at.saturating_since(now).as_nanos(),
+                    },
+                );
+            }
+        }
+    }
+
     let in_flight = port.in_flight_view().map(|(m, t)| (m.clone(), t));
-    let _outcome = port.queue.enqueue(now, pkt, in_flight.as_ref().map(|(m, t)| (m, *t)));
+    let (src, dst, prio) = (pkt.src, pkt.dst, pkt.priority());
+    let qbytes_before = port.queue.bytes();
+    let outcome = port.queue.enqueue(now, pkt, in_flight.as_ref().map(|(m, t)| (m, *t)));
+    if sink.tracing() {
+        sink.trace(
+            now,
+            TraceEvent::Enqueue {
+                node,
+                port: port_idx,
+                src,
+                dst,
+                prio,
+                bytes: port.queue.bytes().saturating_sub(qbytes_before) as u32,
+                qpkts: port.queue.len() as u32,
+                qbytes: port.queue.bytes(),
+                outcome,
+            },
+        );
+    }
     if !port.busy() {
         if let Some(next) = port.queue.dequeue(now) {
-            let done_at = begin_tx(now, port, next);
+            if sink.tracing() {
+                trace_dequeue(now, node, port_idx, port, &next, sink);
+            }
+            let done_at = begin_tx(now, node, port_idx, port, next, sink);
             sink.schedule(lane, done_at, Ev::TxDone { node, port: port_idx });
         }
     }
@@ -788,7 +961,10 @@ fn apply_fault<M: PacketMeta, T: Transport<M>, S: EmitSink<M>>(
                     let port = g.port_mut(node, port_idx);
                     if !port.busy() {
                         if let Some(next) = port.queue.dequeue(now) {
-                            let done_at = begin_tx(now, port, next);
+                            if sink.tracing() {
+                                trace_dequeue(now, node, port_idx, port, &next, sink);
+                            }
+                            let done_at = begin_tx(now, node, port_idx, port, next, sink);
                             sink.schedule(
                                 lane_of(topo, node),
                                 done_at,
@@ -922,6 +1098,7 @@ fn drain_window<M: PacketMeta>(
 /// from the overlay), in exact `(time, order)` sequence. The dispatch
 /// log is left in `bufs.entries`/`bufs.emits` for the merge; every
 /// buffer's allocation survives for the next window.
+#[allow(clippy::too_many_arguments)]
 fn run_group<M: PacketMeta, T: Transport<M>>(
     topo: &Topology,
     lanes: LaneMap,
@@ -929,6 +1106,7 @@ fn run_group<M: PacketMeta, T: Transport<M>>(
     group: u32,
     base: u64,
     wmax: SimTime,
+    tracing: bool,
     bufs: &mut GroupBufs<M>,
 ) {
     debug_assert!(bufs.entries.is_empty() && bufs.emits.is_empty() && bufs.overlay.is_empty());
@@ -955,6 +1133,7 @@ fn run_group<M: PacketMeta, T: Transport<M>>(
                 group,
                 base,
                 wmax,
+                tracing,
                 nprov: &mut nprov,
                 overlay: &mut bufs.overlay,
                 emits: &mut bufs.emits,
@@ -977,6 +1156,7 @@ fn merge_window<M: PacketMeta>(
     app_events: &mut Vec<(SimTime, HostId, AppEvent)>,
     bufs: &mut [GroupBufs<M>],
     base: u64,
+    mut tracer: Option<&mut FlightRecorder>,
 ) -> (u64, SimTime) {
     let EventEngine::Hierarchical(q) = queue else {
         unreachable!("window dispatch requires the calendar engine")
@@ -1022,6 +1202,11 @@ fn merge_window<M: PacketMeta>(
                     q.schedule_with_seq(lane, eat, s, ev);
                 }
                 Emit::App { host, ev } => app_events.push((at, host, ev)),
+                Emit::Trace(ev) => {
+                    if let Some(t) = tracer.as_deref_mut() {
+                        t.record(at, ev);
+                    }
+                }
             }
         }
         b.next_emit = emits_end;
@@ -1039,6 +1224,34 @@ fn merge_window<M: PacketMeta>(
 pub struct StepOutput {
     /// Number of events processed.
     pub events: u64,
+}
+
+/// Wall-clock profile of the engine's dispatch phases, collected only
+/// with the `engine-profile` cargo feature (all fields stay zero
+/// otherwise). Times come from the host's monotonic clock — they are
+/// **not** deterministic and exist to find engine bottlenecks, never to
+/// produce results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// Conservative windows (window engines) or `drive_events` batches
+    /// (sequential engines) timed.
+    pub samples: u64,
+    /// Nanoseconds draining window events out of the calendar queue,
+    /// including spray pre-drawing.
+    pub drain_ns: u64,
+    /// Nanoseconds dispatching group sub-windows. Inline mode: the
+    /// per-group run loop. Threaded mode: the main thread's
+    /// ship-and-collect span, i.e. the wall time each window spent on
+    /// worker threads.
+    pub run_ns: u64,
+    /// Nanoseconds merging group logs back into global `(time, seq)`
+    /// order.
+    pub merge_ns: u64,
+    /// Nanoseconds inside sequential (non-window) dispatch loops.
+    pub dispatch_ns: u64,
+    /// Nanoseconds the calendar engine spent sorting epoch buckets (the
+    /// engine's dominant cost at scale; zero on the legacy heap).
+    pub epoch_sort_ns: u64,
 }
 
 /// The simulated network: fabric plus one transport per host, partitioned
@@ -1063,6 +1276,12 @@ pub struct Network<M: PacketMeta, T: Transport<M>> {
     /// windows drain into, dispatch from, and merge out of these, so the
     /// steady-state window loop performs no heap allocation.
     window_bufs: Vec<GroupBufs<M>>,
+    /// The flight recorder, when [`Self::enable_trace`] installed one.
+    /// `None` costs at most one branch per guarded emit site; without
+    /// the `trace` feature the sites are compiled out entirely.
+    tracer: Option<FlightRecorder>,
+    /// Dispatch-phase wall times (only written under `engine-profile`).
+    profile: EngineProfile,
 }
 
 impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
@@ -1229,7 +1448,45 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
             lookahead,
             win: WinCounters::default(),
             window_bufs: (0..ngroups).map(|_| GroupBufs::default()).collect(),
+            tracer: None,
+            profile: EngineProfile::default(),
         }
+    }
+
+    /// Install a [`FlightRecorder`] retaining at most `cap` records
+    /// (see [`FlightRecorder::DEFAULT_CAP`]). Tracing changes **no**
+    /// simulation state: event counts, statistics, and delivery times
+    /// are bit-identical with tracing on or off, and the recorded byte
+    /// stream is identical across every engine kind. Without the
+    /// `trace` cargo feature the recorder is installed but the fabric
+    /// never writes to it (the emit sites compile to nothing).
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.tracer = Some(FlightRecorder::new(cap));
+    }
+
+    /// Whether a flight recorder is installed *and* the `trace` feature
+    /// is compiled in.
+    pub fn trace_enabled(&self) -> bool {
+        cfg!(feature = "trace") && self.tracer.is_some()
+    }
+
+    /// Drain the recorded trace, in emission order (global `(time,
+    /// seq)` dispatch order). Empty when tracing is off.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.tracer.as_mut().map(FlightRecorder::take).unwrap_or_default()
+    }
+
+    /// Oldest trace records evicted because the recorder's ring filled.
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, FlightRecorder::dropped)
+    }
+
+    /// Wall-clock dispatch-phase profile. All zeros unless the
+    /// `engine-profile` cargo feature is enabled.
+    pub fn engine_profile(&self) -> EngineProfile {
+        let mut p = self.profile;
+        p.epoch_sort_ns = self.queue.epoch_sort_ns();
+        p
     }
 
     /// Current simulated time.
@@ -1270,9 +1527,9 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
             let i = rack.slot(h);
             f(&mut rack.transports[i], now, &mut act)
         };
-        let Self { topo, racks, queue, app_events, .. } = self;
+        let Self { topo, racks, queue, app_events, tracer, .. } = self;
         let rack = &mut racks[topo.rack_of(h) as usize];
-        let mut sink = DirectSink { queue, app_events };
+        let mut sink = DirectSink { queue, app_events, tracer: tracer.as_mut() };
         apply_actions(rack, topo, now, h, act, &mut sink);
         r
     }
@@ -1280,6 +1537,11 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
     /// Begin a one-way message from `src` to `dst` at the current time.
     pub fn inject_message(&mut self, src: HostId, dst: HostId, len: u64, tag: u64) {
         assert_ne!(src, dst, "self-messages not modelled");
+        if cfg!(feature = "trace") {
+            if let Some(t) = self.tracer.as_mut() {
+                t.record(self.now, TraceEvent::MsgStart { src, dst, len, tag });
+            }
+        }
         self.with_transport(src, |t, now, act| t.inject_message(now, dst, len, tag, act));
     }
 
@@ -1298,14 +1560,14 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
 
     fn dispatch_direct(&mut self, ev: Ev<M>) {
         let now = self.now;
-        let Self { topo, racks, spine, queue, rng, app_events, .. } = self;
+        let Self { topo, racks, spine, queue, rng, app_events, tracer, .. } = self;
         let gidx = group_of_ev(topo, &ev);
         let mut gm = if gidx < racks.len() {
             GroupMut::Rack(&mut racks[gidx])
         } else {
             GroupMut::Spine(spine)
         };
-        let mut sink = DirectSink { queue, app_events };
+        let mut sink = DirectSink { queue, app_events, tracer: tracer.as_mut() };
         dispatch_event(topo, &mut gm, now, ev, None, Some(rng), &mut sink);
     }
 
@@ -1316,11 +1578,16 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
     /// pending at or before `limit`.
     fn run_window_inline(&mut self, limit: SimTime, single_ts: bool) -> Option<(u64, SimTime)> {
         let lanes = self.lane_map();
+        let tracing = self.trace_enabled();
         let cfg = WindowCfg { lanes, lookahead: self.lookahead, single_ts };
+        #[cfg(feature = "engine-profile")]
+        let t0 = std::time::Instant::now();
         let WindowDrain { base, wmax } = {
             let Self { topo, queue, rng, window_bufs, .. } = self;
             drain_window(topo, queue, rng, cfg, limit, window_bufs)?
         };
+        #[cfg(feature = "engine-profile")]
+        let t1 = std::time::Instant::now();
         {
             let Self { topo, racks, spine, window_bufs, .. } = self;
             for (gidx, bufs) in window_bufs.iter_mut().enumerate() {
@@ -1332,13 +1599,22 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                 } else {
                     GroupMut::Spine(spine)
                 };
-                run_group(topo, lanes, &mut gm, gidx as u32, base, wmax, bufs);
+                run_group(topo, lanes, &mut gm, gidx as u32, base, wmax, tracing, bufs);
             }
         }
+        #[cfg(feature = "engine-profile")]
+        let t2 = std::time::Instant::now();
         let (n, last_at) = {
-            let Self { queue, app_events, window_bufs, .. } = self;
-            merge_window(queue, app_events, window_bufs, base)
+            let Self { queue, app_events, window_bufs, tracer, .. } = self;
+            merge_window(queue, app_events, window_bufs, base, tracer.as_mut())
         };
+        #[cfg(feature = "engine-profile")]
+        {
+            self.profile.samples += 1;
+            self.profile.drain_ns += (t1 - t0).as_nanos() as u64;
+            self.profile.run_ns += (t2 - t1).as_nanos() as u64;
+            self.profile.merge_ns += t2.elapsed().as_nanos() as u64;
+        }
         debug_assert!(n > 0, "window drained at least one event");
         self.note_window(n, last_at);
         Some((n, last_at))
@@ -1365,11 +1641,15 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
         }
         let lanes = self.lane_map();
         let ngroups = self.racks.len() + 1;
+        let tracing = self.trace_enabled();
         let cfg = WindowCfg { lanes, lookahead: self.lookahead, single_ts: false };
         let mut total = 0u64;
         let mut note: Vec<(u64, SimTime)> = Vec::new();
+        #[cfg(feature = "engine-profile")]
+        let mut prof = EngineProfile::default();
         {
-            let Self { topo, racks, spine, queue, rng, app_events, window_bufs, .. } = &mut *self;
+            let Self { topo, racks, spine, queue, rng, app_events, window_bufs, tracer, .. } =
+                &mut *self;
             let topo: &Topology = topo;
             // Group g is owned by worker g % threads for the whole scope.
             let mut per_worker: Vec<Vec<(usize, GroupMut<'_, M, T>)>> =
@@ -1407,6 +1687,7 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                                     job.gidx as u32,
                                     job.base,
                                     job.wmax,
+                                    tracing,
                                     &mut job.bufs,
                                 );
                                 if res_tx.send((job.gidx, job.bufs)).is_err() {
@@ -1417,9 +1698,19 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                     });
                 }
 
-                while let Some(WindowDrain { base, wmax }) =
-                    drain_window(topo, queue, rng, cfg, limit, window_bufs)
-                {
+                // Not a `while let`: the profiling timestamps must
+                // bracket the drain call itself.
+                #[allow(clippy::while_let_loop)]
+                loop {
+                    #[cfg(feature = "engine-profile")]
+                    let t0 = std::time::Instant::now();
+                    let Some(WindowDrain { base, wmax }) =
+                        drain_window(topo, queue, rng, cfg, limit, window_bufs)
+                    else {
+                        break;
+                    };
+                    #[cfg(feature = "engine-profile")]
+                    let t1 = std::time::Instant::now();
                     // Ship each active group's buffer set (items inside)
                     // to its worker; it comes back with the log filled.
                     let mut jobs: Vec<Vec<GroupJob<M>>> =
@@ -1442,7 +1733,17 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                             window_bufs[gidx] = bufs;
                         }
                     }
-                    let (n, last_at) = merge_window(queue, app_events, window_bufs, base);
+                    #[cfg(feature = "engine-profile")]
+                    let t2 = std::time::Instant::now();
+                    let (n, last_at) =
+                        merge_window(queue, app_events, window_bufs, base, tracer.as_mut());
+                    #[cfg(feature = "engine-profile")]
+                    {
+                        prof.samples += 1;
+                        prof.drain_ns += (t1 - t0).as_nanos() as u64;
+                        prof.run_ns += (t2 - t1).as_nanos() as u64;
+                        prof.merge_ns += t2.elapsed().as_nanos() as u64;
+                    }
                     total += n;
                     note.push((n, last_at));
                 }
@@ -1451,6 +1752,13 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
         }
         for (n, last_at) in note {
             self.note_window(n, last_at);
+        }
+        #[cfg(feature = "engine-profile")]
+        {
+            self.profile.samples += prof.samples;
+            self.profile.drain_ns += prof.drain_ns;
+            self.profile.run_ns += prof.run_ns;
+            self.profile.merge_ns += prof.merge_ns;
         }
         total
     }
@@ -1488,12 +1796,19 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                 }
             }
             None => {
+                #[cfg(feature = "engine-profile")]
+                let t0 = std::time::Instant::now();
                 while let Some((at, ev)) = self.queue.pop_if_before(limit) {
                     debug_assert!(at >= self.now, "event in the past");
                     self.now = at;
                     self.dispatch_direct(ev);
                     out.events += 1;
                     self.events_processed += 1;
+                }
+                #[cfg(feature = "engine-profile")]
+                if out.events > 0 {
+                    self.profile.samples += 1;
+                    self.profile.dispatch_ns += t0.elapsed().as_nanos() as u64;
                 }
             }
         }
@@ -1821,6 +2136,11 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
         if nhosts > 0 {
             stats.mean_downlink_utilization /= nhosts as f64;
         }
+        for rack in &self.racks {
+            for t in &rack.transports {
+                stats.grants.merge(&t.grant_stats());
+            }
+        }
         stats.queue_means = means;
         stats.queue_maxes = maxes;
         stats.drops = drops;
@@ -2014,6 +2334,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "parallel")] // without it ParallelHier degrades to sequential: no windows
     fn parallel_windows_report_window_stats() {
         let topo = Topology::multi_tor(40);
         let cfg = NetworkConfig::default().with_engine(EngineKind::ParallelHier { threads: 1 });

@@ -9,6 +9,33 @@
 use crate::delay::DelayBreakdown;
 use crate::topology::HostId;
 
+/// Protocol-visible meaning of a control packet, for the flight
+/// recorder. The fabric is protocol-agnostic, but grant and resend
+/// events are central to the paper's analysis; metadata types that have
+/// them report their semantics here so the trace layer can emit
+/// [`crate::trace::TraceEvent::GrantIssued`]-family events from the
+/// shared dispatch path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlKind {
+    /// A receiver-driven grant: credit up to byte `offset`, send at
+    /// scheduled priority `prio`.
+    Grant {
+        /// Granted byte offset.
+        offset: u64,
+        /// Scheduled priority assigned by the receiver.
+        prio: u8,
+    },
+    /// A retransmission request for `len` bytes starting at `offset`.
+    Resend {
+        /// First missing byte.
+        offset: u64,
+        /// Missing byte count.
+        len: u64,
+    },
+    /// Any other control packet (acks, busy, cutoff updates, ...).
+    Other,
+}
+
 /// Protocol-specific packet metadata carried through the fabric.
 ///
 /// Implementations should be cheap to clone; simulated packets carry no
@@ -47,6 +74,13 @@ pub trait PacketMeta: Clone + std::fmt::Debug + Send + 'static {
     /// copy's [`wire_bytes`](Self::wire_bytes) should be the header size.
     /// `None` (the default) means the packet is dropped instead.
     fn trimmed(&self) -> Option<Self> {
+        None
+    }
+
+    /// What kind of control packet this is, for trace attribution.
+    /// `None` (the default) means data or a protocol without
+    /// grant/resend semantics; only consulted when tracing is enabled.
+    fn ctrl_kind(&self) -> Option<CtrlKind> {
         None
     }
 }

@@ -112,6 +112,10 @@ pub struct PortQueue<M> {
     /// Time-weighted integral of queue bytes (for mean queue length).
     byte_time_integral: u128,
     last_change: SimTime,
+    /// `(waited, lag)` of the most recent dequeue — read by the flight
+    /// recorder so the per-packet wait can be traced without changing the
+    /// `dequeue` signature.
+    last_wait: (SimDuration, SimDuration),
 }
 
 impl<M: PacketMeta> PortQueue<M> {
@@ -135,6 +139,7 @@ impl<M: PacketMeta> PortQueue<M> {
             max_bytes_seen: 0,
             byte_time_integral: 0,
             last_change: SimTime::ZERO,
+            last_wait: (SimDuration::ZERO, SimDuration::ZERO),
         }
     }
 
@@ -411,7 +416,21 @@ impl<M: PacketMeta> PortQueue<M> {
         let waited = now.saturating_since(w.enqueued_at);
         let lag = w.lag.min(waited);
         pkt.delay.record_wait(waited, lag);
+        self.last_wait = (waited.saturating_sub(lag), lag);
         Some(pkt)
+    }
+
+    /// `(queueing, preemption lag)` of the most recently dequeued packet's
+    /// wait in this queue. Undefined before the first dequeue.
+    pub fn last_wait(&self) -> (SimDuration, SimDuration) {
+        self.last_wait
+    }
+
+    /// Whether metadata `a` strictly outranks `b` under this queue's
+    /// discipline — the same rule the lag accounting uses, exposed so the
+    /// flight recorder can report preemptions of an in-flight packet.
+    pub fn would_outrank(&self, a: &M, a_trimmed: bool, b: &M) -> bool {
+        outranks_kind(self.disc.kind, a, a_trimmed, b, false)
     }
 
     /// Inform the queue that the port just started transmitting `started`

@@ -116,6 +116,30 @@ impl PortStats {
     }
 }
 
+/// Grant/overcommit credit issued by one receiver transport (or, summed
+/// at harvest, by every receiver in a run). Receiver-driven protocols
+/// report these through [`crate::Transport::grant_stats`]; the defaults
+/// are zero for protocols without grants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrantStats {
+    /// Grant packets put on the wire.
+    pub grants_issued: u64,
+    /// Total new credit granted, in bytes (the integral of the
+    /// overcommitment the receiver extended).
+    pub granted_bytes: u64,
+    /// Resend (retransmission) requests issued.
+    pub resends_requested: u64,
+}
+
+impl GrantStats {
+    /// Accumulate another receiver's counters into this one.
+    pub fn merge(&mut self, other: &GrantStats) {
+        self.grants_issued += other.grants_issued;
+        self.granted_bytes += other.granted_bytes;
+        self.resends_requested += other.resends_requested;
+    }
+}
+
 /// Aggregate statistics for a finished (or in-progress) run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunStats {
@@ -148,6 +172,9 @@ pub struct RunStats {
     /// Packet deliveries deferred by a receiver-pause fault (handed to
     /// the transport on resume).
     pub deferred_deliveries: u64,
+    /// Grant/overcommit credit summed over every receiver transport
+    /// (zeros for protocols without receiver-driven grants).
+    pub grants: GrantStats,
 }
 
 impl RunStats {

@@ -219,4 +219,11 @@ pub trait Transport<M: PacketMeta>: Send {
     fn take_message_delay(&mut self, _src: HostId, _tag: u64) -> crate::delay::DelayBreakdown {
         crate::delay::DelayBreakdown::default()
     }
+
+    /// Grant/overcommit credit this host has issued as a *receiver*,
+    /// summed into [`crate::RunStats::grants`] at harvest. Protocols
+    /// without receiver-driven grants report zeros.
+    fn grant_stats(&self) -> crate::stats::GrantStats {
+        crate::stats::GrantStats::default()
+    }
 }

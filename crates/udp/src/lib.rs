@@ -44,4 +44,4 @@
 
 pub mod node;
 
-pub use node::{HomaUdpNode, UdpConfig, UdpEvent};
+pub use node::{HomaUdpNode, RunSummary, UdpConfig, UdpEvent};

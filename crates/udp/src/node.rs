@@ -90,6 +90,33 @@ pub enum UdpEvent {
     },
 }
 
+/// Point-in-time driver counters for one node — the run summary printed
+/// (or asserted on) when a node winds down. The load-bearing field is
+/// `events_dropped`: a non-zero value means the application fell behind
+/// the bounded event channel and messages were shed at the delivery
+/// boundary (see [`UdpConfig::event_channel_cap`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// The node's identity.
+    pub peer: PeerId,
+    /// Events currently queued for the application.
+    pub events_queued: usize,
+    /// Events dropped because the bounded channel was full.
+    pub events_dropped: u64,
+    /// Outbound payload buffers still retained (in flight or lingering).
+    pub out_payloads: usize,
+}
+
+impl std::fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "node {}: {} events queued, {} dropped (channel overflow), {} out-payloads retained",
+            self.peer.0, self.events_queued, self.events_dropped, self.out_payloads
+        )
+    }
+}
+
 /// Map a Homa priority level (0–7) to a DSCP code point. Homa's eight
 /// levels map onto the class-selector code points CS0–CS7; deployments
 /// configure their switches to serve them as strict priorities (the
@@ -229,6 +256,19 @@ impl HomaUdpNode {
     /// to drain [`events`](Self::events) faster or raise the bound.
     pub fn events_dropped(&self) -> u64 {
         self.events_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the node's driver counters as a [`RunSummary`]. The
+    /// summary is how channel overflow becomes visible: callers that
+    /// shut a node down should check (or log) `events_dropped` here
+    /// rather than silently losing sheds.
+    pub fn run_summary(&self) -> RunSummary {
+        RunSummary {
+            peer: self.me,
+            events_queued: self.events_rx.len(),
+            events_dropped: self.events_dropped(),
+            out_payloads: self.out_payload_count(),
+        }
     }
 
     /// Number of outbound payload buffers currently retained (shrinks to
@@ -580,6 +620,16 @@ mod tests {
         assert_eq!(b.events().len(), 3, "bound exceeded");
         assert_eq!(b.events_dropped(), 5);
 
+        // The run summary surfaces the overflow: full channel, five
+        // sheds, all visible in one snapshot (and its printed form).
+        let full = b.run_summary();
+        assert_eq!(full.events_queued, 3);
+        assert_eq!(full.events_dropped, 5);
+        assert!(
+            full.to_string().contains("5 dropped (channel overflow)"),
+            "summary must name the drop count: {full}"
+        );
+
         // Drain the bound; the channel is usable again afterwards.
         for _ in 0..3 {
             match b.events().recv_timeout(Duration::from_secs(5)).unwrap() {
@@ -595,6 +645,11 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        // Post-drain summary: queue empty again, but the drop counter is
+        // cumulative — the overflow stays on the record.
+        let drained = b.run_summary();
+        assert_eq!(drained.events_queued, 0);
+        assert_eq!(drained.events_dropped, 5);
         a.shutdown();
         b.shutdown();
     }

@@ -228,6 +228,52 @@ fn homa_engines_agree_on_faulted_fat_tree() {
 }
 
 #[test]
+fn trace_jsonl_is_byte_identical_across_engines() {
+    // The flight recorder rides the same `(time, seq)` emit order the
+    // engines already agree on, so one spec line must render the *same
+    // bytes* of TRACE.jsonl no matter which engine replayed it — the
+    // contract behind the trace-golden CI job. Faults and incast are on
+    // so the trace exercises drop/preemption/resend records, not just
+    // the happy path.
+    let spec = ScenarioSpec::new(
+        "det_trace",
+        FabricSpec::LeafSpine { racks: 2, hosts_per_rack: 6, spines: 2 },
+        Workload::W2,
+        0.5,
+        400,
+        21,
+    )
+    .with_traffic(TrafficSpec::incast(6))
+    .with_faults(FaultPlan::new().link_flaps(
+        LinkId::HostDownlink(HostId(2)),
+        300_000,
+        150_000,
+        600_000,
+        3,
+    ));
+
+    let jsonl_for = |engine: EngineKind| {
+        let res = run_protocol_scenario(
+            Protocol::Homa,
+            &spec.clone().with_engine(engine),
+            &OnewayOpts::default().with_trace(),
+            None,
+        );
+        assert_eq!(res.trace_dropped, 0, "{engine:?}: trace must fit the ring");
+        assert!(!res.trace.is_empty(), "{engine:?}: empty trace");
+        homa_sim::trace::render_jsonl(&res.trace)
+    };
+
+    let legacy = jsonl_for(EngineKind::LegacyHeap);
+    let hier = jsonl_for(EngineKind::Hierarchical);
+    assert_eq!(legacy, hier, "Hierarchical trace bytes diverged from LegacyHeap");
+    for threads in [1u32, 2] {
+        let par = jsonl_for(EngineKind::ParallelHier { threads });
+        assert_eq!(legacy, par, "ParallelHier x{threads} trace bytes diverged from LegacyHeap");
+    }
+}
+
+#[test]
 fn pfabric_engines_agree() {
     assert_engines_agree(
         Protocol::Pfabric,

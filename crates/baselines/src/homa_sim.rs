@@ -146,7 +146,7 @@ impl HomaSimTransport {
                 HomaEvent::RpcAborted { server, tag } => {
                     act.event(AppEvent::Aborted { peer: HostId(server.0), tag });
                 }
-                HomaEvent::InboundAborted { src } => {
+                HomaEvent::InboundAborted { src, .. } => {
                     act.event(AppEvent::Aborted { peer: HostId(src.0), tag: u64::MAX });
                 }
                 HomaEvent::OutboundAborted { dst, tag } => {

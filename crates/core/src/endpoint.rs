@@ -66,11 +66,15 @@ pub enum HomaEvent {
     },
     /// An inbound message was abandoned (its sender went silent).
     InboundAborted {
+        /// The message that was abandoned mid-receive.
+        key: MsgKey,
         /// The sender that went silent.
         src: PeerId,
     },
-    /// A one-way message we were sending was abandoned: the receiver
-    /// never granted it despite repeated first-packet retransmissions.
+    /// An outbound message was abandoned because its receiver went
+    /// silent: a one-way the receiver never granted despite repeated
+    /// first-packet retransmissions, or a response whose client stopped
+    /// granting (it completed or aborted the RPC on its side).
     OutboundAborted {
         /// The unreachable receiver.
         dst: PeerId,
@@ -420,7 +424,21 @@ impl HomaEndpoint {
             self.ctrl.push_back((dst, HomaPacket::Grant(g)));
         }
         for a in aborts {
-            self.events.push(HomaEvent::InboundAborted { src: a.src });
+            // An abandoned inbound *response* is the death of one of our
+            // own RPCs: once its first packet arrived the client sweep
+            // below stops chasing it (`awaiting_first_response` is
+            // false), so if we dropped only the receiver state here the
+            // RPC entry — and the retained request sender state that is
+            // only released by the response (§3.1) — would leak forever.
+            // Abort the RPC instead of reporting a generic inbound abort.
+            if a.key.dir == Dir::Response && a.key.origin == self.me {
+                if let Some(rpc) = self.client_rpcs.remove(&a.key.seq) {
+                    self.sender.remove(a.key.flipped());
+                    self.events.push(HomaEvent::RpcAborted { server: rpc.server, tag: rpc.tag });
+                    continue;
+                }
+            }
+            self.events.push(HomaEvent::InboundAborted { key: a.key, src: a.src });
         }
 
         // Client-side response timeouts (§3.7): chase responses that have
@@ -469,9 +487,9 @@ impl HomaEndpoint {
 
         self.sender.expire_lingering(now);
 
-        // Sender-side stall recovery for one-way messages whose entire
+        // Sender-side stall recovery: one-way messages whose entire
         // blind prefix was lost (the receiver cannot chase what it never
-        // learned about).
+        // learned about) and responses whose client has gone silent.
         for (dst, tag) in self.sender.poke_stalled(now) {
             self.events.push(HomaEvent::OutboundAborted { dst, tag });
         }
@@ -575,6 +593,26 @@ impl HomaEndpoint {
     /// [`crate::sender::SenderState::outbound_snapshot`].
     pub fn outbound_snapshot(&self) -> Vec<(MsgKey, u64, u64, u64, usize)> {
         self.sender.outbound_snapshot()
+    }
+
+    /// Delivered requests still waiting for the application to call
+    /// [`send_response`](Self::send_response) (diagnostics; the stateful
+    /// fuzzer's model uses this to drive its quiescence drain).
+    pub fn server_rpcs_pending(&self) -> usize {
+        self.server_rpcs.len()
+    }
+
+    /// Sequence numbers of outstanding client RPCs, sorted (diagnostics).
+    pub fn client_rpc_seqs(&self) -> Vec<u64> {
+        let mut seqs: Vec<u64> = self.client_rpcs.keys().copied().collect();
+        seqs.sort_unstable();
+        seqs
+    }
+
+    /// Control packets queued but not yet pulled by
+    /// [`poll_transmit`](Self::poll_transmit) (diagnostics).
+    pub fn pending_ctrl(&self) -> usize {
+        self.ctrl.len()
     }
 }
 
@@ -830,6 +868,181 @@ mod tests {
         assert_eq!(a.outbound_count(), 50, "one-way state lingers until expiry");
         a.timer_tick(100_000_000);
         assert_eq!(a.outbound_count(), 0);
+    }
+
+    /// Regression (found by the stateful model fuzzer): once the first
+    /// response packet arrives, the client sweep stops chasing the RPC
+    /// (`awaiting_first_response` is false) — loss recovery belongs to
+    /// the receiver's gap chasing. If the receiver then gives up on the
+    /// partially-received response, the endpoint used to report only a
+    /// generic `InboundAborted` and leave the client RPC entry (plus the
+    /// retained request sender state) leaked forever: never completed,
+    /// never aborted. The inbound-response abort must abort the RPC.
+    #[test]
+    fn abandoned_partial_response_aborts_the_rpc() {
+        let (mut a, mut b) = pair();
+        a.begin_rpc(0, PeerId(1), 200, 11);
+        shuttle(&mut a, &mut b, 0, |_| false);
+        let (client, rpc_seq) = match &b.take_events()[..] {
+            [HomaEvent::RequestArrived { client, rpc_seq, .. }] => (*client, *rpc_seq),
+            other => panic!("unexpected {other:?}"),
+        };
+        // The server responds, but only the first response packet ever
+        // reaches the client; the server then goes silent for good.
+        b.send_response(0, client, rpc_seq, 50_000, 11);
+        let mut first_resp = None;
+        while let Some((_, pkt)) = b.poll_transmit(0) {
+            if matches!(&pkt, HomaPacket::Data(h) if h.key.dir == Dir::Response)
+                && first_resp.is_none()
+            {
+                first_resp = Some(pkt);
+            }
+        }
+        a.on_packet(0, PeerId(1), first_resp.expect("server sent a response packet"));
+        assert_eq!(a.inbound_count(), 1, "partial response state exists");
+        // Tick through the receiver's chase budget; every RESEND it emits
+        // goes unanswered.
+        let mut t = 0;
+        let mut aborted = false;
+        for _ in 0..20 {
+            t += 2_500_000;
+            a.timer_tick(t);
+            while a.poll_transmit(t).is_some() {}
+            for e in a.take_events() {
+                assert!(
+                    !matches!(e, HomaEvent::InboundAborted { .. }),
+                    "response abort must surface as RpcAborted, not InboundAborted"
+                );
+                if matches!(e, HomaEvent::RpcAborted { server: PeerId(1), tag: 11 }) {
+                    aborted = true;
+                }
+            }
+        }
+        assert!(aborted, "abandoned response must abort the RPC");
+        assert_eq!(a.outstanding_rpcs(), 0, "client RPC entry leaked");
+        assert_eq!(a.inbound_count(), 0, "partial response state leaked");
+        assert_eq!(a.outbound_count(), 0, "request sender state leaked");
+    }
+
+    /// Regression (found by the stateful model fuzzer): a response whose
+    /// client stopped granting — because the client aborted the RPC after
+    /// receiving only a prefix — used to sit in the server's sender state
+    /// forever. The stall sweep must age it out.
+    #[test]
+    fn stalled_response_state_ages_out_when_client_goes_silent() {
+        let (mut a, mut b) = pair();
+        a.begin_rpc(0, PeerId(1), 200, 13);
+        shuttle(&mut a, &mut b, 0, |_| false);
+        let (client, rpc_seq) = match &b.take_events()[..] {
+            [HomaEvent::RequestArrived { client, rpc_seq, .. }] => (*client, *rpc_seq),
+            other => panic!("unexpected {other:?}"),
+        };
+        // The response needs grants beyond the blind prefix, but the
+        // client never sends another packet.
+        b.send_response(0, client, rpc_seq, 50_000, 13);
+        while b.poll_transmit(0).is_some() {}
+        assert_eq!(b.outbound_count(), 1, "response awaiting grants");
+        let mut t = 0;
+        let mut abandoned = false;
+        for _ in 0..20 {
+            t += 2_500_000;
+            b.timer_tick(t);
+            while b.poll_transmit(t).is_some() {}
+            for e in b.take_events() {
+                if matches!(e, HomaEvent::OutboundAborted { dst, tag: 13 } if dst == client) {
+                    abandoned = true;
+                }
+            }
+        }
+        assert!(abandoned, "silent client must abandon the response");
+        assert_eq!(b.outbound_count(), 0, "response sender state leaked");
+    }
+
+    /// Pinned edge case: DATA arriving again after full delivery. The
+    /// receiver keeps no completed-message state (§3.8), so a duplicated
+    /// single-packet message is re-delivered whole (at-least-once at the
+    /// transport level — deduplication belongs to the application), and a
+    /// duplicated *fragment* creates a ghost inbound message with no live
+    /// sender that must be swept out by the abort timer, not squat on an
+    /// overcommitment slot forever.
+    #[test]
+    fn duplicate_data_after_delivery_is_bounded() {
+        let (mut a, mut b) = pair();
+        // Single-packet message: duplicate re-delivers.
+        a.send_message(0, PeerId(1), 400, 1);
+        let (_, pkt) = a.poll_transmit(0).expect("blind packet");
+        b.on_packet(0, PeerId(0), pkt.clone());
+        assert_eq!(b.delivered_msgs(), 1);
+        b.on_packet(0, PeerId(0), pkt);
+        assert_eq!(b.delivered_msgs(), 2, "duplicate full message re-delivers (§3.8)");
+        assert_eq!(b.inbound_count(), 0, "no ghost state from a complete duplicate");
+
+        // Multi-packet message: a duplicated fragment after delivery
+        // creates a ghost that the sweep must abort.
+        a.send_message(0, PeerId(1), 20_000, 2);
+        let mut first_frag = None;
+        shuttle(&mut a, &mut b, 0, |p| {
+            if let HomaPacket::Data(h) = p {
+                if h.key.seq == 2 && h.offset == 0 && first_frag.is_none() {
+                    first_frag = Some(p.clone());
+                }
+            }
+            false
+        });
+        assert_eq!(b.delivered_msgs(), 3);
+        b.on_packet(0, PeerId(0), first_frag.expect("captured first fragment"));
+        assert_eq!(b.inbound_count(), 1, "ghost fragment state exists");
+        let mut t = 0;
+        for _ in 0..20 {
+            t += 2_500_000;
+            b.timer_tick(t);
+            while b.poll_transmit(t).is_some() {}
+        }
+        assert_eq!(b.inbound_count(), 0, "ghost must be swept, not squat forever");
+        assert!(
+            b.take_events().iter().any(|e| matches!(e, HomaEvent::InboundAborted { .. })),
+            "ghost sweep surfaces as an inbound abort"
+        );
+    }
+
+    /// Pinned edge case: RESEND for a `MsgKey` the sender knows nothing
+    /// about. For one-ways and requests the state was discarded on
+    /// purpose (completed, aborted, or never existed) and the RESEND must
+    /// be ignored without creating state; for responses it is the §3.7
+    /// server-side recovery signal — re-request the request's blind
+    /// prefix so the RPC re-executes (§3.8).
+    #[test]
+    fn resend_for_unknown_msgkey() {
+        let (_, mut b) = pair();
+        let prio = 0;
+        for dir in [Dir::Oneway, Dir::Request] {
+            let key = MsgKey { origin: PeerId(1), seq: 77, dir };
+            b.on_packet(
+                0,
+                PeerId(0),
+                HomaPacket::Resend(ResendHeader { key, offset: 0, length: 9_700, prio }),
+            );
+            assert!(!b.has_pending_tx(), "unknown {dir:?} RESEND must be ignored");
+            assert_eq!(b.outbound_count(), 0);
+            assert_eq!(b.inbound_count(), 0);
+        }
+        // Unknown response key, no request in progress: the server asks
+        // for the request again instead.
+        let resp_key = MsgKey { origin: PeerId(0), seq: 78, dir: Dir::Response };
+        b.on_packet(
+            0,
+            PeerId(0),
+            HomaPacket::Resend(ResendHeader { key: resp_key, offset: 0, length: 9_700, prio }),
+        );
+        match b.poll_transmit(0) {
+            Some((dst, HomaPacket::Resend(r))) => {
+                assert_eq!(dst, PeerId(0));
+                assert_eq!(r.key, resp_key.flipped(), "server re-requests the request");
+                assert_eq!(r.offset, 0);
+            }
+            other => panic!("expected a request re-request, got {other:?}"),
+        }
+        assert_eq!(b.resends_sent(), 1);
     }
 
     #[test]

@@ -105,12 +105,18 @@ impl SenderState {
         }
     }
 
-    /// Sender-side stall recovery for one-way messages: if a partially
-    /// sent one-way message has received no grants for a resend interval
-    /// (its entire blind prefix may have been lost, so the receiver does
-    /// not even know it exists), retransmit the first packet to re-create
-    /// receiver state. Gives up after the abort budget and returns the
-    /// abandoned messages' `(dst, tag)`.
+    /// Sender-side stall recovery for messages whose receiver has gone
+    /// silent (no grants for a resend interval). For one-way messages the
+    /// entire blind prefix may have been lost — the receiver does not even
+    /// know the message exists — so retransmit the first packet to
+    /// re-create receiver state. For *responses* the client's own chasing
+    /// (RESENDs while `awaiting_first_response`, receiver gap chasing
+    /// after) covers every loss pattern, so a silent client means the RPC
+    /// is dead on its side; just age the state out without retransmitting
+    /// (found by the stateful model fuzzer: stalled response state used
+    /// to leak forever once the client aborted the RPC). Requests are
+    /// skipped: the client RPC sweep owns their whole lifecycle. Gives up
+    /// after the abort budget and returns the abandoned `(dst, tag)`s.
     pub fn poke_stalled(&mut self, now: Nanos) -> Vec<(PeerId, u64)> {
         let interval = self.cfg.resend_interval_ns;
         let limit = self.cfg.abort_after_resends;
@@ -123,7 +129,7 @@ impl SenderState {
         keys.sort_unstable();
         for key in keys {
             let m = self.msgs.get_mut(&key).expect("key just collected");
-            if m.key.dir != Dir::Oneway || m.fully_sent() || m.transmittable() {
+            if m.key.dir == Dir::Request || m.fully_sent() || m.transmittable() {
                 continue;
             }
             if now.saturating_sub(m.last_peer_activity) < interval {
@@ -136,7 +142,9 @@ impl SenderState {
             }
             m.stall_pokes += 1;
             m.last_peer_activity = now;
-            m.queue_retx(0, payload.min(m.len));
+            if m.key.dir == Dir::Oneway {
+                m.queue_retx(0, payload.min(m.len));
+            }
         }
         for k in dead {
             self.msgs.remove(&k);

@@ -20,6 +20,9 @@ use crate::scenario::{FabricSpec, ScenarioSpec};
 use homa_sim::{Fault, FaultPlan, HostId, LinkId};
 use homa_workloads::{TrafficSpec, VictimSpec, Workload};
 
+pub mod grammar;
+pub mod stateful;
+
 /// SplitMix64: tiny, seedable, and statistically fine for test-case
 /// generation. Hand-rolled so the fuzzers add no dependencies.
 #[derive(Debug, Clone)]
@@ -278,18 +281,21 @@ fn fault_fits(f: Fault, hosts: u32) -> bool {
     }
 }
 
-/// Greedily shrink `spec` while `fails` keeps returning true, taking
-/// the first failing candidate at each step. Deterministic: the same
-/// spec and predicate always shrink to the same minimal spec. The
-/// predicate is re-run once per accepted candidate, so the cost is
-/// `O(steps × candidates)` runs of the scenario.
-pub fn shrink_to_minimal(
-    spec: &ScenarioSpec,
-    mut fails: impl FnMut(&ScenarioSpec) -> bool,
-) -> ScenarioSpec {
-    let mut current = spec.clone();
+/// Greedily shrink `initial` while `fails` keeps returning true, taking
+/// the first failing candidate produced by `candidates` at each step.
+/// Deterministic: the same input, candidate function and predicate
+/// always land on the same minimum, and the result is locally minimal —
+/// no single candidate of the returned value still fails. All three
+/// fuzz shrinkers (scenario specs, op traces, mutated spec lines) are
+/// thin wrappers over this loop.
+pub fn shrink_to_minimal_with<T: Clone>(
+    initial: &T,
+    candidates: impl Fn(&T) -> Vec<T>,
+    mut fails: impl FnMut(&T) -> bool,
+) -> T {
+    let mut current = initial.clone();
     'outer: loop {
-        for candidate in current.shrink() {
+        for candidate in candidates(&current) {
             if fails(&candidate) {
                 current = candidate;
                 continue 'outer;
@@ -297,6 +303,18 @@ pub fn shrink_to_minimal(
         }
         return current;
     }
+}
+
+/// Greedily shrink `spec` while `fails` keeps returning true, taking
+/// the first failing candidate at each step. Deterministic: the same
+/// spec and predicate always shrink to the same minimal spec. The
+/// predicate is re-run once per accepted candidate, so the cost is
+/// `O(steps × candidates)` runs of the scenario.
+pub fn shrink_to_minimal(
+    spec: &ScenarioSpec,
+    fails: impl FnMut(&ScenarioSpec) -> bool,
+) -> ScenarioSpec {
+    shrink_to_minimal_with(spec, ScenarioSpec::shrink, fails)
 }
 
 /// Iteration count for a fuzz loop: `HOMA_FUZZ_ITERS` if set and
@@ -319,6 +337,51 @@ pub fn report_failure(family: &str, spec_line: &str, detail: &str) {
         if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
             let _ = writeln!(f, "{spec_line} # {detail}");
         }
+    }
+}
+
+/// One fuzz family's shared plumbing: its artifact name, its replay
+/// environment variable, and the `HOMA_FUZZ_ITERS` / failure-reporting /
+/// replay-env conventions every family follows. All five families (wire,
+/// differential, conservation, stateful, spec-grammar) drive their test
+/// loops through one of these so iteration budgets, artifact paths and
+/// replay hooks stay consistent.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzFamily {
+    /// Family name: the artifact file is `$HOMA_FUZZ_FAILURE_DIR/<name>.txt`.
+    pub name: &'static str,
+    /// Environment variable holding a one-line failure to replay.
+    pub replay_var: &'static str,
+}
+
+impl FuzzFamily {
+    /// A family with its artifact `name` and replay environment variable.
+    pub const fn new(name: &'static str, replay_var: &'static str) -> Self {
+        FuzzFamily { name, replay_var }
+    }
+
+    /// Iteration budget: `HOMA_FUZZ_ITERS` if set and parseable, else
+    /// `default`. CI smoke jobs pin the variable to 500; the `#[ignore]`
+    /// long-haul variants multiply the default instead.
+    pub fn iters(&self, default: u64) -> u64 {
+        fuzz_iters(default)
+    }
+
+    /// The one-line failure to replay, if the family's replay variable
+    /// is set and non-empty.
+    pub fn replay(&self) -> Option<String> {
+        std::env::var(self.replay_var).ok().filter(|line| !line.trim().is_empty())
+    }
+
+    /// Record a shrunk failure through [`report_failure`] and panic with
+    /// the replay instructions. The panic message names `replay_var` so
+    /// a failing CI log is self-describing.
+    pub fn fail(&self, minimal_line: &str, detail: &str) -> ! {
+        report_failure(self.name, minimal_line, detail);
+        panic!(
+            "[{}] {detail}\nreplay with:\n  {}='{minimal_line}' cargo test\n",
+            self.name, self.replay_var
+        );
     }
 }
 

@@ -62,6 +62,9 @@ pub use capacity::{
 };
 pub use driver::{IncastOpts, IncastResult, OnewayOpts, OnewayResult, RpcOpts, RpcResult};
 pub use figures::{compare_curves, CurveDelta, MeasuredPoint, PointDelta, RefCurve};
-pub use fuzzing::{fuzz_iters, report_failure, shrink_to_minimal, SplitMix64};
+pub use fuzzing::stateful::{parse_ops_line, shrink_ops_to_minimal, OpTrace};
+pub use fuzzing::{
+    fuzz_iters, report_failure, shrink_to_minimal, shrink_to_minimal_with, FuzzFamily, SplitMix64,
+};
 pub use scenario::{FabricSpec, ScenarioSpec};
 pub use slowdown::{MsgRecord, SlowdownBin, SlowdownSummary};

@@ -155,7 +155,22 @@ fn parse_traffic(s: &str) -> Result<TrafficSpec, String> {
                 let n = |i: usize| {
                     fields[i].parse::<u64>().map_err(|_| format!("bad victim field in `{part}`"))
                 };
-                spec.victim = Some(VictimSpec::new(n(1)? as u32, n(2)? as u32, n(3)?, n(4)?));
+                let host = |i: usize| {
+                    fields[i].parse::<u32>().map_err(|_| format!("bad victim host in `{part}`"))
+                };
+                // Validate here rather than letting `VictimSpec::new`
+                // assert: these are user-typed values, so they must
+                // surface as named-field errors, not panics (found by
+                // the spec-line grammar fuzzer).
+                let (src, dst) = (host(1)?, host(2)?);
+                if src == dst {
+                    return Err(format!("self-addressed victim flow in `{part}`"));
+                }
+                let period_ns = n(4)?;
+                if period_ns == 0 {
+                    return Err(format!("zero victim period in `{part}`"));
+                }
+                spec.victim = Some(VictimSpec::new(src, dst, n(3)?, period_ns));
             }
             "mix" if fields.len() == 3 => {
                 let second = Workload::parse(fields[1])
@@ -510,6 +525,22 @@ mod tests {
             (
                 "name=a fabric=sw:8 wl=W1 load=0.5 msgs=10 seed=1 traffic=blizzard",
                 "field `traffic`: unknown traffic pattern `blizzard`",
+            ),
+            // Regressions (found by the spec-line grammar fuzzer): these
+            // used to panic inside `VictimSpec::new` instead of erroring.
+            (
+                "name=a fabric=sw:8 wl=W1 load=0.5 msgs=10 seed=1 traffic=uniform+victim:6:6:4:3",
+                "field `traffic`: self-addressed victim flow in `victim:6:6:4:3`",
+            ),
+            (
+                "name=a fabric=sw:8 wl=W1 load=0.5 msgs=10 seed=1 traffic=uniform+victim:1:2:4:0",
+                "field `traffic`: zero victim period in `victim:1:2:4:0`",
+            ),
+            // Host ids wider than u32 must be rejected, not truncated.
+            (
+                "name=a fabric=sw:8 wl=W1 load=0.5 msgs=10 seed=1 \
+                 traffic=uniform+victim:4294967296:2:4:3",
+                "field `traffic`: bad victim host in `victim:4294967296:2:4:3`",
             ),
             (
                 "name=a fabric=sw:8 wl=W1 load=0.5 msgs=10 seed=1 faults=12:explode:hup1",

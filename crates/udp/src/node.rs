@@ -403,7 +403,12 @@ impl HomaUdpNode {
                 HomaEvent::OutboundAborted { dst, tag } => {
                     Some(UdpEvent::Aborted { peer: dst, tag })
                 }
-                HomaEvent::InboundAborted { .. } => None,
+                HomaEvent::InboundAborted { key, .. } => {
+                    // Free the partial reassembly buffer of the abandoned
+                    // inbound; it will never complete.
+                    s.in_buffers.remove(&key);
+                    None
+                }
             };
             if let Some(ev) = out {
                 // Non-blocking delivery: a full bounded channel signals

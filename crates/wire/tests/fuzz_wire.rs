@@ -22,32 +22,14 @@ use homa::packets::{
     BusyHeader, CutoffsUpdate, DataHeader, Dir, GrantHeader, HomaPacket, MsgKey, PeerId,
     ResendHeader,
 };
+use homa_harness::{FuzzFamily, SplitMix64};
 use homa_wire::{decode, encode, encoded_len, WireError, HEADER_LEN};
 
-/// Local copy of the harness's SplitMix64 (homa-wire stays independent
-/// of the simulation crates; the constants are Vigna's canonical ones,
-/// so the two copies generate identical streams for identical seeds).
-struct SplitMix64(u64);
-
-impl SplitMix64 {
-    fn new(seed: u64) -> Self {
-        SplitMix64(seed)
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-    fn below(&mut self, n: u64) -> u64 {
-        self.next_u64() % n.max(1)
-    }
-}
-
-fn fuzz_iters(default: u64) -> u64 {
-    std::env::var("HOMA_FUZZ_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
+/// The wire family shares the workspace fuzz plumbing (`HOMA_FUZZ_ITERS`
+/// for iteration budgets). Its failures are plain assert panics — the
+/// corpus table below is the replay mechanism — so the replay variable
+/// is only ever mentioned, never read.
+const FAMILY: FuzzFamily = FuzzFamily::new("wire", "HOMA_FUZZ_REPLAY");
 
 fn arbitrary_key(rng: &mut SplitMix64) -> MsgKey {
     MsgKey {
@@ -277,17 +259,17 @@ fn check_bit_flips(seed: u64, iters: u64) {
 
 #[test]
 fn random_buffers_never_panic() {
-    check_random_buffers(7, fuzz_iters(2_000));
+    check_random_buffers(7, FAMILY.iters(2_000));
 }
 
 #[test]
 fn prefixes_fail_and_encode_decode_is_identity() {
-    check_prefixes_and_identity(11, fuzz_iters(1_000));
+    check_prefixes_and_identity(11, FAMILY.iters(1_000));
 }
 
 #[test]
 fn single_bit_flips_never_panic() {
-    check_bit_flips(17, fuzz_iters(300));
+    check_bit_flips(17, FAMILY.iters(300));
 }
 
 /// Nightly long-haul: the same three properties at ~50x the smoke
@@ -295,7 +277,7 @@ fn single_bit_flips_never_panic() {
 #[test]
 #[ignore = "long-haul fuzz loop; run with --ignored (nightly CI)"]
 fn long_haul_wire_fuzz() {
-    check_random_buffers(0x9E37_79B9, fuzz_iters(2_000) * 50);
-    check_prefixes_and_identity(0xDEAD_BEEF, fuzz_iters(1_000) * 50);
-    check_bit_flips(0x00C0_FFEE, fuzz_iters(300) * 20);
+    check_random_buffers(0x9E37_79B9, FAMILY.iters(2_000) * 50);
+    check_prefixes_and_identity(0xDEAD_BEEF, FAMILY.iters(1_000) * 50);
+    check_bit_flips(0x00C0_FFEE, FAMILY.iters(300) * 20);
 }

@@ -18,7 +18,9 @@
 
 use homa_bench::{run_protocol_scenario, Protocol};
 use homa_harness::driver::OnewayOpts;
-use homa_harness::{fuzz_iters, report_failure, shrink_to_minimal, ScenarioSpec};
+use homa_harness::{shrink_to_minimal, FuzzFamily, ScenarioSpec};
+
+const FAMILY: FuzzFamily = FuzzFamily::new("conservation", "HOMA_FUZZ_REPLAY");
 
 const TRANSPORTS: [Protocol; 6] = [
     Protocol::Homa,
@@ -69,10 +71,9 @@ fn check_seed_range(first_seed: u64, iters: u64) {
         for p in TRANSPORTS {
             if let Some(detail) = violates_conservation(p, &spec) {
                 let minimal = shrink_to_minimal(&spec, |s| violates_conservation(p, s).is_some());
-                report_failure("conservation", &minimal.to_spec_line(), &detail);
-                panic!(
-                    "conservation violated (seed {seed}): {detail}; minimal replay:\n  {}",
-                    minimal.to_spec_line()
+                FAMILY.fail(
+                    &minimal.to_spec_line(),
+                    &format!("conservation violated (seed {seed}): {detail}"),
                 );
             }
         }
@@ -81,12 +82,27 @@ fn check_seed_range(first_seed: u64, iters: u64) {
 
 #[test]
 fn all_transports_conserve_messages_on_arbitrary_specs() {
-    check_seed_range(2_000, fuzz_iters(10));
+    check_seed_range(2_000, FAMILY.iters(10));
 }
 
 /// Nightly long-haul sweep on a disjoint seed range.
 #[test]
 #[ignore = "long-haul fuzz loop; run with --ignored (nightly CI)"]
 fn long_haul_conservation_fuzz() {
-    check_seed_range(200_000, fuzz_iters(10) * 25);
+    check_seed_range(200_000, FAMILY.iters(10) * 25);
+}
+
+/// Replay hook: set `HOMA_FUZZ_REPLAY` to a spec line printed by a fuzz
+/// failure and this test re-checks conservation on it for every
+/// transport (it passes trivially when the variable is unset).
+#[test]
+fn replay_spec_line_from_env() {
+    let Some(line) = FAMILY.replay() else { return };
+    let spec = ScenarioSpec::parse_spec_line(&line)
+        .unwrap_or_else(|e| panic!("bad {} line: {e}", FAMILY.replay_var));
+    for p in TRANSPORTS {
+        if let Some(detail) = violates_conservation(p, &spec) {
+            panic!("replayed spec still violates conservation: {detail}\n  {line}");
+        }
+    }
 }

@@ -20,8 +20,10 @@
 
 use homa_bench::{run_protocol_scenario, Protocol};
 use homa_harness::driver::OnewayOpts;
-use homa_harness::{fuzz_iters, report_failure, shrink_to_minimal, ScenarioSpec};
+use homa_harness::{shrink_to_minimal, FuzzFamily, ScenarioSpec};
 use homa_sim::EngineKind;
+
+const FAMILY: FuzzFamily = FuzzFamily::new("differential", "HOMA_FUZZ_REPLAY");
 
 const ENGINES: [(&str, EngineKind); 4] = [
     ("hier", EngineKind::Hierarchical),
@@ -75,10 +77,9 @@ fn check_seed_range(first_seed: u64, iters: u64) {
         let p = PROTOCOLS[(seed % PROTOCOLS.len() as u64) as usize];
         if let Some(detail) = engines_disagree(p, &spec) {
             let minimal = shrink_to_minimal(&spec, |s| engines_disagree(p, s).is_some());
-            report_failure("differential", &minimal.to_spec_line(), &detail);
-            panic!(
-                "engines disagree (seed {seed}, {detail}); minimal replay:\n  {}",
-                minimal.to_spec_line()
+            FAMILY.fail(
+                &minimal.to_spec_line(),
+                &format!("engines disagree (seed {seed}): {detail}"),
             );
         }
     }
@@ -86,14 +87,14 @@ fn check_seed_range(first_seed: u64, iters: u64) {
 
 #[test]
 fn arbitrary_specs_replay_identically_on_all_engines() {
-    check_seed_range(1_000, fuzz_iters(20));
+    check_seed_range(1_000, FAMILY.iters(20));
 }
 
 /// Nightly long-haul sweep on a disjoint seed range.
 #[test]
 #[ignore = "long-haul fuzz loop; run with --ignored (nightly CI)"]
 fn long_haul_differential_fuzz() {
-    check_seed_range(100_000, fuzz_iters(20) * 25);
+    check_seed_range(100_000, FAMILY.iters(20) * 25);
 }
 
 /// Replay hook: set `HOMA_FUZZ_REPLAY` to a spec line printed by a fuzz
@@ -101,7 +102,7 @@ fn long_haul_differential_fuzz() {
 /// trivially when the variable is unset).
 #[test]
 fn replay_spec_line_from_env() {
-    let Ok(line) = std::env::var("HOMA_FUZZ_REPLAY") else { return };
+    let Some(line) = FAMILY.replay() else { return };
     let spec = ScenarioSpec::parse_spec_line(&line).expect("HOMA_FUZZ_REPLAY must be a spec line");
     for p in PROTOCOLS {
         if let Some(detail) = engines_disagree(p, &spec) {

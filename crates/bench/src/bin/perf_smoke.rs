@@ -8,20 +8,31 @@
 //!
 //! ```text
 //! perf-smoke [--out PATH] [--engine hier|legacy|parallel] [--threads N]
-//!            [--quick] [--rss]
+//!            [--quick] [--rss] [--only SUBSTR] [--profile]
+//!            [--scaling] [--min-efficiency FRAC]
 //!     run the scenarios, print the JSON report, write it to PATH
 //!     (default BENCH_PR.json); `--engine parallel` uses
 //!     conservative-window dispatch with N worker threads (default:
 //!     HOMA_SIM_THREADS or auto); `--rss` samples per-scenario peak
 //!     resident set (VmHWM, Linux) into the report's `peak_rss_kb`
-//!     column
+//!     column; `--only` keeps just the scenarios whose name contains
+//!     SUBSTR; `--profile` (needs the `engine-profile` build feature)
+//!     prints the per-phase drain/run/merge wall split and per-batch
+//!     event counts after each scenario; `--scaling` runs the
+//!     `Hierarchical` engine first on every scenario and records
+//!     parallel-vs-hierarchical events/sec in the report's
+//!     `scaling_efficiency` column (requires a parallel engine);
+//!     `--min-efficiency` fails the run when any measured efficiency
+//!     drops below FRAC — gated only when the thread count fits the
+//!     machine's cores, warned-and-skipped otherwise
 //!
 //! perf-smoke --compare BASELINE CURRENT [--tolerance 0.25]
 //!     exit nonzero if CURRENT regressed from BASELINE: wall-clock,
-//!     events/sec or peak RSS off by more than the tolerance, or a
-//!     changed deterministic event count (which means the simulation
-//!     itself changed — refresh the baseline deliberately if intended).
-//!     The RSS check is skipped when either report lacks the column.
+//!     events/sec, peak RSS or scaling efficiency off by more than the
+//!     tolerance, or a changed deterministic event count (which means
+//!     the simulation itself changed — refresh the baseline
+//!     deliberately if intended). The RSS and efficiency checks are
+//!     skipped when either report lacks the column.
 //! ```
 //!
 //! To refresh the baseline after an intentional change:
@@ -29,9 +40,9 @@
 
 use homa_bench::perfjson::{parse_report, render_report, Report, ScenarioReport};
 use homa_bench::{run_protocol_scenario, Protocol};
-use homa_harness::driver::OnewayOpts;
+use homa_harness::driver::{OnewayOpts, OnewayResult};
 use homa_harness::{FabricSpec, ScenarioSpec};
-use homa_sim::{EngineKind, FaultPlan, HostId, LinkId};
+use homa_sim::{EngineKind, EngineProfile, FaultPlan, HostId, LinkId};
 use homa_workloads::{TrafficSpec, Workload};
 use std::time::Instant;
 
@@ -162,19 +173,99 @@ fn reset_peak_rss() {
     let _ = std::fs::write("/proc/self/clear_refs", "5");
 }
 
-fn run_gate(engine: EngineKind, quick: bool, rss: bool) -> Report {
+/// How one gate invocation runs: which engine, which scenario subset,
+/// and which optional measurements ride along.
+struct GateCfg {
+    engine: EngineKind,
+    quick: bool,
+    rss: bool,
+    /// Keep only scenarios whose name contains this substring.
+    only: Option<String>,
+    /// Print the per-phase window profile after each scenario.
+    profile: bool,
+    /// Run a `Hierarchical` reference per scenario and record
+    /// parallel/hierarchical events/sec as `scaling_efficiency`.
+    scaling: bool,
+}
+
+/// Run one scenario, returning the result, wall seconds and peak RSS.
+fn run_once(spec: &ScenarioSpec, rss: bool) -> (OnewayResult, f64, u64) {
+    if rss {
+        reset_peak_rss();
+    }
+    let start = Instant::now();
+    let res = run_protocol_scenario(Protocol::Homa, spec, &OnewayOpts::default(), None);
+    let wall = start.elapsed().as_secs_f64();
+    let peak_kb = if rss { peak_rss_kb() } else { 0 };
+    (res, wall, peak_kb)
+}
+
+/// Pretty-print the per-phase window profile for one run. All zeros
+/// (and says so) unless the build carries `homa-sim/engine-profile`
+/// and the scenario ran on a window engine.
+fn print_profile(p: &EngineProfile) {
+    if p.samples == 0 && p.dispatch_ns == 0 && p.epoch_sort_ns == 0 {
+        eprintln!("  profile: no samples (sequential engine or engine-profile timers idle)");
+        return;
+    }
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let tot = (p.drain_ns + p.run_ns + p.merge_ns).max(1);
+    let pct = |ns: u64| ns as f64 * 100.0 / tot as f64;
+    eprintln!(
+        "  profile: {} windows — drain {:.1} ms ({:.0}%), run {:.1} ms ({:.0}%), \
+         merge {:.1} ms ({:.0}%); dispatch {:.1} ms, epoch-sort {:.1} ms",
+        p.samples,
+        ms(p.drain_ns),
+        pct(p.drain_ns),
+        ms(p.run_ns),
+        pct(p.run_ns),
+        ms(p.merge_ns),
+        pct(p.merge_ns),
+        ms(p.dispatch_ns),
+        ms(p.epoch_sort_ns),
+    );
+    if p.batches > 0 {
+        eprintln!(
+            "  profile: {} batches — {:.1} windows/batch, {:.1} events/batch",
+            p.batches,
+            p.samples as f64 / p.batches as f64,
+            p.batch_events as f64 / p.batches as f64,
+        );
+    }
+}
+
+fn run_gate(cfg: &GateCfg) -> Report {
     let mut scenarios = Vec::new();
-    for GateScenario { spec, min_delivered_frac } in gate_scenarios(engine, quick) {
-        eprintln!("running {} ({:?} engine) ...", spec.name, spec.engine);
-        if rss {
-            reset_peak_rss();
+    for GateScenario { spec, min_delivered_frac } in gate_scenarios(cfg.engine, cfg.quick) {
+        if let Some(f) = &cfg.only {
+            if !spec.name.contains(f.as_str()) {
+                continue;
+            }
         }
-        let start = Instant::now();
-        let res = run_protocol_scenario(Protocol::Homa, &spec, &OnewayOpts::default(), None);
-        let wall = start.elapsed();
-        let peak_kb = if rss { peak_rss_kb() } else { 0 };
+        // The hierarchical reference runs first so the scaling column
+        // compares against a measurement from the same process and
+        // machine state, not a stale baseline file.
+        let reference = if cfg.scaling {
+            eprintln!("running {} (Hierarchical reference) ...", spec.name);
+            let href = spec.clone().with_engine(EngineKind::Hierarchical);
+            let (hres, hwall, _) = run_once(&href, false);
+            let heps = hres.stats.events_processed as f64 / hwall.max(1e-9);
+            eprintln!(
+                "  {} reference: {:.0} ms, {} events, {:.0} events/s",
+                spec.name,
+                hwall * 1e3,
+                hres.stats.events_processed,
+                heps
+            );
+            Some((hres.stats.events_processed, heps))
+        } else {
+            None
+        };
+        eprintln!("running {} ({:?} engine) ...", spec.name, spec.engine);
+        let (res, wall, peak_kb) = run_once(&spec, cfg.rss);
         let events = res.stats.events_processed;
-        let wall_ms = wall.as_secs_f64() * 1e3;
+        let wall_ms = wall * 1e3;
+        let eps = events as f64 / wall.max(1e-9);
         assert!(
             res.delivered as f64 >= res.injected as f64 * min_delivered_frac,
             "{}: only {}/{} delivered — scenario miscalibrated",
@@ -182,6 +273,18 @@ fn run_gate(engine: EngineKind, quick: bool, rss: bool) -> Report {
             res.delivered,
             res.injected
         );
+        let scaling_efficiency = match reference {
+            Some((href_events, heps)) => {
+                assert_eq!(
+                    events, href_events,
+                    "{}: parallel event count diverged from the hierarchical \
+                     reference — the engines are no longer bit-identical",
+                    spec.name
+                );
+                eps / heps.max(1e-9)
+            }
+            None => 0.0,
+        };
         scenarios.push(ScenarioReport {
             name: spec.name.clone(),
             hosts: spec.fabric.hosts() as u64,
@@ -190,24 +293,37 @@ fn run_gate(engine: EngineKind, quick: bool, rss: bool) -> Report {
             events,
             sim_ns: res.duration.as_nanos(),
             wall_ms,
-            events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+            events_per_sec: eps,
             peak_rss_kb: peak_kb,
+            scaling_efficiency,
         });
         eprintln!(
-            "  {}: {:.0} ms, {} events, {:.0} events/s{}",
+            "  {}: {:.0} ms, {} events, {:.0} events/s{}{}",
             spec.name,
             wall_ms,
             events,
-            events as f64 / wall.as_secs_f64().max(1e-9),
-            if peak_kb > 0 { format!(", peak RSS {peak_kb} KiB") } else { String::new() }
+            eps,
+            if peak_kb > 0 { format!(", peak RSS {peak_kb} KiB") } else { String::new() },
+            if scaling_efficiency > 0.0 {
+                format!(", efficiency {scaling_efficiency:.2}")
+            } else {
+                String::new()
+            }
         );
+        if cfg.profile {
+            print_profile(&res.engine_profile);
+        }
+    }
+    if scenarios.is_empty() {
+        eprintln!("perf-smoke: --only {:?} matched no scenario", cfg.only.as_deref().unwrap_or(""));
+        std::process::exit(2);
     }
     Report {
         schema: 1,
         produced_by: format!(
             "perf-smoke (homa-bench), seed {SEED}, engine {:?}{}",
-            engine,
-            if quick { ", quick" } else { "" }
+            cfg.engine,
+            if cfg.quick { ", quick" } else { "" }
         ),
         scenarios,
     }
@@ -277,6 +393,21 @@ fn regressions(base: &Report, cur: &Report, tolerance: f64) -> Vec<String> {
                 tolerance * 100.0
             ));
         }
+        // Scaling-efficiency gate: like RSS, only when both sides
+        // measured it (0 means the run had no hierarchical reference or
+        // the report predates the column).
+        if b.scaling_efficiency > 0.0
+            && c.scaling_efficiency > 0.0
+            && c.scaling_efficiency < b.scaling_efficiency / (1.0 + tolerance)
+        {
+            fails.push(format!(
+                "{}: scaling efficiency regressed {:.2} -> {:.2} (> {:.0}% tolerance)",
+                b.name,
+                b.scaling_efficiency,
+                c.scaling_efficiency,
+                tolerance * 100.0
+            ));
+        }
     }
     fails
 }
@@ -296,8 +427,16 @@ fn compare(base_path: &str, cur_path: &str, tolerance: f64) -> i32 {
     let cur = load(cur_path);
     println!("perf-smoke comparison (tolerance {:.0}%):", tolerance * 100.0);
     println!(
-        "{:<14} {:>12} {:>12} {:>14} {:>14} {:>12} {:>12}",
-        "scenario", "base ms", "cur ms", "base ev/s", "cur ev/s", "base rss", "cur rss"
+        "{:<14} {:>12} {:>12} {:>14} {:>14} {:>12} {:>12} {:>9} {:>9}",
+        "scenario",
+        "base ms",
+        "cur ms",
+        "base ev/s",
+        "cur ev/s",
+        "base rss",
+        "cur rss",
+        "base eff",
+        "cur eff"
     );
     let rss_col = |kb: u64| {
         if kb > 0 {
@@ -306,17 +445,20 @@ fn compare(base_path: &str, cur_path: &str, tolerance: f64) -> i32 {
             "-".to_string()
         }
     };
+    let eff_col = |e: f64| if e > 0.0 { format!("{e:.2}") } else { "-".to_string() };
     for b in &base.scenarios {
         if let Some(c) = cur.scenarios.iter().find(|s| s.name == b.name) {
             println!(
-                "{:<14} {:>12.1} {:>12.1} {:>14.0} {:>14.0} {:>12} {:>12}",
+                "{:<14} {:>12.1} {:>12.1} {:>14.0} {:>14.0} {:>12} {:>12} {:>9} {:>9}",
                 b.name,
                 b.wall_ms,
                 c.wall_ms,
                 b.events_per_sec,
                 c.events_per_sec,
                 rss_col(b.peak_rss_kb),
-                rss_col(c.peak_rss_kb)
+                rss_col(c.peak_rss_kb),
+                eff_col(b.scaling_efficiency),
+                eff_col(c.scaling_efficiency)
             );
         }
     }
@@ -337,8 +479,13 @@ fn main() {
     let mut out = String::from("BENCH_PR.json");
     let mut engine: Option<EngineKind> = None;
     let mut threads_flag: Option<u32> = None;
+    let mut batch_flag: Option<u32> = None;
     let mut quick = false;
     let mut rss = false;
+    let mut only: Option<String> = None;
+    let mut profile = false;
+    let mut scaling = false;
+    let mut min_efficiency: Option<f64> = None;
     let mut compare_paths: Option<(String, String)> = None;
     let mut tolerance = std::env::var("PERF_SMOKE_TOLERANCE")
         .ok()
@@ -369,8 +516,39 @@ fn main() {
                     .unwrap_or_else(|| usage("--threads takes a count (0 = auto)"));
                 threads_flag = Some(n);
             }
+            "--batch" => {
+                i += 1;
+                let n: u32 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--batch takes a window count (0 = auto)"));
+                batch_flag = Some(n);
+            }
             "--quick" => quick = true,
             "--rss" => rss = true,
+            "--only" => {
+                i += 1;
+                only =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--only needs a substring")));
+            }
+            "--profile" => {
+                if !cfg!(feature = "engine-profile") {
+                    usage(
+                        "--profile needs the profiling timers compiled in: \
+                         rebuild with --features engine-profile",
+                    );
+                }
+                profile = true;
+            }
+            "--scaling" => scaling = true,
+            "--min-efficiency" => {
+                i += 1;
+                min_efficiency = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--min-efficiency takes a fraction, e.g. 0.8")),
+                );
+            }
             "--compare" => {
                 let b = args.get(i + 1).cloned().unwrap_or_else(|| usage("--compare BASE CUR"));
                 let c = args.get(i + 2).cloned().unwrap_or_else(|| usage("--compare BASE CUR"));
@@ -395,19 +573,34 @@ fn main() {
     // explicit non-parallel --engine is a labeling mistake, not a run.
     let engine = match (engine, threads_flag) {
         (None, None) => EngineKind::Hierarchical,
-        (None, Some(n)) => EngineKind::ParallelHier { threads: n },
-        (Some(EngineKind::ParallelHier { threads }), n) => {
-            EngineKind::ParallelHier { threads: n.unwrap_or(threads) }
+        (None, Some(n)) => EngineKind::ParallelHier { threads: n, batch: 0 },
+        (Some(EngineKind::ParallelHier { threads, batch }), n) => {
+            EngineKind::ParallelHier { threads: n.unwrap_or(threads), batch }
         }
         (Some(e), None) => e,
         (Some(_), Some(_)) => usage("--threads requires --engine parallel"),
+    };
+    let engine = match (engine, batch_flag) {
+        (e, None) => e,
+        (EngineKind::ParallelHier { threads, .. }, Some(b)) => {
+            EngineKind::ParallelHier { threads, batch: b }
+        }
+        _ => usage("--batch requires --engine parallel"),
     };
 
     if let Some((base, cur)) = compare_paths {
         std::process::exit(compare(&base, &cur, tolerance));
     }
 
-    let report = run_gate(engine, quick, rss);
+    if (scaling || min_efficiency.is_some()) && !matches!(engine, EngineKind::ParallelHier { .. }) {
+        usage("--scaling / --min-efficiency need a parallel engine (--engine parallel)");
+    }
+    if min_efficiency.is_some() && !scaling {
+        usage("--min-efficiency needs --scaling (nothing measures efficiency otherwise)");
+    }
+
+    let cfg = GateCfg { engine, quick, rss, only, profile, scaling };
+    let report = run_gate(&cfg);
     let json = render_report(&report);
     print!("{json}");
     if let Err(e) = std::fs::write(&out, &json) {
@@ -415,6 +608,47 @@ fn main() {
         std::process::exit(2);
     }
     eprintln!("wrote {out}");
+
+    if let Some(min_eff) = min_efficiency {
+        std::process::exit(gate_efficiency(&report, engine, min_eff));
+    }
+}
+
+/// Apply the `--min-efficiency` floor. The gate only means something
+/// when the parallel run's threads actually fit the machine — on an
+/// undersized runner (e.g. 2 threads on a 1-core CI box) the measured
+/// "efficiency" is contention, not scaling, so the check downgrades to
+/// a warning and the counts-only comparison remains the gate.
+fn gate_efficiency(report: &Report, engine: EngineKind, min_eff: f64) -> i32 {
+    let threads = match engine {
+        EngineKind::ParallelHier { threads, .. } => threads,
+        _ => unreachable!("--min-efficiency is rejected for non-parallel engines"),
+    };
+    let cores = std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(1);
+    let effective = if threads == 0 { cores } else { threads };
+    if effective > cores {
+        eprintln!(
+            "perf-smoke: skipping efficiency gate ({effective} threads > {cores} core(s) \
+             available — measurement would be contention, not scaling)"
+        );
+        return 0;
+    }
+    let mut code = 0;
+    for s in &report.scenarios {
+        if s.scaling_efficiency > 0.0 && s.scaling_efficiency < min_eff {
+            eprintln!(
+                "FAIL: {}: scaling efficiency {:.2} below the {:.2} floor",
+                s.name, s.scaling_efficiency, min_eff
+            );
+            code = 1;
+        }
+    }
+    if code == 0 {
+        eprintln!(
+            "efficiency gate OK (floor {min_eff:.2}, {effective} thread(s), {cores} core(s))"
+        );
+    }
+    code
 }
 
 fn usage(err: &str) -> ! {
@@ -422,7 +656,9 @@ fn usage(err: &str) -> ! {
         eprintln!("perf-smoke: {err}");
     }
     eprintln!(
-        "usage: perf-smoke [--out PATH] [--engine hier|legacy|parallel] [--threads N] [--quick] [--rss]\n\
+        "usage: perf-smoke [--out PATH] [--engine hier|legacy|parallel] [--threads N] [--batch K]\n\
+         \x20                 [--quick] [--rss] [--only SUBSTR] [--profile] [--scaling]\n\
+         \x20                 [--min-efficiency FRAC]\n\
          \x20      perf-smoke --compare BASELINE CURRENT [--tolerance FRAC]"
     );
     std::process::exit(2);

@@ -21,8 +21,8 @@
 use crate::scenario::ScenarioSpec;
 use crate::slowdown::{MsgRecord, SlowdownSketch};
 use homa_sim::{
-    AppEvent, FlightRecorder, HostId, Network, PacketMeta, PathClass, QueueDiscipline, RunStats,
-    SimDuration, SimTime, TraceRecord, Transport,
+    AppEvent, EngineProfile, EngineStats, FlightRecorder, HostId, Network, PacketMeta, PathClass,
+    QueueDiscipline, RunStats, SimDuration, SimTime, TraceRecord, Transport,
 };
 use homa_workloads::{LoadPlan, PoissonArrivals, TrafficMatrix};
 use std::collections::HashMap;
@@ -152,6 +152,13 @@ pub struct OnewayResult {
     /// Trace records dropped because the recorder ring filled (oldest
     /// first); nonzero means `trace` holds only the tail of the run.
     pub trace_dropped: u64,
+    /// Deterministic event-engine counters (windows, batches, fast-path
+    /// windows, calendar occupancy) at harvest.
+    pub engine_stats: EngineStats,
+    /// Wall-clock dispatch-phase profile of the run's engine. All zeros
+    /// unless the simulator's `engine-profile` cargo feature is enabled;
+    /// never deterministic — diagnostics only.
+    pub engine_profile: EngineProfile,
 }
 
 /// Memoized unloaded-latency lookup passed through the event handler.
@@ -405,6 +412,8 @@ where
     let duration = net.now();
     let trace = net.take_trace();
     let trace_dropped = net.trace_dropped();
+    let engine_stats = net.engine_stats();
+    let engine_profile = net.engine_profile();
     let stats = net.harvest_stats();
     let prio_bytes = net.uplink_bytes_by_prio();
     let offered_bps = if inject_end.as_nanos() > 0 {
@@ -435,6 +444,8 @@ where
         delivered_bps,
         trace,
         trace_dropped,
+        engine_stats,
+        engine_profile,
     }
 }
 

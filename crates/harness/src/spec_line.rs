@@ -18,7 +18,9 @@
 //!   `mtor:<hosts>` | `paper` | `ft:<k>`
 //! * `wl` — `W1`..`W5`
 //! * `load` — `f64` via Rust's shortest round-trip `Display`
-//! * `engine` — `hier` | `legacy` | `par:<threads>`
+//! * `engine` — `hier` | `legacy` | `par:<threads>` | `par:<threads>:<batch>`
+//!   (the window-batch size; omitted when 0 = auto, so older lines keep
+//!   their canonical form)
 //! * `traffic` — `uniform` | `perm` | `shuffle` | `incast:<fan_in>` |
 //!   `hotspot:<frac>:<local|cross>`, optionally followed by
 //!   `+victim:<src>:<dst>:<size>:<period_ns>` and/or
@@ -80,7 +82,10 @@ fn engine_str(e: EngineKind) -> String {
     match e {
         EngineKind::Hierarchical => "hier".into(),
         EngineKind::LegacyHeap => "legacy".into(),
-        EngineKind::ParallelHier { threads } => format!("par:{threads}"),
+        // The auto batch (`0`) stays implicit so pre-batching spec lines
+        // re-format to themselves (the parse∘format fixed point).
+        EngineKind::ParallelHier { threads, batch: 0 } => format!("par:{threads}"),
+        EngineKind::ParallelHier { threads, batch } => format!("par:{threads}:{batch}"),
     }
 }
 
@@ -89,10 +94,21 @@ fn parse_engine(s: &str) -> Result<EngineKind, String> {
         "hier" => Ok(EngineKind::Hierarchical),
         "legacy" => Ok(EngineKind::LegacyHeap),
         _ => match s.strip_prefix("par:") {
-            Some(t) => t
-                .parse::<u32>()
-                .map(|threads| EngineKind::ParallelHier { threads })
-                .map_err(|_| format!("bad thread count in engine `{s}`")),
+            Some(rest) => {
+                let (t, b) = match rest.split_once(':') {
+                    Some((t, b)) => (t, Some(b)),
+                    None => (rest, None),
+                };
+                let threads =
+                    t.parse::<u32>().map_err(|_| format!("bad thread count in engine `{s}`"))?;
+                let batch = match b {
+                    Some(b) => {
+                        b.parse::<u32>().map_err(|_| format!("bad batch size in engine `{s}`"))?
+                    }
+                    None => 0,
+                };
+                Ok(EngineKind::ParallelHier { threads, batch })
+            }
             None => Err(format!("unknown engine `{s}`")),
         },
     }
@@ -404,8 +420,10 @@ mod tests {
             for engine in [
                 EngineKind::Hierarchical,
                 EngineKind::LegacyHeap,
-                EngineKind::ParallelHier { threads: 0 },
-                EngineKind::ParallelHier { threads: 2 },
+                EngineKind::ParallelHier { threads: 0, batch: 0 },
+                EngineKind::ParallelHier { threads: 2, batch: 0 },
+                EngineKind::ParallelHier { threads: 2, batch: 16 },
+                EngineKind::ParallelHier { threads: 0, batch: 4 },
             ] {
                 round_trips(
                     &ScenarioSpec::new("x", fabric, Workload::W1, 0.55, 700, 9).with_engine(engine),

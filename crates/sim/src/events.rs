@@ -183,6 +183,17 @@ pub struct EngineStats {
     pub window_events: u64,
     /// Largest single conservative window, in events.
     pub max_window_events: u64,
+    /// Windows that took the single-hot-group fast path: every drained
+    /// event belonged to one dispatch group, so the window ran inline
+    /// through `DirectSink` with no worker handoff and no merge.
+    pub fast_windows: u64,
+    /// Bookkeeping batches the window dispatcher rolled windows into
+    /// (deterministic: derived from drained-event counts, never from
+    /// wall clock).
+    pub batches: u64,
+    /// Recycled buffers trimmed back to their recent high-water mark
+    /// (calendar epoch buckets and window scratch).
+    pub buffer_trims: u64,
 }
 
 /// The calendar-bucketed event engine: a ring of epoch buckets merged one
@@ -214,6 +225,16 @@ pub struct HierEventQueue<E> {
     next_seq: u64,
     len: usize,
     stats: EngineStats,
+    /// Tracks per-epoch occupancy so recycled epoch buffers are trimmed
+    /// back toward the recent high-water mark (a dense burst would
+    /// otherwise pin peak capacity forever).
+    bucket_hw: crate::arena::HighWater,
+    /// Latest capacity target reported by `bucket_hw`; checked against
+    /// every buffer that circulates through `current`, since a ballooned
+    /// buffer may sit parked in a ring slot for thousands of epochs
+    /// between visits. `usize::MAX` until the first report, so nothing
+    /// trims before an occupancy baseline exists.
+    bucket_trim_target: usize,
     /// Wall nanoseconds spent in epoch-merge sorts (the engine's
     /// dominant cost at scale). Only written under `engine-profile`.
     #[cfg(feature = "engine-profile")]
@@ -250,6 +271,8 @@ impl<E> HierEventQueue<E> {
             next_seq: 0,
             len: 0,
             stats: EngineStats { lanes, bucket_width_ns: 1 << shift, ..EngineStats::default() },
+            bucket_hw: crate::arena::HighWater::default(),
+            bucket_trim_target: usize::MAX,
             #[cfg(feature = "engine-profile")]
             sort_ns: 0,
             #[cfg(feature = "engine-profile")]
@@ -345,10 +368,24 @@ impl<E> HierEventQueue<E> {
             self.cur_epoch = next;
             if ring_next == Some(next) {
                 self.active.pop();
+                let slot = (next % RING_EPOCHS) as usize;
+                // Trim the outgoing (empty) run buffer back to the
+                // recent per-epoch high-water before donating it to the
+                // ring, so a one-off dense epoch doesn't pin its peak
+                // capacity for the rest of the run. The target updates
+                // periodically; the (cheap) capacity check runs on every
+                // circulating buffer so a ballooned one is caught the
+                // first time it resurfaces from its ring slot.
+                if let Some(target) = self.bucket_hw.observe(self.ring[slot].len()) {
+                    self.bucket_trim_target = target;
+                }
+                if crate::arena::trim_capacity(&mut self.current, self.bucket_trim_target) {
+                    self.stats.buffer_trims += 1;
+                }
                 // Swap the (empty, capacity-bearing) current run into the
                 // slot so bucket buffers are recycled instead of
                 // reallocated every epoch.
-                std::mem::swap(&mut self.current, &mut self.ring[(next % RING_EPOCHS) as usize]);
+                std::mem::swap(&mut self.current, &mut self.ring[slot]);
             }
             while self.far.peek().is_some_and(|e| self.epoch_of(e.at) == next) {
                 self.current.push(self.far.pop().expect("peeked"));
@@ -527,6 +564,14 @@ pub enum EngineKind {
         /// available parallelism); `1` runs the window machinery inline
         /// (useful for determinism tests with no thread overhead).
         threads: u32,
+        /// Windows batched per bookkeeping round-trip (profiling
+        /// samples, stats rollups, worker handoffs are amortized across
+        /// the batch). `0` = auto: the `HOMA_SIM_BATCH` environment
+        /// variable if set, else an adaptive size derived from drained-
+        /// event density. Any value produces bit-identical results —
+        /// batching changes only when bookkeeping happens, never event
+        /// order.
+        batch: u32,
     },
 }
 
@@ -552,7 +597,7 @@ impl EngineKind {
     /// environment: `None`/unparseable/`"0"` all mean auto.
     pub fn parallel_from_threads_str(threads: Option<&str>) -> EngineKind {
         let threads = threads.and_then(|v| v.parse::<u32>().ok()).unwrap_or(0);
-        EngineKind::ParallelHier { threads }
+        EngineKind::ParallelHier { threads, batch: 0 }
     }
 }
 
@@ -770,6 +815,33 @@ mod tests {
     }
 
     #[test]
+    fn hier_trims_burst_epoch_capacity() {
+        // One dense epoch balloons its bucket buffer; after the burst
+        // ages out of the high-water window (two 1024-observation
+        // periods) and the ballooned buffer circulates back out of its
+        // ring slot (RING_EPOCHS later), the engine releases the excess
+        // capacity and counts the trim.
+        let mut q = HierEventQueue::with_bucket_width(1, 1024);
+        let t = |k: u64| SimTime::from_nanos(k * 1024);
+        for i in 0..1000u64 {
+            q.schedule(LaneId(0), t(1), i);
+        }
+        for _ in 0..1000 {
+            q.pop().unwrap();
+        }
+        assert_eq!(q.stats().buffer_trims, 0, "nothing to trim while the burst is recent");
+        // Sparse epochs: one event each, walking far enough that the
+        // burst leaves both high-water periods and its buffer resurfaces
+        // from the ring (RING_EPOCHS = 4096 epochs later).
+        for k in 2..4200u64 {
+            q.schedule(LaneId(0), t(k), k);
+            q.pop().unwrap();
+        }
+        assert!(q.is_empty());
+        assert!(q.stats().buffer_trims >= 1, "burst capacity never trimmed: {:?}", q.stats());
+    }
+
+    #[test]
     fn hier_late_arrivals_into_current_epoch_order_correctly() {
         // Pop once (merging the first epoch), then schedule into it: the
         // late heap must interleave exactly by (time, seq).
@@ -895,7 +967,10 @@ mod tests {
             out
         };
         assert_eq!(run(EngineKind::Hierarchical), run(EngineKind::LegacyHeap));
-        assert_eq!(run(EngineKind::ParallelHier { threads: 2 }), run(EngineKind::LegacyHeap));
+        assert_eq!(
+            run(EngineKind::ParallelHier { threads: 2, batch: 0 }),
+            run(EngineKind::LegacyHeap)
+        );
         assert_eq!(run(EngineKind::Hierarchical), vec![1, 4, 2, 3]);
     }
 
@@ -905,9 +980,9 @@ mod tests {
         // without touching the live process environment (set_var races
         // with concurrent getenv in a threaded test harness).
         let parse = EngineKind::parallel_from_threads_str;
-        assert_eq!(parse(Some("3")), EngineKind::ParallelHier { threads: 3 });
-        assert_eq!(parse(Some("0")), EngineKind::ParallelHier { threads: 0 });
-        assert_eq!(parse(Some("lots")), EngineKind::ParallelHier { threads: 0 });
-        assert_eq!(parse(None), EngineKind::ParallelHier { threads: 0 });
+        assert_eq!(parse(Some("3")), EngineKind::ParallelHier { threads: 3, batch: 0 });
+        assert_eq!(parse(Some("0")), EngineKind::ParallelHier { threads: 0, batch: 0 });
+        assert_eq!(parse(Some("lots")), EngineKind::ParallelHier { threads: 0, batch: 0 });
+        assert_eq!(parse(None), EngineKind::ParallelHier { threads: 0, batch: 0 });
     }
 }

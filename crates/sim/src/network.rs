@@ -46,7 +46,7 @@
 //! window that created it. The result is *bit-identical* to both
 //! sequential engines; `tests/determinism.rs` proves it end-to-end.
 
-use crate::arena::Recycle;
+use crate::arena::{trim_capacity, HighWater, Recycle};
 use crate::events::{EngineKind, EngineStats, EventEngine, LaneId, TimerToken};
 use crate::faults::{Fault, FaultPlan, LinkId};
 use crate::packet::{CtrlKind, Packet, PacketMeta};
@@ -459,6 +459,11 @@ struct GroupBufs<M> {
     /// Merge cursors into `entries` / `emits`.
     next_entry: usize,
     next_emit: usize,
+    /// Occupancy tracker driving the periodic capacity trim below.
+    hw: HighWater,
+    /// Times the trim released burst capacity (surfaced in
+    /// [`EngineStats::buffer_trims`]).
+    trims: u64,
 }
 
 impl<M> Default for GroupBufs<M> {
@@ -471,12 +476,18 @@ impl<M> Default for GroupBufs<M> {
             provs: Vec::new(),
             next_entry: 0,
             next_emit: 0,
+            hw: HighWater::default(),
+            trims: 0,
         }
     }
 }
 
 impl<M> Recycle for GroupBufs<M> {
     fn recycle(&mut self) {
+        // The window's dispatch-log length bounds every buffer's working
+        // set; feed it to the high-water tracker so a one-off burst (an
+        // incast window) stops pinning peak capacity once it ages out.
+        let occupancy = self.entries.len().max(self.emits.len());
         self.items.clear();
         self.entries.clear();
         self.emits.clear();
@@ -484,6 +495,15 @@ impl<M> Recycle for GroupBufs<M> {
         self.provs.clear();
         self.next_entry = 0;
         self.next_emit = 0;
+        if let Some(target) = self.hw.observe(occupancy) {
+            let mut trimmed = trim_capacity(&mut self.items, target);
+            trimmed |= trim_capacity(&mut self.entries, target);
+            trimmed |= trim_capacity(&mut self.emits, target);
+            trimmed |= trim_capacity(&mut self.provs, target);
+            if trimmed {
+                self.trims += 1;
+            }
+        }
     }
 }
 
@@ -1013,16 +1033,32 @@ struct WinCounters {
     windows: u64,
     window_events: u64,
     max_window_events: u64,
+    /// Windows whose drained events all hit one dispatch group, run
+    /// inline through [`DirectSink`] (no per-group log, no merge).
+    fast_windows: u64,
+    /// Bookkeeping batches of consecutive windows (see
+    /// [`Network::batch_size`]).
+    batches: u64,
 }
 
-/// One group's work for one window (threaded mode): the group's buffer
-/// set travels to the worker with the drained items inside and returns
-/// with the dispatch log filled, so every allocation round-trips.
-struct GroupJob<M> {
+/// Threaded mode: a window whose drained events total fewer than this
+/// runs on the calling thread — the cross-thread handoff and wakeup
+/// cost dwarfs that little work. Purely a performance threshold: every
+/// path (fast, inline, shipped) produces bit-identical results, so the
+/// value can never affect a run's outcome.
+const INLINE_WINDOW_EVENTS: usize = 96;
+
+/// One group's work for one window (threaded mode): the group's mutable
+/// state and buffer set travel to the worker with the drained items
+/// inside and return with the dispatch log filled, so every allocation
+/// round-trips and the main thread can run any group inline between
+/// shipments.
+struct GroupJob<'a, M: PacketMeta, T: Transport<M>> {
     gidx: usize,
     base: u64,
     wmax: SimTime,
     bufs: GroupBufs<M>,
+    gm: GroupMut<'a, M, T>,
 }
 
 /// Static window-dispatch parameters (shape of the fabric's groups plus
@@ -1031,8 +1067,6 @@ struct GroupJob<M> {
 struct WindowCfg {
     lanes: LaneMap,
     lookahead: SimDuration,
-    /// Cap each window at its first timestamp (fine-grained stepping).
-    single_ts: bool,
 }
 
 /// One drained window, ready for per-group dispatch (the per-group item
@@ -1047,8 +1081,10 @@ struct WindowDrain {
 /// Pop every event with `time <= wmax` (where `wmax` is the conservative
 /// window bound derived from the first pending event), partitioned into
 /// each group's `bufs.items`, with leaf–spine spray decisions pre-drawn
-/// in global pop order. Returns `None` when no event is pending at or
-/// before `limit`.
+/// in global pop order. Group indices that received at least one item
+/// are appended to `active` (so the run and merge stages touch only
+/// those groups, never scanning the whole fabric). Returns `None` when
+/// no event is pending at or before `limit`.
 fn drain_window<M: PacketMeta>(
     topo: &Topology,
     queue: &mut EventEngine<Ev<M>>,
@@ -1056,18 +1092,16 @@ fn drain_window<M: PacketMeta>(
     cfg: WindowCfg,
     limit: SimTime,
     bufs: &mut [GroupBufs<M>],
+    active: &mut Vec<usize>,
 ) -> Option<WindowDrain> {
+    debug_assert!(active.is_empty(), "active-group scratch not consumed");
     let EventEngine::Hierarchical(q) = queue else {
         unreachable!("window dispatch requires the calendar engine")
     };
     let first = q.pop_entry_if_before(limit)?;
     let tmin = first.1;
-    let wmax = if cfg.single_ts {
-        tmin
-    } else {
-        debug_assert!(cfg.lookahead.as_nanos() >= 1, "windows need positive lookahead");
-        limit.min(tmin + SimDuration::from_nanos(cfg.lookahead.as_nanos() - 1))
-    };
+    debug_assert!(cfg.lookahead.as_nanos() >= 1, "windows need positive lookahead");
+    let wmax = limit.min(tmin + SimDuration::from_nanos(cfg.lookahead.as_nanos() - 1));
     let lanes = cfg.lanes;
     let mut push = |lane: LaneId, at: SimTime, seq: u64, ev: Ev<M>, rng: &mut StdRng| {
         // Pre-draw the spray decision for cross-rack TOR arrivals on a
@@ -1084,7 +1118,12 @@ fn drain_window<M: PacketMeta>(
             }
             _ => None,
         };
-        bufs[lanes.group_of_lane(lane) as usize].items.push(WItem { at, ord: seq, ev, hint });
+        let g = lanes.group_of_lane(lane) as usize;
+        let b = &mut bufs[g];
+        if b.items.is_empty() {
+            active.push(g);
+        }
+        b.items.push(WItem { at, ord: seq, ev, hint });
     };
     push(first.0, first.1, first.2, first.3, rng);
     while let Some((lane, at, seq, ev)) = q.pop_entry_if_before(wmax) {
@@ -1145,16 +1184,185 @@ fn run_group<M: PacketMeta, T: Transport<M>>(
     bufs.items = items;
 }
 
+/// Run a window whose drained events all hit one dispatch group,
+/// inline on the calling thread through [`DirectSink`] — no per-group
+/// log, no provisional numbering, no merge. This replays *exactly* what
+/// sequential dispatch would do: for each drained item, first pop and
+/// dispatch every queued event strictly before it (an in-window spawn
+/// from an earlier dispatch; equal-time spawns carry sequence numbers
+/// above the drained item's and therefore follow it), then dispatch the
+/// item; afterwards drain the remaining in-window spawns up to `wmax`.
+/// `DirectSink` assigns sequence numbers in dispatch order, which *is*
+/// sequential order, so the result — records, RNG stream, trace bytes —
+/// is bit-identical to every other path. In-window spawns never carry a
+/// spray decision (a cross-rack `SwitchArrive` always lands beyond the
+/// lookahead window), so no RNG handle is needed.
+fn run_window_fast<M: PacketMeta, T: Transport<M>>(
+    topo: &Topology,
+    gm: &mut GroupMut<'_, M, T>,
+    bufs: &mut GroupBufs<M>,
+    queue: &mut EventEngine<Ev<M>>,
+    app_events: &mut Vec<(SimTime, HostId, AppEvent)>,
+    mut tracer: Option<&mut FlightRecorder>,
+    wmax: SimTime,
+) -> (u64, SimTime) {
+    let mut n = 0u64;
+    let mut last_at = SimTime::ZERO;
+    let mut items = std::mem::take(&mut bufs.items);
+    for item in items.drain(..) {
+        if item.at.as_nanos() > 0 {
+            let strictly_before = SimTime::from_nanos(item.at.as_nanos() - 1);
+            while let Some((at, ev)) = queue.pop_if_before(strictly_before) {
+                let mut sink = DirectSink { queue, app_events, tracer: tracer.as_deref_mut() };
+                dispatch_event(topo, gm, at, ev, None, None, &mut sink);
+                n += 1;
+            }
+        }
+        let mut sink = DirectSink { queue, app_events, tracer: tracer.as_deref_mut() };
+        dispatch_event(topo, gm, item.at, item.ev, item.hint, None, &mut sink);
+        n += 1;
+        last_at = item.at;
+    }
+    bufs.items = items;
+    while let Some((at, ev)) = queue.pop_if_before(wmax) {
+        let mut sink = DirectSink { queue, app_events, tracer: tracer.as_deref_mut() };
+        dispatch_event(topo, gm, at, ev, None, None, &mut sink);
+        n += 1;
+        last_at = at;
+    }
+    (n, last_at)
+}
+
+/// Run a multi-group window inline on the calling thread, in exact
+/// global `(time, ord)` order through [`DirectSink`] — the
+/// single-threaded engine's window path, where the per-group dispatch
+/// log and the merge buy nothing (there is no parallelism to earn back
+/// their cost). `drain_window` left each active group's items in
+/// global order, so a best-head scan across the active groups (the
+/// same shape as `merge_window`'s entry scan, but over items, before
+/// dispatch instead of after) reconstructs the exact sequential
+/// sequence; in-window spawns are popped from the queue around each
+/// item exactly as [`run_window_fast`] does, and the same soundness
+/// argument applies — equal-time spawns order behind drained items by
+/// sequence number, and spawns never carry a spray decision. Consumes
+/// `active`, recycling each group's buffers as it drains them.
+#[allow(clippy::too_many_arguments)]
+fn run_window_seq<M: PacketMeta, T: Transport<M>>(
+    topo: &Topology,
+    racks: &mut [RackState<M, T>],
+    spine: &mut SpineState<M>,
+    bufs: &mut [GroupBufs<M>],
+    active: &mut Vec<usize>,
+    queue: &mut EventEngine<Ev<M>>,
+    app_events: &mut Vec<(SimTime, HostId, AppEvent)>,
+    mut tracer: Option<&mut FlightRecorder>,
+    wmax: SimTime,
+) -> (u64, SimTime) {
+    // Reverse each group's items so the global-order walk can `pop()`
+    // true moves off the tails instead of shifting or cloning.
+    for &g in active.iter() {
+        bufs[g].items.reverse();
+    }
+    let mut n = 0u64;
+    let mut last_at = SimTime::ZERO;
+    loop {
+        let mut i = 0;
+        while i < active.len() {
+            if bufs[active[i]].items.is_empty() {
+                bufs[active[i]].recycle();
+                active.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let Some(&first) = active.first() else { break };
+        let mut bg = first;
+        if active.len() > 1 {
+            let head = bufs[bg].items.last().expect("retired above");
+            let mut best = (head.at, head.ord);
+            for &g in &active[1..] {
+                let it = bufs[g].items.last().expect("retired above");
+                if (it.at, it.ord) < best {
+                    best = (it.at, it.ord);
+                    bg = g;
+                }
+            }
+        }
+        let item = bufs[bg].items.pop().expect("retired above");
+        if item.at.as_nanos() > 0 {
+            let strictly_before = SimTime::from_nanos(item.at.as_nanos() - 1);
+            while let Some((at, ev)) = queue.pop_if_before(strictly_before) {
+                dispatch_seq(
+                    topo,
+                    racks,
+                    spine,
+                    queue,
+                    app_events,
+                    tracer.as_deref_mut(),
+                    at,
+                    ev,
+                    None,
+                );
+                n += 1;
+            }
+        }
+        dispatch_seq(
+            topo,
+            racks,
+            spine,
+            queue,
+            app_events,
+            tracer.as_deref_mut(),
+            item.at,
+            item.ev,
+            item.hint,
+        );
+        n += 1;
+        last_at = item.at;
+    }
+    while let Some((at, ev)) = queue.pop_if_before(wmax) {
+        dispatch_seq(topo, racks, spine, queue, app_events, tracer.as_deref_mut(), at, ev, None);
+        n += 1;
+        last_at = at;
+    }
+    (n, last_at)
+}
+
+/// Dispatch one event directly into the queue, picking the owning
+/// group per event — [`run_window_seq`]'s per-event body. No RNG
+/// handle: window items carry pre-drawn spray hints and in-window
+/// spawns never spray.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_seq<M: PacketMeta, T: Transport<M>>(
+    topo: &Topology,
+    racks: &mut [RackState<M, T>],
+    spine: &mut SpineState<M>,
+    queue: &mut EventEngine<Ev<M>>,
+    app_events: &mut Vec<(SimTime, HostId, AppEvent)>,
+    tracer: Option<&mut FlightRecorder>,
+    at: SimTime,
+    ev: Ev<M>,
+    hint: Option<u32>,
+) {
+    let gidx = group_of_ev(topo, &ev);
+    let mut gm =
+        if gidx < racks.len() { GroupMut::Rack(&mut racks[gidx]) } else { GroupMut::Spine(spine) };
+    let mut sink = DirectSink { queue, app_events, tracer };
+    dispatch_event(topo, &mut gm, at, ev, hint, None, &mut sink);
+}
+
 /// Merge the groups' dispatch logs back into one global order and apply
 /// their emissions: application events append in `(time, seq)` order and
 /// deferred events receive exactly the sequence numbers sequential
-/// dispatch would have assigned. Consumes and recycles every group's
-/// log (idle groups have empty `entries` and fall through untouched).
-/// Returns `(events_merged, last_time)`.
+/// dispatch would have assigned. Consumes `active` (the groups
+/// `drain_window` filled), recycling exactly those groups' logs — idle
+/// groups are never touched, so merge cost scales with the window's
+/// footprint, not the fabric size. Returns `(events_merged, last_time)`.
 fn merge_window<M: PacketMeta>(
     queue: &mut EventEngine<Ev<M>>,
     app_events: &mut Vec<(SimTime, HostId, AppEvent)>,
     bufs: &mut [GroupBufs<M>],
+    active: &mut Vec<usize>,
     base: u64,
     mut tracer: Option<&mut FlightRecorder>,
 ) -> (u64, SimTime) {
@@ -1170,9 +1378,27 @@ fn merge_window<M: PacketMeta>(
     let mut merged = 0u64;
     let mut last_at = SimTime::ZERO;
     loop {
-        let mut best: Option<(SimTime, u64, usize)> = None;
-        for (g, b) in bufs.iter().enumerate() {
-            if let Some(e) = b.entries.get(b.next_entry) {
+        // Retire exhausted groups (recycling their buffers) so the
+        // best-entry scan below only ever walks groups with log entries
+        // left — and degenerates to no comparisons at all once a single
+        // source remains.
+        let mut i = 0;
+        while i < active.len() {
+            let b = &mut bufs[active[i]];
+            if b.next_entry >= b.entries.len() {
+                b.recycle();
+                active.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let Some(&first) = active.first() else { break };
+        let mut g = first;
+        if active.len() > 1 {
+            let mut best: Option<(SimTime, u64)> = None;
+            for &cand in active.iter() {
+                let b = &bufs[cand];
+                let e = &b.entries[b.next_entry];
                 let ord = if e.ord < base {
                     e.ord
                 } else {
@@ -1180,13 +1406,14 @@ fn merge_window<M: PacketMeta>(
                         .get((e.ord - base) as usize)
                         .expect("provisional event merged before its parent")
                 };
-                if best.is_none_or(|(ba, bo, _)| (e.at, ord) < (ba, bo)) {
-                    best = Some((e.at, ord, g));
+                if best.is_none_or(|bk| (e.at, ord) < bk) {
+                    best = Some((e.at, ord));
+                    g = cand;
                 }
             }
         }
-        let Some((at, _, g)) = best else { break };
         let b = &mut bufs[g];
+        let at = b.entries[b.next_entry].at;
         let emits_end = b.entries[b.next_entry].emits_end as usize;
         b.next_entry += 1;
         for i in b.next_emit..emits_end {
@@ -1212,9 +1439,6 @@ fn merge_window<M: PacketMeta>(
         b.next_emit = emits_end;
         merged += 1;
         last_at = at;
-    }
-    for b in bufs.iter_mut() {
-        b.recycle();
     }
     (merged, last_at)
 }
@@ -1249,6 +1473,12 @@ pub struct EngineProfile {
     pub merge_ns: u64,
     /// Nanoseconds inside sequential (non-window) dispatch loops.
     pub dispatch_ns: u64,
+    /// Window batches dispatched: each batch is one bookkeeping
+    /// round-trip covering up to K consecutive windows.
+    pub batches: u64,
+    /// Events dispatched across all batches (per-batch density is
+    /// `batch_events / batches`).
+    pub batch_events: u64,
     /// Nanoseconds the calendar engine spent sorting epoch buckets (the
     /// engine's dominant cost at scale; zero on the legacy heap).
     pub epoch_sort_ns: u64,
@@ -1269,6 +1499,10 @@ pub struct Network<M: PacketMeta, T: Transport<M>> {
     /// `Some(worker_threads)` when conservative-window dispatch is
     /// active (resolved to >= 1; `1` runs windows inline).
     par_threads: Option<u32>,
+    /// Windows batched per bookkeeping round-trip; `0` means adaptive
+    /// (sized at runtime from drained-event density). Resolved from the
+    /// engine's `batch` field, falling back to `HOMA_SIM_BATCH`.
+    par_batch: u32,
     /// Cross-group lookahead: [`Topology::min_forward_delay`].
     lookahead: SimDuration,
     win: WinCounters,
@@ -1276,6 +1510,10 @@ pub struct Network<M: PacketMeta, T: Transport<M>> {
     /// windows drain into, dispatch from, and merge out of these, so the
     /// steady-state window loop performs no heap allocation.
     window_bufs: Vec<GroupBufs<M>>,
+    /// Recycled scratch: indices of the groups the current window
+    /// actually drained into (filled by `drain_window`, consumed by the
+    /// run/merge stages or the single-group fast path).
+    win_active: Vec<usize>,
     /// The flight recorder, when [`Self::enable_trace`] installed one.
     /// `None` costs at most one branch per guarded emit site; without
     /// the `trace` feature the sites are compiled out entirely.
@@ -1420,8 +1658,8 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
         // same-instant cross-group emission would be possible); fall back
         // to sequential dispatch otherwise, and when the `parallel`
         // feature is compiled out.
-        let par_threads = match cfg.engine {
-            EngineKind::ParallelHier { threads }
+        let (par_threads, par_batch) = match cfg.engine {
+            EngineKind::ParallelHier { threads, batch }
                 if cfg!(feature = "parallel") && lookahead.as_nanos() > 0 =>
             {
                 let n = if threads == 0 {
@@ -1429,9 +1667,21 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                 } else {
                     threads
                 };
-                Some(n.max(1))
+                // Batch resolution: explicit engine field, else the
+                // HOMA_SIM_BATCH environment knob, else 0 = adaptive.
+                // Whatever wins, results are bit-identical — the batch
+                // size only moves bookkeeping boundaries.
+                let b = if batch == 0 {
+                    std::env::var("HOMA_SIM_BATCH")
+                        .ok()
+                        .and_then(|v| v.parse::<u32>().ok())
+                        .unwrap_or(0)
+                } else {
+                    batch
+                };
+                (Some(n.max(1)), b)
             }
-            _ => None,
+            _ => (None, 0),
         };
         let ngroups = racks.len() + 1;
         Network {
@@ -1445,9 +1695,11 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
             app_events: Vec::new(),
             events_processed: 0,
             par_threads,
+            par_batch,
             lookahead,
             win: WinCounters::default(),
             window_bufs: (0..ngroups).map(|_| GroupBufs::default()).collect(),
+            win_active: Vec::new(),
             tracer: None,
             profile: EngineProfile::default(),
         }
@@ -1571,93 +1823,180 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
         dispatch_event(topo, &mut gm, now, ev, None, Some(rng), &mut sink);
     }
 
-    /// Run exactly one conservative window (`single_ts` caps it at the
-    /// first pending timestamp, which fine-grained stepping needs so
-    /// `now` advances identically to the sequential engines). Returns the
-    /// time of the last dispatched event, or `None` if nothing was
-    /// pending at or before `limit`.
-    fn run_window_inline(&mut self, limit: SimTime, single_ts: bool) -> Option<(u64, SimTime)> {
+    /// Run exactly one conservative window. When every drained event
+    /// hits one dispatch group — the overwhelmingly common case at ~2–3
+    /// events per window — the whole window runs inline through
+    /// [`run_window_fast`], skipping the log/merge machinery. Returns
+    /// `(events, last_time, took_fast_path)`, or `None` if nothing was
+    /// pending at or before `limit`. Clock and counter bookkeeping is
+    /// the caller's job ([`Self::note_batch`]).
+    fn run_window_once(&mut self, limit: SimTime) -> Option<(u64, SimTime, bool)> {
         let lanes = self.lane_map();
-        let tracing = self.trace_enabled();
-        let cfg = WindowCfg { lanes, lookahead: self.lookahead, single_ts };
+        let cfg = WindowCfg { lanes, lookahead: self.lookahead };
         #[cfg(feature = "engine-profile")]
         let t0 = std::time::Instant::now();
-        let WindowDrain { base, wmax } = {
-            let Self { topo, queue, rng, window_bufs, .. } = self;
-            drain_window(topo, queue, rng, cfg, limit, window_bufs)?
+        let WindowDrain { base: _, wmax } = {
+            let Self { topo, queue, rng, window_bufs, win_active, .. } = self;
+            drain_window(topo, queue, rng, cfg, limit, window_bufs, win_active)?
         };
         #[cfg(feature = "engine-profile")]
         let t1 = std::time::Instant::now();
-        {
-            let Self { topo, racks, spine, window_bufs, .. } = self;
-            for (gidx, bufs) in window_bufs.iter_mut().enumerate() {
-                if bufs.items.is_empty() {
-                    continue;
-                }
-                let mut gm = if gidx < racks.len() {
-                    GroupMut::Rack(&mut racks[gidx])
-                } else {
-                    GroupMut::Spine(spine)
-                };
-                run_group(topo, lanes, &mut gm, gidx as u32, base, wmax, tracing, bufs);
+        let n;
+        let last_at;
+        let fast = self.win_active.len() == 1;
+        if fast {
+            let Self {
+                topo, racks, spine, queue, app_events, window_bufs, win_active, tracer, ..
+            } = &mut *self;
+            let g = win_active[0];
+            win_active.clear();
+            let mut gm = if g < racks.len() {
+                GroupMut::Rack(&mut racks[g])
+            } else {
+                GroupMut::Spine(spine)
+            };
+            let r = run_window_fast(
+                topo,
+                &mut gm,
+                &mut window_bufs[g],
+                queue,
+                app_events,
+                tracer.as_mut(),
+                wmax,
+            );
+            n = r.0;
+            last_at = r.1;
+            #[cfg(feature = "engine-profile")]
+            {
+                self.profile.samples += 1;
+                self.profile.drain_ns += (t1 - t0).as_nanos() as u64;
+                self.profile.run_ns += t1.elapsed().as_nanos() as u64;
+            }
+        } else {
+            // Single-threaded engine: replay the whole window inline in
+            // exact global order — the per-group log and merge only pay
+            // for themselves when workers run groups concurrently.
+            let r = {
+                let Self {
+                    topo,
+                    racks,
+                    spine,
+                    queue,
+                    app_events,
+                    window_bufs,
+                    win_active,
+                    tracer,
+                    ..
+                } = &mut *self;
+                run_window_seq(
+                    topo,
+                    racks,
+                    spine,
+                    window_bufs,
+                    win_active,
+                    queue,
+                    app_events,
+                    tracer.as_mut(),
+                    wmax,
+                )
+            };
+            n = r.0;
+            last_at = r.1;
+            #[cfg(feature = "engine-profile")]
+            {
+                self.profile.samples += 1;
+                self.profile.drain_ns += (t1 - t0).as_nanos() as u64;
+                self.profile.run_ns += t1.elapsed().as_nanos() as u64;
             }
         }
-        #[cfg(feature = "engine-profile")]
-        let t2 = std::time::Instant::now();
-        let (n, last_at) = {
-            let Self { queue, app_events, window_bufs, tracer, .. } = self;
-            merge_window(queue, app_events, window_bufs, base, tracer.as_mut())
-        };
+        debug_assert!(n > 0, "window drained at least one event");
+        Some((n, last_at, fast))
+    }
+
+    /// Roll one batch of windows into the clock and counters. Batches
+    /// are bookkeeping only: their size derives from deterministic
+    /// counters (never wall time) and can never change event order.
+    fn note_batch(&mut self, windows: u64, events: u64, max_one: u64, fast: u64, last_at: SimTime) {
+        self.now = last_at.max(self.now);
+        self.events_processed += events;
+        self.win.windows += windows;
+        self.win.window_events += events;
+        self.win.max_window_events = self.win.max_window_events.max(max_one);
+        self.win.fast_windows += fast;
+        self.win.batches += 1;
         #[cfg(feature = "engine-profile")]
         {
-            self.profile.samples += 1;
-            self.profile.drain_ns += (t1 - t0).as_nanos() as u64;
-            self.profile.run_ns += (t2 - t1).as_nanos() as u64;
-            self.profile.merge_ns += t2.elapsed().as_nanos() as u64;
+            self.profile.batches += 1;
+            self.profile.batch_events += events;
         }
-        debug_assert!(n > 0, "window drained at least one event");
-        self.note_window(n, last_at);
-        Some((n, last_at))
     }
 
-    fn note_window(&mut self, n: u64, last_at: SimTime) {
-        self.now = last_at.max(self.now);
-        self.events_processed += n;
-        self.win.windows += 1;
-        self.win.window_events += n;
-        self.win.max_window_events = self.win.max_window_events.max(n);
+    /// Windows per bookkeeping batch: the explicit engine/`HOMA_SIM_BATCH`
+    /// setting, or an adaptive size targeting ~4096 drained events per
+    /// batch (dense incast windows batch less, sparse windows batch
+    /// more). Derived only from deterministic event counters, so the
+    /// adaptive choice replays identically run-to-run.
+    fn batch_size(&self) -> u64 {
+        if self.par_batch > 0 {
+            return self.par_batch as u64;
+        }
+        let w = self.win.windows.max(1);
+        let avg = (self.win.window_events / w).max(1);
+        (4096 / avg).clamp(1, 64)
     }
 
-    /// The window loop with persistent scoped worker threads: the main
-    /// thread drains and merges; each worker owns a fixed subset of the
-    /// dispatch groups for the duration of the call.
+    /// The window loop with scoped worker threads. The main thread
+    /// drains and merges; a window's group sub-runs are shipped to
+    /// workers only when the window is big enough to amortize the
+    /// handoff — single-group windows run through [`run_window_fast`]
+    /// and small multi-group windows run inline, both on the calling
+    /// thread. Each group's mutable state lives in a slot on the main
+    /// thread and rides a [`GroupJob`] to worker `g % threads` while
+    /// that group's sub-window runs, so affinity (and cache warmth) is
+    /// preserved without giving workers permanent ownership. Workers
+    /// spawn lazily on the first shipped window: calls dominated by the
+    /// fast/inline paths never pay thread spawn at all.
     fn run_windows_threaded(&mut self, limit: SimTime, threads: usize) -> u64 {
         use std::sync::mpsc;
-        // The scope below spawns fresh workers per call; don't pay for it
-        // when nothing is pending in the window (drivers call `run_until`
-        // once per injected message, and many of those calls are empty).
+        // Don't set up the scope when nothing is pending in the window
+        // (drivers call `run_until` once per injected message, and many
+        // of those calls are empty).
         if self.queue.peek_time().is_none_or(|t| t > limit) {
             return 0;
         }
         let lanes = self.lane_map();
-        let ngroups = self.racks.len() + 1;
         let tracing = self.trace_enabled();
-        let cfg = WindowCfg { lanes, lookahead: self.lookahead, single_ts: false };
+        let cfg = WindowCfg { lanes, lookahead: self.lookahead };
+        let par_batch = self.par_batch;
+        let win0 = self.win;
         let mut total = 0u64;
-        let mut note: Vec<(u64, SimTime)> = Vec::new();
+        let mut windows = 0u64;
+        let mut maxev = 0u64;
+        let mut fastn = 0u64;
+        let mut batches = 0u64;
+        let mut in_batch = 0u64;
+        let mut last_at = SimTime::ZERO;
         #[cfg(feature = "engine-profile")]
         let mut prof = EngineProfile::default();
         {
-            let Self { topo, racks, spine, queue, rng, app_events, window_bufs, tracer, .. } =
-                &mut *self;
+            let Self {
+                topo,
+                racks,
+                spine,
+                queue,
+                rng,
+                app_events,
+                window_bufs,
+                win_active,
+                tracer,
+                ..
+            } = &mut *self;
             let topo: &Topology = topo;
-            // Group g is owned by worker g % threads for the whole scope.
-            let mut per_worker: Vec<Vec<(usize, GroupMut<'_, M, T>)>> =
-                (0..threads).map(|_| Vec::new()).collect();
-            for (gidx, rack) in racks.iter_mut().enumerate() {
-                per_worker[gidx % threads].push((gidx, GroupMut::Rack(rack)));
-            }
-            per_worker[(ngroups - 1) % threads].push((ngroups - 1, GroupMut::Spine(spine)));
+            // Group g lives in `slots[g]` while on the main thread and
+            // rides its job while a worker runs its sub-window.
+            let mut slots: Vec<Option<GroupMut<'_, M, T>>> =
+                racks.iter_mut().map(|r| Some(GroupMut::Rack(r))).collect();
+            slots.push(Some(GroupMut::Spine(spine)));
 
             std::thread::scope(|s| {
                 // One result channel *per worker*: if a worker panics
@@ -1665,38 +2004,9 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                 // loop below fails fast instead of blocking forever on a
                 // shared channel other workers keep open (the scope then
                 // propagates the original worker panic on unwind).
-                let mut job_txs: Vec<mpsc::Sender<Vec<GroupJob<M>>>> = Vec::new();
-                let mut res_rxs: Vec<mpsc::Receiver<(usize, GroupBufs<M>)>> = Vec::new();
-                for mine in per_worker {
-                    let (tx, rx) = mpsc::channel::<Vec<GroupJob<M>>>();
-                    let (res_tx, res_rx) = mpsc::channel::<(usize, GroupBufs<M>)>();
-                    job_txs.push(tx);
-                    res_rxs.push(res_rx);
-                    let mut groups = mine;
-                    s.spawn(move || {
-                        while let Ok(jobs) = rx.recv() {
-                            for mut job in jobs {
-                                let (_, gm) = groups
-                                    .iter_mut()
-                                    .find(|(g, _)| *g == job.gidx)
-                                    .expect("job routed to its owning worker");
-                                run_group(
-                                    topo,
-                                    lanes,
-                                    gm,
-                                    job.gidx as u32,
-                                    job.base,
-                                    job.wmax,
-                                    tracing,
-                                    &mut job.bufs,
-                                );
-                                if res_tx.send((job.gidx, job.bufs)).is_err() {
-                                    return;
-                                }
-                            }
-                        }
-                    });
-                }
+                let mut job_txs: Vec<mpsc::Sender<GroupJob<'_, M, T>>> = Vec::new();
+                let mut res_rxs: Vec<mpsc::Receiver<GroupJob<'_, M, T>>> = Vec::new();
+                let mut shipped: Vec<usize> = vec![0; threads];
 
                 // Not a `while let`: the profiling timestamps must
                 // bracket the drain call itself.
@@ -1705,60 +2015,166 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                     #[cfg(feature = "engine-profile")]
                     let t0 = std::time::Instant::now();
                     let Some(WindowDrain { base, wmax }) =
-                        drain_window(topo, queue, rng, cfg, limit, window_bufs)
+                        drain_window(topo, queue, rng, cfg, limit, window_bufs, win_active)
                     else {
                         break;
                     };
                     #[cfg(feature = "engine-profile")]
                     let t1 = std::time::Instant::now();
-                    // Ship each active group's buffer set (items inside)
-                    // to its worker; it comes back with the log filled.
-                    let mut jobs: Vec<Vec<GroupJob<M>>> =
-                        (0..threads).map(|_| Vec::new()).collect();
-                    for (gidx, bufs) in window_bufs.iter_mut().enumerate() {
-                        if !bufs.items.is_empty() {
-                            let bufs = std::mem::take(bufs);
-                            jobs[gidx % threads].push(GroupJob { gidx, base, wmax, bufs });
+                    let n;
+                    let at;
+                    if win_active.len() == 1 {
+                        let g = win_active[0];
+                        win_active.clear();
+                        let gm = slots[g].as_mut().expect("group slot on main thread");
+                        let r = run_window_fast(
+                            topo,
+                            gm,
+                            &mut window_bufs[g],
+                            queue,
+                            app_events,
+                            tracer.as_mut(),
+                            wmax,
+                        );
+                        n = r.0;
+                        at = r.1;
+                        fastn += 1;
+                        #[cfg(feature = "engine-profile")]
+                        {
+                            prof.samples += 1;
+                            prof.drain_ns += (t1 - t0).as_nanos() as u64;
+                            prof.run_ns += t1.elapsed().as_nanos() as u64;
                         }
-                    }
-                    let per_worker_jobs: Vec<usize> = jobs.iter().map(Vec::len).collect();
-                    for (w, j) in jobs.into_iter().enumerate() {
-                        if !j.is_empty() {
-                            job_txs[w].send(j).expect("window worker exited early");
+                    } else {
+                        let drained: usize =
+                            win_active.iter().map(|&g| window_bufs[g].items.len()).sum();
+                        if drained < INLINE_WINDOW_EVENTS {
+                            // Too little work to amortize a handoff: run
+                            // every group's sub-window on this thread.
+                            for &g in win_active.iter() {
+                                let gm = slots[g].as_mut().expect("group slot on main thread");
+                                run_group(
+                                    topo,
+                                    lanes,
+                                    gm,
+                                    g as u32,
+                                    base,
+                                    wmax,
+                                    tracing,
+                                    &mut window_bufs[g],
+                                );
+                            }
+                        } else {
+                            if job_txs.is_empty() {
+                                for _ in 0..threads {
+                                    let (tx, rx) = mpsc::channel::<GroupJob<'_, M, T>>();
+                                    let (res_tx, res_rx) = mpsc::channel::<GroupJob<'_, M, T>>();
+                                    job_txs.push(tx);
+                                    res_rxs.push(res_rx);
+                                    s.spawn(move || {
+                                        while let Ok(mut job) = rx.recv() {
+                                            run_group(
+                                                topo,
+                                                lanes,
+                                                &mut job.gm,
+                                                job.gidx as u32,
+                                                job.base,
+                                                job.wmax,
+                                                tracing,
+                                                &mut job.bufs,
+                                            );
+                                            if res_tx.send(job).is_err() {
+                                                return;
+                                            }
+                                        }
+                                    });
+                                }
+                            }
+                            // Ship each active group's state and buffers
+                            // (items inside) to its worker; they come
+                            // back with the log filled.
+                            shipped.iter_mut().for_each(|c| *c = 0);
+                            for &g in win_active.iter() {
+                                let w = g % threads;
+                                let job = GroupJob {
+                                    gidx: g,
+                                    base,
+                                    wmax,
+                                    bufs: std::mem::take(&mut window_bufs[g]),
+                                    gm: slots[g].take().expect("group slot on main thread"),
+                                };
+                                job_txs[w].send(job).expect("window worker exited early");
+                                shipped[w] += 1;
+                            }
+                            for (w, &cnt) in shipped.iter().enumerate() {
+                                for _ in 0..cnt {
+                                    let job = res_rxs[w].recv().expect("window worker panicked");
+                                    let GroupJob { gidx, bufs, gm, .. } = job;
+                                    window_bufs[gidx] = bufs;
+                                    slots[gidx] = Some(gm);
+                                }
+                            }
                         }
-                    }
-                    for (w, &njobs) in per_worker_jobs.iter().enumerate() {
-                        for _ in 0..njobs {
-                            let (gidx, bufs) = res_rxs[w].recv().expect("window worker panicked");
-                            window_bufs[gidx] = bufs;
+                        #[cfg(feature = "engine-profile")]
+                        let t2 = std::time::Instant::now();
+                        let r = merge_window(
+                            queue,
+                            app_events,
+                            window_bufs,
+                            win_active,
+                            base,
+                            tracer.as_mut(),
+                        );
+                        n = r.0;
+                        at = r.1;
+                        #[cfg(feature = "engine-profile")]
+                        {
+                            prof.samples += 1;
+                            prof.drain_ns += (t1 - t0).as_nanos() as u64;
+                            prof.run_ns += (t2 - t1).as_nanos() as u64;
+                            prof.merge_ns += t2.elapsed().as_nanos() as u64;
                         }
-                    }
-                    #[cfg(feature = "engine-profile")]
-                    let t2 = std::time::Instant::now();
-                    let (n, last_at) =
-                        merge_window(queue, app_events, window_bufs, base, tracer.as_mut());
-                    #[cfg(feature = "engine-profile")]
-                    {
-                        prof.samples += 1;
-                        prof.drain_ns += (t1 - t0).as_nanos() as u64;
-                        prof.run_ns += (t2 - t1).as_nanos() as u64;
-                        prof.merge_ns += t2.elapsed().as_nanos() as u64;
                     }
                     total += n;
-                    note.push((n, last_at));
+                    windows += 1;
+                    maxev = maxev.max(n);
+                    last_at = at.max(last_at);
+                    // Deterministic batch bookkeeping, shared with the
+                    // inline loop (`batch_size` reads only counters).
+                    in_batch += 1;
+                    let k = if par_batch > 0 {
+                        par_batch as u64
+                    } else {
+                        let w = (win0.windows + windows).max(1);
+                        let avg = ((win0.window_events + total) / w).max(1);
+                        (4096 / avg).clamp(1, 64)
+                    };
+                    if in_batch >= k {
+                        batches += 1;
+                        in_batch = 0;
+                    }
                 }
                 drop(job_txs);
             });
         }
-        for (n, last_at) in note {
-            self.note_window(n, last_at);
+        if in_batch > 0 {
+            batches += 1;
         }
+        self.now = last_at.max(self.now);
+        self.events_processed += total;
+        self.win.windows += windows;
+        self.win.window_events += total;
+        self.win.max_window_events = self.win.max_window_events.max(maxev);
+        self.win.fast_windows += fastn;
+        self.win.batches += batches;
         #[cfg(feature = "engine-profile")]
         {
             self.profile.samples += prof.samples;
             self.profile.drain_ns += prof.drain_ns;
             self.profile.run_ns += prof.run_ns;
             self.profile.merge_ns += prof.merge_ns;
+            self.profile.batches += batches;
+            self.profile.batch_events += total;
         }
         total
     }
@@ -1791,8 +2207,35 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
                 out.events += self.run_windows_threaded(limit, threads as usize);
             }
             Some(_) => {
-                while let Some((n, _)) = self.run_window_inline(limit, false) {
-                    out.events += n;
+                // Inline window mode, batched: run up to K consecutive
+                // windows per bookkeeping rollup so the clock/counter
+                // updates amortize across the batch. Batch size moves
+                // only bookkeeping boundaries, never event order.
+                loop {
+                    let k = self.batch_size();
+                    let mut windows = 0u64;
+                    let mut events = 0u64;
+                    let mut maxev = 0u64;
+                    let mut fast = 0u64;
+                    let mut last_at = SimTime::ZERO;
+                    while windows < k {
+                        let Some((n, at, was_fast)) = self.run_window_once(limit) else {
+                            break;
+                        };
+                        windows += 1;
+                        events += n;
+                        maxev = maxev.max(n);
+                        fast += was_fast as u64;
+                        last_at = at.max(last_at);
+                    }
+                    if windows == 0 {
+                        break;
+                    }
+                    self.note_batch(windows, events, maxev, fast, last_at);
+                    out.events += events;
+                    if windows < k {
+                        break;
+                    }
                 }
             }
             None => {
@@ -1823,22 +2266,35 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
     /// used to do; returns `None` (leaving `now` untouched) when nothing
     /// is pending in the window.
     pub fn run_next_before(&mut self, limit: SimTime) -> Option<SimTime> {
-        if self.par_threads.is_some() {
-            // Single-timestamp window: `now` must advance exactly as the
-            // sequential engines' stepping would, because drivers inject
-            // packets (e.g. RPC responses) at `now` between steps.
-            return self.run_window_inline(limit, true).map(|(_, at)| at);
-        }
+        // One code path for every engine, parallel included: a
+        // single-timestamp step has nothing to parallelize, and direct
+        // sequential dispatch is bit-identical to window dispatch by the
+        // engine contract — so the window machinery (drain, per-group
+        // log, merge) would be pure overhead here. Stepping drivers call
+        // this millions of times; it must cost exactly what the
+        // sequential engines pay. `now` advances identically across
+        // engines, which drivers rely on when injecting between steps.
         let (at, ev) = self.queue.pop_if_before(limit)?;
         self.now = at;
         self.dispatch_direct(ev);
         self.events_processed += 1;
+        let mut n = 1u64;
         while let Some((at2, ev2)) = self.queue.pop_if_before(at) {
             self.now = at2;
             self.dispatch_direct(ev2);
             self.events_processed += 1;
+            n += 1;
         }
         self.now = at;
+        if self.par_threads.is_some() {
+            // Account the step as one inline fast window so the window
+            // counters stay meaningful for stepping-heavy drivers.
+            self.win.windows += 1;
+            self.win.window_events += n;
+            self.win.max_window_events = self.win.max_window_events.max(n);
+            self.win.fast_windows += 1;
+            self.win.batches += 1;
+        }
         Some(at)
     }
 
@@ -1859,6 +2315,11 @@ impl<M: PacketMeta, T: Transport<M>> Network<M, T> {
         s.windows = self.win.windows;
         s.window_events = self.win.window_events;
         s.max_window_events = self.win.max_window_events;
+        s.fast_windows = self.win.fast_windows;
+        s.batches = self.win.batches;
+        // The queue's own counter covers epoch-bucket trims; add the
+        // window buffers' trims on top.
+        s.buffer_trims += self.window_bufs.iter().map(|b| b.trims).sum::<u64>();
         s
     }
 
@@ -2328,8 +2789,10 @@ mod tests {
         // workers — must all replay the legacy heap bit-for-bit.
         let legacy = scripted_run(EngineKind::LegacyHeap);
         for threads in [1u32, 2, 4] {
-            let par = scripted_run(EngineKind::ParallelHier { threads });
-            assert_eq!(par, legacy, "ParallelHier x{threads} diverged");
+            for batch in [0u32, 1, 4, 16] {
+                let par = scripted_run(EngineKind::ParallelHier { threads, batch });
+                assert_eq!(par, legacy, "ParallelHier x{threads} batch {batch} diverged");
+            }
         }
     }
 
@@ -2337,7 +2800,8 @@ mod tests {
     #[cfg(feature = "parallel")] // without it ParallelHier degrades to sequential: no windows
     fn parallel_windows_report_window_stats() {
         let topo = Topology::multi_tor(40);
-        let cfg = NetworkConfig::default().with_engine(EngineKind::ParallelHier { threads: 1 });
+        let cfg =
+            NetworkConfig::default().with_engine(EngineKind::ParallelHier { threads: 1, batch: 0 });
         let mut net = Network::new(topo, cfg, |h| Echoless {
             me: h,
             outbox: Default::default(),
@@ -2558,7 +3022,7 @@ mod tests {
     fn engines_agree_under_faults() {
         let hier = faulted_run(EngineKind::Hierarchical);
         let legacy = faulted_run(EngineKind::LegacyHeap);
-        let parallel = faulted_run(EngineKind::ParallelHier { threads: 2 });
+        let parallel = faulted_run(EngineKind::ParallelHier { threads: 2, batch: 0 });
         assert_eq!(hier, legacy);
         assert_eq!(parallel, legacy);
         let stats_dbg = &hier.2;
@@ -2682,8 +3146,13 @@ mod tests {
         let hier = fat_tree_scripted(EngineKind::Hierarchical);
         assert_eq!(hier, legacy);
         for threads in [1u32, 2] {
-            let par = fat_tree_scripted(EngineKind::ParallelHier { threads });
-            assert_eq!(par, legacy, "ParallelHier x{threads} diverged on fat tree");
+            for batch in [0u32, 4] {
+                let par = fat_tree_scripted(EngineKind::ParallelHier { threads, batch });
+                assert_eq!(
+                    par, legacy,
+                    "ParallelHier x{threads} batch {batch} diverged on fat tree"
+                );
+            }
         }
     }
 

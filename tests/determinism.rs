@@ -52,17 +52,33 @@ fn assert_engines_agree(p: Protocol, spec: ScenarioSpec) {
     // Conservative-window parallel dispatch, on two worker threads, must
     // replay the same run bit-for-bit (and so must the degenerate inline
     // window mode, exercising the window machinery without threads).
-    for threads in [1u32, 2] {
-        let par = run_signature(p, &spec.clone().with_engine(EngineKind::ParallelHier { threads }));
-        assert_eq!(par.3, legacy.3, "{}: ParallelHier x{threads} event count diverged", spec.name);
-        assert_eq!(par.2, legacy.2, "{}: ParallelHier x{threads} delivered diverged", spec.name);
-        assert_eq!(par.0, legacy.0, "{}: ParallelHier x{threads} MsgRecords diverged", spec.name);
-        assert_eq!(par.1, legacy.1, "{}: ParallelHier x{threads} RunStats diverged", spec.name);
-    }
+    assert_parallel_agrees(p, &spec, legacy, &[(1, 0), (2, 0)]);
 
     // And the hierarchical engine agrees with itself across runs.
     let again = run_signature(p, &spec.clone().with_engine(EngineKind::Hierarchical));
     assert_eq!(hier, again, "{}: hierarchical engine not repeatable", spec.name);
+}
+
+/// Assert `ParallelHier` replays `legacy` bit-for-bit at each
+/// `(threads, batch)` combination. Batch size moves only bookkeeping
+/// boundaries, so any value must leave the run untouched.
+fn assert_parallel_agrees(
+    p: Protocol,
+    spec: &ScenarioSpec,
+    legacy: (String, String, u64, u64),
+    combos: &[(u32, u32)],
+) {
+    for &(threads, batch) in combos {
+        let par = run_signature(
+            p,
+            &spec.clone().with_engine(EngineKind::ParallelHier { threads, batch }),
+        );
+        let tag = format!("ParallelHier x{threads} batch {batch}");
+        assert_eq!(par.3, legacy.3, "{}: {tag} event count diverged", spec.name);
+        assert_eq!(par.2, legacy.2, "{}: {tag} delivered diverged", spec.name);
+        assert_eq!(par.0, legacy.0, "{}: {tag} MsgRecords diverged", spec.name);
+        assert_eq!(par.1, legacy.1, "{}: {tag} RunStats diverged", spec.name);
+    }
 }
 
 #[test]
@@ -224,7 +240,19 @@ fn homa_engines_agree_on_faulted_fat_tree() {
                 10_000_000_000,
             ),
     );
-    assert_engines_agree(Protocol::Homa, spec);
+    assert_engines_agree(Protocol::Homa, spec.clone());
+
+    // Window batching must be invisible too: explicit batch sizes
+    // {1, 4, 16} on one and two worker threads all replay the faulted
+    // fat tree bit-for-bit (a batch only moves bookkeeping boundaries,
+    // never event order — this is the proof).
+    let legacy = run_signature(Protocol::Homa, &spec.clone().with_engine(EngineKind::LegacyHeap));
+    assert_parallel_agrees(
+        Protocol::Homa,
+        &spec,
+        legacy,
+        &[(1, 1), (1, 4), (1, 16), (2, 1), (2, 4), (2, 16)],
+    );
 }
 
 #[test]
@@ -267,9 +295,12 @@ fn trace_jsonl_is_byte_identical_across_engines() {
     let legacy = jsonl_for(EngineKind::LegacyHeap);
     let hier = jsonl_for(EngineKind::Hierarchical);
     assert_eq!(legacy, hier, "Hierarchical trace bytes diverged from LegacyHeap");
-    for threads in [1u32, 2] {
-        let par = jsonl_for(EngineKind::ParallelHier { threads });
-        assert_eq!(legacy, par, "ParallelHier x{threads} trace bytes diverged from LegacyHeap");
+    for (threads, batch) in [(1u32, 0u32), (2, 0), (1, 4)] {
+        let par = jsonl_for(EngineKind::ParallelHier { threads, batch });
+        assert_eq!(
+            legacy, par,
+            "ParallelHier x{threads} batch {batch} trace bytes diverged from LegacyHeap"
+        );
     }
 }
 
